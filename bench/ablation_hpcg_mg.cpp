@@ -1,0 +1,106 @@
+// Experiment E13 (extension) — ablation of the HPCG preconditioner
+// hierarchy: single-level SYMGS vs the HPCG-style multigrid V-cycle.
+//
+// Real HPCG uses the MG preconditioner; the Table 2 reproduction uses
+// SYMGS for its calibrated kernel mix.  This bench quantifies what the
+// hierarchy buys (iterations to tolerance) and what it costs (work per
+// iteration), natively on this host.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/util/strings.hpp"
+#include "core/util/table.hpp"
+#include "hpcg/cg.hpp"
+#include "hpcg/mg_preconditioner.hpp"
+
+namespace {
+
+using namespace rebench;
+using namespace rebench::hpcg;
+
+Geometry cube(int n) {
+  Geometry g;
+  g.nx = g.ny = g.nzLocal = g.nzGlobal = n;
+  return g;
+}
+
+std::vector<double> onesRhs(const Operator& A) {
+  std::vector<double> ones(A.n(), 1.0);
+  std::vector<double> b(A.n());
+  A.apply(ones, HaloView{}, b);
+  return b;
+}
+
+void BM_SymgsPrecond(benchmark::State& state) {
+  const auto A = makeOperator(Variant::kCsr, cube(32));
+  std::vector<double> r(A->n(), 1.0), z(A->n());
+  for (auto _ : state) {
+    A->precondition(r, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_SymgsPrecond);
+
+void BM_MgPrecond(benchmark::State& state) {
+  const Geometry g = cube(32);
+  const auto A = makeOperator(Variant::kCsr, g);
+  MgPreconditioner mg(Variant::kCsr, g);
+  std::vector<double> r(A->n(), 1.0), z(A->n());
+  for (auto _ : state) {
+    mg.apply(*A, r, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_MgPrecond);
+
+void reproduceAblation() {
+  AsciiTable table(
+      "Ablation: SYMGS vs multigrid preconditioning of CG "
+      "(32^3, tolerance 1e-9, native)");
+  table.setHeader({"variant", "precond", "iterations", "Gflop total",
+                   "flops/iter ratio"});
+
+  for (Variant v : {Variant::kCsr, Variant::kMatrixFree, Variant::kLfric}) {
+    const Geometry g = cube(32);
+    const auto A = makeOperator(v, g);
+    const std::vector<double> b = onesRhs(*A);
+
+    CgOptions symgs;
+    symgs.maxIterations = 400;
+    symgs.tolerance = 1e-9;
+    CgOptions mg = symgs;
+    mg.useMultigrid = true;
+
+    const CgResult symgsResult = conjugateGradient(*A, b, symgs);
+    const CgResult mgResult = conjugateGradient(*A, b, mg);
+
+    const double symgsPerIter =
+        symgsResult.counters.flops / symgsResult.counters.iterations;
+    const double mgPerIter =
+        mgResult.counters.flops / mgResult.counters.iterations;
+
+    table.addRow({std::string(variantName(v)), "symgs",
+                  std::to_string(symgsResult.counters.iterations),
+                  str::fixed(symgsResult.counters.flops / 1e9, 3), "1.00"});
+    table.addRow({"", "multigrid",
+                  std::to_string(mgResult.counters.iterations),
+                  str::fixed(mgResult.counters.flops / 1e9, 3),
+                  str::fixed(mgPerIter / symgsPerIter, 2)});
+  }
+  std::cout << "\n" << table.render();
+  std::cout << "\nMultigrid costs more per iteration (the hierarchy's "
+               "smoothing work) but needs far fewer iterations — the "
+               "trade real HPCG makes.  It is also another instance of "
+               "the paper's §3.2 lesson: an algorithmic change (the "
+               "preconditioner) dwarfs implementation-level tuning.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  reproduceAblation();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Experiments E3/E4 — Table 2 and Equation 1 of the paper.
+//
+// Runs the four HPCG variants through the full framework pipeline on the
+// two Table 2 platforms — Intel Cascade Lake (Isambard MACS, 40 MPI
+// ranks) and AMD Rome (ARCHER2, 128 MPI ranks) — and prints the GFlop/s
+// table plus the implementation-vs-algorithm efficiency ratios E_I and
+// E_A from Equation 1.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "core/framework/pipeline.hpp"
+#include "core/postproc/efficiency.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/table.hpp"
+#include "hpcg/driver.hpp"
+#include "hpcg/testcase.hpp"
+
+namespace {
+
+using namespace rebench;
+
+// ---- microbenchmarks: the operator kernels natively ----------------------
+
+void BM_OperatorApply(benchmark::State& state) {
+  const auto variant = static_cast<hpcg::Variant>(state.range(0));
+  hpcg::Geometry g;
+  g.nx = g.ny = g.nzLocal = g.nzGlobal = 24;
+  const auto A = hpcg::makeOperator(variant, g);
+  std::vector<double> x(A->n(), 1.0), y(A->n());
+  for (auto _ : state) {
+    A->apply(x, hpcg::HaloView{}, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(std::string(hpcg::variantName(variant)));
+  state.SetItemsProcessed(state.iterations() * A->n());
+}
+BENCHMARK(BM_OperatorApply)->DenseRange(0, 3);
+
+void BM_Symgs(benchmark::State& state) {
+  const auto variant = static_cast<hpcg::Variant>(state.range(0));
+  hpcg::Geometry g;
+  g.nx = g.ny = g.nzLocal = g.nzGlobal = 24;
+  const auto A = hpcg::makeOperator(variant, g);
+  std::vector<double> r(A->n(), 1.0), z(A->n());
+  for (auto _ : state) {
+    A->precondition(r, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetLabel(std::string(hpcg::variantName(variant)));
+  state.SetItemsProcessed(state.iterations() * A->n());
+}
+BENCHMARK(BM_Symgs)->DenseRange(0, 3);
+
+// ---- the Table 2 reproduction ---------------------------------------------
+
+struct Table2Platform {
+  const char* target;
+  const char* label;
+  int ranks;
+};
+constexpr Table2Platform kPlatforms[] = {
+    {"isambard-macs:cascadelake", "Intel Cascade Lake", 40},
+    {"archer2", "AMD Rome", 128},
+};
+
+constexpr hpcg::Variant kVariants[] = {
+    hpcg::Variant::kCsr, hpcg::Variant::kCsrOpt, hpcg::Variant::kMatrixFree,
+    hpcg::Variant::kLfric};
+
+const char* variantRowLabel(hpcg::Variant v) {
+  switch (v) {
+    case hpcg::Variant::kCsr: return "Original (CSR)";
+    case hpcg::Variant::kCsrOpt: return "Intel-avx2 (CSR)";
+    case hpcg::Variant::kMatrixFree: return "Matrix-free";
+    case hpcg::Variant::kLfric: return "LFRic";
+  }
+  return "?";
+}
+
+void reproduceTable2() {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+  PerfLog perflog;
+
+  // results[variant][platform label] = GFlop/s (nullopt = N/A)
+  std::map<hpcg::Variant, std::map<std::string, std::optional<double>>>
+      results;
+  for (const Table2Platform& platform : kPlatforms) {
+    for (hpcg::Variant variant : kVariants) {
+      hpcg::HpcgTestOptions options;
+      options.variant = variant;
+      options.numTasks = platform.ranks;
+      options.gridSize = 104;
+      const TestRunResult run = pipeline.runOne(
+          hpcg::makeHpcgTest(options), platform.target, &perflog);
+      if (run.passed) {
+        results[variant][platform.label] = run.foms.at("GFLOPs");
+      } else {
+        results[variant][platform.label] = std::nullopt;
+      }
+    }
+  }
+
+  AsciiTable table(
+      "Table 2: Results for different HPCG variants on different "
+      "architectures in GFlop/s (MPI only, single node; 40 ranks on "
+      "Cascade Lake, 128 on Rome)");
+  table.setHeader({"HPCG Variant", "Intel Cascade Lake", "AMD Rome"});
+  for (hpcg::Variant variant : kVariants) {
+    std::vector<std::string> row{variantRowLabel(variant)};
+    for (const Table2Platform& platform : kPlatforms) {
+      const auto& cell = results[variant][platform.label];
+      row.push_back(cell ? str::fixed(*cell, 1) : "N/A");
+    }
+    table.addRow(row);
+  }
+  std::cout << "\n" << table.render();
+
+  // Equation 1: E = VAR / ORIG.
+  auto ratio = [&](hpcg::Variant v, const char* platform) {
+    const auto& orig = results[hpcg::Variant::kCsr][platform];
+    const auto& var = results[v][platform];
+    return (orig && var) ? applicationEfficiency(*var, *orig) : 0.0;
+  };
+  AsciiTable eq1("Equation 1 efficiencies E = VAR/ORIG:");
+  eq1.setHeader({"ratio", "Intel Cascade Lake", "AMD Rome", "paper (CLX)",
+                 "paper (Rome)"});
+  eq1.addRow({"E_I (Intel-avx2/CSR)",
+              str::fixed(ratio(hpcg::Variant::kCsrOpt, "Intel Cascade Lake"),
+                         3),
+              "N/A", "1.625", "N/A"});
+  eq1.addRow({"E_A (matrix-free/CSR)",
+              str::fixed(
+                  ratio(hpcg::Variant::kMatrixFree, "Intel Cascade Lake"), 3),
+              str::fixed(ratio(hpcg::Variant::kMatrixFree, "AMD Rome"), 3),
+              "2.125", "3.168"});
+  std::cout << "\n" << eq1.render();
+  std::cout << "\nperflog entries: " << perflog.size() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  reproduceTable2();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Experiment E5 — Table 3 of the paper.
+//
+// Concretizes the spec `hpgmg%gcc` against each system's software
+// environment and prints the resulting compiler / Python / MPI versions —
+// the exact content of Table 3.  The table is *derived* by the solver
+// from the per-system external-package declarations, not hard-coded.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/concretizer/concretizer.hpp"
+#include "core/pkg/build_plan.hpp"
+#include "core/sysconfig/system_config.hpp"
+#include "core/util/table.hpp"
+
+namespace {
+
+using namespace rebench;
+
+// ---- microbenchmarks: concretizer + build-plan machinery ----------------
+
+void BM_Concretize(benchmark::State& state) {
+  const PackageRepository repo = builtinRepository();
+  const SystemRegistry systems = builtinSystems();
+  const Spec spec = Spec::parse("hpgmg%gcc");
+  const SystemConfig& sys = systems.get("archer2");
+  for (auto _ : state) {
+    Concretizer concretizer(repo, sys.environment);
+    benchmark::DoNotOptimize(concretizer.concretize(spec));
+  }
+}
+BENCHMARK(BM_Concretize);
+
+void BM_SpecParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Spec::parse("babelstream@4.0%gcc@9.2.0 +omp ^kokkos backend=openmp"));
+  }
+}
+BENCHMARK(BM_SpecParse);
+
+void BM_DagHash(benchmark::State& state) {
+  const PackageRepository repo = builtinRepository();
+  const SystemRegistry systems = builtinSystems();
+  Concretizer concretizer(repo, systems.get("archer2").environment);
+  const auto root = concretizer.concretize(Spec::parse("hpgmg%gcc")).root;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(root->dagHash());
+  }
+}
+BENCHMARK(BM_DagHash);
+
+// ---- the Table 3 reproduction ---------------------------------------------
+
+void reproduceTable3() {
+  const PackageRepository repo = builtinRepository();
+  const SystemRegistry systems = builtinSystems();
+
+  struct Row {
+    const char* system;
+    const char* label;
+  };
+  constexpr Row kRows[] = {
+      {"archer2", "ARCHER2"},
+      {"cosma8", "COSMA8"},
+      {"csd3", "CSD3"},
+      {"isambard-macs", "Isambard-macs"},
+  };
+
+  AsciiTable table(
+      "Table 3: Concretized build dependencies of the HPGMG-FV benchmark "
+      "using the hpgmg%gcc spec");
+  table.setHeader({"System", "gcc", "Python", "MPI library"});
+
+  for (const Row& row : kRows) {
+    Concretizer concretizer(repo, systems.get(row.system).environment);
+    const auto result = concretizer.concretize(Spec::parse("hpgmg%gcc"));
+    const ConcreteSpec& root = *result.root;
+
+    const ConcreteSpec* python = root.find("python");
+    std::string mpiCell = "?";
+    for (const auto& [name, dep] : root.dependencies) {
+      for (const std::string& provided :
+           repo.get(dep->name).providedVirtuals()) {
+        if (provided == "mpi") {
+          mpiCell = dep->name + " " + dep->version.toString();
+        }
+      }
+    }
+    table.addRow({row.label, root.compilerVersion.toString(),
+                  python != nullptr ? python->version.toString() : "?",
+                  mpiCell});
+  }
+  std::cout << "\n" << table.render();
+
+  // Archaeological reproducibility (§2.2): the full record of one system.
+  Concretizer concretizer(repo, systems.get("archer2").environment);
+  const auto result = concretizer.concretize(Spec::parse("hpgmg%gcc"));
+  std::cout << "\nConcretized DAG on ARCHER2 (spack-spec style):\n"
+            << result.root->tree();
+  std::cout << "\nConcretization trace:\n";
+  for (const std::string& line : result.trace) {
+    std::cout << "  " << line << "\n";
+  }
+  const BuildPlan plan = makeBuildPlan(*result.root);
+  std::cout << "\nReproducible build script (Principle 4):\n"
+            << plan.renderScript();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  reproduceTable3();
+  return 0;
+}

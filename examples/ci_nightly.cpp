@@ -1,0 +1,76 @@
+// The CI pipeline of the paper's conclusion, end to end: a simulated week
+// of nightly suite runs across systems, appending to per-system perflogs,
+// followed by the analysis battery — hygiene audit, summary statistics,
+// and regression detection — that §4 wants running "as part of a CI
+// pipeline ... to measure and track performance over time".
+//
+//   $ ./ci_nightly
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "core/framework/pipeline.hpp"
+#include "core/postproc/hygiene.hpp"
+#include "core/postproc/regression.hpp"
+#include "core/postproc/stats.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/strings.hpp"
+#include "suite/builtin_suite.hpp"
+
+using namespace rebench;
+
+int main() {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+
+  // Tonight's selection: the OpenMP BabelStream row, like the §3.1 demo.
+  const std::vector<RegressionTest> tests = builtinSuite().select("omp");
+  const std::string perflogPath =
+      (std::filesystem::temp_directory_path() / "ci_nightly.log").string();
+  std::remove(perflogPath.c_str());
+  PerfLog perflog(perflogPath);
+
+  const int kNights = 7;
+  std::cout << "running " << tests.size() << " test(s) x 2 systems x "
+            << kNights << " nights...\n";
+  for (int night = 0; night < kNights; ++night) {
+    for (const char* target : {"archer2", "csd3"}) {
+      for (const RegressionTest& test : tests) {
+        // Each night is a fresh repeat: fresh run-to-run noise.
+        pipeline.runOne(test, target, &perflog, night);
+      }
+    }
+  }
+
+  const std::vector<PerfLogEntry> entries = PerfLog::readFile(perflogPath);
+  std::cout << "\n1. hygiene audit (Bailey / Hoefler-Belli):\n";
+  std::cout << renderHygieneReport(auditPerflog(entries));
+
+  std::cout << "\n2. per-series statistics (night-to-night variability):\n";
+  PerfHistory history;
+  history.addAll(entries);
+  for (const SeriesKey& key : history.keys()) {
+    if (key.fomName != "Triad") continue;
+    std::vector<double> values;
+    for (const HistoryPoint& point : history.series(key)) {
+      values.push_back(point.value / 1.0e3);  // GB/s
+    }
+    std::cout << "  " << key.toString() << ": "
+              << renderStats(summarize(values)) << " GB/s\n";
+  }
+
+  std::cout << "\n3. regression detection:\n";
+  const auto events = history.detect();
+  if (events.empty()) {
+    std::cout << "  no regressions across " << kNights
+              << " nights — the gate passes.\n";
+  }
+  for (const RegressionEvent& event : events) {
+    std::cout << "  REGRESSION " << event.detail << "\n";
+  }
+
+  std::cout << "\nperflog retained at " << perflogPath
+            << " — feed it to `rebench report/history/audit/compare`.\n";
+  return events.empty() ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Energy-aware benchmarking (the paper's §4 future work, implemented):
+// run the same benchmark across systems, capture power/energy telemetry
+// alongside the performance FOM, and rank platforms by energy-to-solution
+// — plus the contention audit that tells you when background traffic may
+// have perturbed a measurement.
+//
+//   $ ./energy_aware
+#include <iostream>
+
+#include "core/framework/pipeline.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/table.hpp"
+#include "hpgmg/testcase.hpp"
+
+using namespace rebench;
+
+int main() {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+
+  const RegressionTest test = hpgmg::makeHpgmgTest({});
+
+  AsciiTable table(
+      "HPGMG-FV: performance AND energy, per system (8 tasks, args '7 8')");
+  table.setHeader({"system", "l0 MDOF/s", "energy (kJ)", "mean power (W)",
+                   "MDOF/J", "contended"});
+
+  struct Row {
+    std::string system;
+    double mdofPerJoule;
+  };
+  std::vector<Row> ranking;
+
+  for (const char* target :
+       {"archer2", "cosma8", "csd3", "isambard-macs:cascadelake"}) {
+    const TestRunResult result = pipeline.runOne(test, target);
+    if (!result.passed || result.telemetry.empty()) {
+      table.addRow({target, "failed", "-", "-", "-", "-"});
+      continue;
+    }
+    const double joules = result.telemetry.energyJoules();
+    const double totalMdof =
+        result.foms.at("l0") * result.telemetry.duration();
+    const double mdofPerJoule = totalMdof / joules;
+    table.addRow({result.system, str::fixed(result.foms.at("l0"), 2),
+                  str::fixed(joules / 1e3, 2),
+                  str::fixed(result.telemetry.meanPowerWatts(), 0),
+                  str::fixed(mdofPerJoule, 3),
+                  std::to_string(result.contentionFlags.size()) + "/" +
+                      std::to_string(result.telemetry.samples.size())});
+    ranking.push_back({result.system, mdofPerJoule});
+  }
+  std::cout << table.render();
+
+  std::sort(ranking.begin(), ranking.end(),
+            [](const Row& a, const Row& b) {
+              return a.mdofPerJoule > b.mdofPerJoule;
+            });
+  std::cout << "\nEnergy-to-solution ranking (work per joule, node-level "
+               "power model):\n";
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    std::cout << "  " << i + 1 << ". " << ranking[i].system << " ("
+              << str::fixed(ranking[i].mdofPerJoule, 3) << " MDOF/J)\n";
+  }
+  std::cout << "\nNote how the fastest system is not automatically the "
+               "most efficient once power enters the figure of merit — "
+               "the kind of analysis Principle 1 enables and raw runtime "
+               "hides.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Performance-portability survey (the §3.1 workload): sweep the
+// BabelStream programming models across every platform and analyse the
+// result with the Pennycook PP metric — the kind of study the paper says
+// took 18-24 FTE-months by hand and about a day with the framework.
+//
+//   $ ./portability_survey            # all models, all platforms
+//   $ ./portability_survey omp sycl   # only the named models
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "babelstream/run.hpp"
+#include "babelstream/testcase.hpp"
+#include "core/framework/pipeline.hpp"
+#include "core/postproc/efficiency.hpp"
+#include "core/postproc/plot.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/table.hpp"
+
+using namespace rebench;
+
+int main(int argc, char** argv) {
+  std::set<std::string> wanted;
+  for (int i = 1; i < argc; ++i) wanted.insert(argv[i]);
+
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+  PerfLog perflog;
+
+  struct Platform {
+    const char* target;
+    const char* machineId;
+  };
+  constexpr Platform kPlatforms[] = {
+      {"isambard-macs:cascadelake", "clx-6230"},
+      {"isambard:xci", "thunderx2"},
+      {"noctua2", "milan-7763"},
+      {"archer2", "rome-7742"},
+      {"isambard-macs:volta", "v100"},
+  };
+
+  DataFrame::StringColumn modelCol, platformCol;
+  DataFrame::NumericColumn effCol;
+
+  for (const babelstream::ProgrammingModel& model :
+       babelstream::figure2Models()) {
+    if (!wanted.empty() && !wanted.contains(model.id)) continue;
+
+    std::vector<EfficiencyObservation> observations;
+    for (const Platform& platform : kPlatforms) {
+      babelstream::BabelstreamTestOptions options;
+      options.model = model.id;
+      options.ntimes = 50;
+      const TestRunResult result = pipeline.runOne(
+          babelstream::makeBabelstreamTest(options), platform.target,
+          &perflog);
+      const MachineModel& m = builtinMachines().get(platform.machineId);
+      std::optional<double> eff;
+      if (result.passed) {
+        eff = architecturalEfficiency(result.foms.at("Triad") / 1e3,
+                                      m.peakBandwidthGBs);
+        modelCol.push_back(model.rowLabel);
+        platformCol.push_back(platform.target);
+        effCol.push_back(*eff);
+      }
+      observations.push_back({platform.target, eff});
+    }
+    const PortabilityReport report = analyzePortability(observations);
+    std::cout << str::padRight(model.rowLabel, 14) << " PP="
+              << str::fixed(report.pp, 3) << "  ("
+              << report.supportedPlatforms << "/"
+              << report.totalPlatforms << " platforms";
+    if (report.supportedPlatforms > 0) {
+      std::cout << ", eff " << str::fixed(report.minEfficiency * 100, 0)
+                << "-" << str::fixed(report.maxEfficiency * 100, 0) << "%";
+    }
+    std::cout << ")\n";
+  }
+
+  DataFrame frame;
+  frame.addStrings("model", std::move(modelCol));
+  frame.addStrings("platform", std::move(platformCol));
+  frame.addNumeric("efficiency", std::move(effCol));
+  std::cout << "\n"
+            << renderHeatmap(frame.pivot("model", "platform", "efficiency"),
+                             {.title = "Triad efficiency by model x "
+                                       "platform ('*' = does not run)"});
+  std::cout << "\nperflog rows collected: " << perflog.size() << "\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Programming-model backends for the BabelStream kernels.
+//
+// Each backend implements the same five kernels through a different
+// parallel idiom, mirroring the models along Figure 2's vertical axis.
+// GPU-only models (CUDA/OpenCL/SYCL) have no native backend on this host;
+// they exist purely in the modelled-execution path (see models.hpp), which
+// runs the *serial* backend for correctness and a machine model for time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "babelstream/stream.hpp"
+
+namespace rebench::babelstream {
+
+class StreamBackend {
+ public:
+  virtual ~StreamBackend() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual void copy(StreamArrays& s) = 0;   // c = a
+  virtual void mul(StreamArrays& s) = 0;    // b = scalar * c
+  virtual void add(StreamArrays& s) = 0;    // c = a + b
+  virtual void triad(StreamArrays& s) = 0;  // a = b + scalar * c
+  virtual double dot(StreamArrays& s) = 0;  // sum a[i]*b[i]
+
+  /// Runs one full BabelStream iteration in canonical order.
+  void iteration(StreamArrays& s) {
+    copy(s);
+    mul(s);
+    add(s);
+    triad(s);
+  }
+};
+
+/// Backends runnable on the host.  Ids: "serial", "omp", "kokkos", "tbb",
+/// "std-data", "std-indices", "std-ranges".  Returns nullptr for ids that
+/// have no native implementation here (cuda/ocl/sycl).
+std::unique_ptr<StreamBackend> makeNativeBackend(std::string_view id);
+
+/// Every id with a native backend, in Figure 2 row order.
+std::vector<std::string> nativeBackendIds();
+
+}  // namespace rebench::babelstream

@@ -1,0 +1,268 @@
+// Native implementations of the stream kernels, one class per programming
+// model.  The kernels are deliberately written in each model's idiom —
+// the point of BabelStream is to compare what the *same* five loops cost
+// when expressed through different abstractions.
+#include <algorithm>
+#include <execution>
+#include <numeric>
+#include <ranges>
+
+#include "babelstream/backend.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rebench::babelstream {
+
+namespace {
+
+/// Plain sequential loops: the baseline every model is compared against.
+class SerialBackend final : public StreamBackend {
+ public:
+  std::string_view name() const override { return "serial"; }
+
+  void copy(StreamArrays& s) override {
+    for (std::size_t i = 0; i < s.size(); ++i) s.c[i] = s.a[i];
+  }
+  void mul(StreamArrays& s) override {
+    for (std::size_t i = 0; i < s.size(); ++i) s.b[i] = kScalar * s.c[i];
+  }
+  void add(StreamArrays& s) override {
+    for (std::size_t i = 0; i < s.size(); ++i) s.c[i] = s.a[i] + s.b[i];
+  }
+  void triad(StreamArrays& s) override {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s.a[i] = s.b[i] + kScalar * s.c[i];
+    }
+  }
+  double dot(StreamArrays& s) override {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) sum += s.a[i] * s.b[i];
+    return sum;
+  }
+};
+
+/// "OpenMP": block-static worksharing over the thread pool, the shape of
+/// `#pragma omp parallel for`.
+class OmpBackend final : public StreamBackend {
+ public:
+  std::string_view name() const override { return "omp"; }
+
+  void copy(StreamArrays& s) override {
+    parallelForBlocked(pool(), 0, s.size(),
+                       [&s](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           s.c[i] = s.a[i];
+                         }
+                       });
+  }
+  void mul(StreamArrays& s) override {
+    parallelForBlocked(pool(), 0, s.size(),
+                       [&s](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           s.b[i] = kScalar * s.c[i];
+                         }
+                       });
+  }
+  void add(StreamArrays& s) override {
+    parallelForBlocked(pool(), 0, s.size(),
+                       [&s](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           s.c[i] = s.a[i] + s.b[i];
+                         }
+                       });
+  }
+  void triad(StreamArrays& s) override {
+    parallelForBlocked(pool(), 0, s.size(),
+                       [&s](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           s.a[i] = s.b[i] + kScalar * s.c[i];
+                         }
+                       });
+  }
+  double dot(StreamArrays& s) override {
+    return parallelReduceSumBlocked(
+        pool(), 0, s.size(), [&s](std::size_t lo, std::size_t hi) {
+          double sum = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) sum += s.a[i] * s.b[i];
+          return sum;
+        });
+  }
+
+ private:
+  static ThreadPool& pool() { return ThreadPool::global(); }
+};
+
+/// "Kokkos (OpenMP backend)": functor-per-index dispatch — same pool, but
+/// paying the per-index abstraction cost a C++ mdspan-style library pays.
+class KokkosBackend final : public StreamBackend {
+ public:
+  std::string_view name() const override { return "kokkos"; }
+
+  void copy(StreamArrays& s) override {
+    forEach(s.size(), [&s](std::size_t i) { s.c[i] = s.a[i]; });
+  }
+  void mul(StreamArrays& s) override {
+    forEach(s.size(), [&s](std::size_t i) { s.b[i] = kScalar * s.c[i]; });
+  }
+  void add(StreamArrays& s) override {
+    forEach(s.size(), [&s](std::size_t i) { s.c[i] = s.a[i] + s.b[i]; });
+  }
+  void triad(StreamArrays& s) override {
+    forEach(s.size(),
+            [&s](std::size_t i) { s.a[i] = s.b[i] + kScalar * s.c[i]; });
+  }
+  double dot(StreamArrays& s) override {
+    return parallelReduceSum(
+        ThreadPool::global(), 0, s.size(),
+        [&s](std::size_t i) { return s.a[i] * s.b[i]; });
+  }
+
+ private:
+  static void forEach(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) {
+    parallelFor(ThreadPool::global(), 0, n, fn, Schedule::kStatic);
+  }
+};
+
+/// "TBB": dynamic chunked scheduling (task stealing approximated by a
+/// shared-counter dynamic schedule).
+class TbbBackend final : public StreamBackend {
+ public:
+  std::string_view name() const override { return "tbb"; }
+
+  void copy(StreamArrays& s) override {
+    dynamicFor(s.size(), [&s](std::size_t i) { s.c[i] = s.a[i]; });
+  }
+  void mul(StreamArrays& s) override {
+    dynamicFor(s.size(), [&s](std::size_t i) { s.b[i] = kScalar * s.c[i]; });
+  }
+  void add(StreamArrays& s) override {
+    dynamicFor(s.size(), [&s](std::size_t i) { s.c[i] = s.a[i] + s.b[i]; });
+  }
+  void triad(StreamArrays& s) override {
+    dynamicFor(s.size(),
+               [&s](std::size_t i) { s.a[i] = s.b[i] + kScalar * s.c[i]; });
+  }
+  double dot(StreamArrays& s) override {
+    return parallelReduceSum(
+        ThreadPool::global(), 0, s.size(),
+        [&s](std::size_t i) { return s.a[i] * s.b[i]; });
+  }
+
+ private:
+  static void dynamicFor(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+    parallelFor(ThreadPool::global(), 0, n, fn, Schedule::kDynamic,
+                /*grain=*/8192);
+  }
+};
+
+/// "std-data": parallel algorithms over data iterators
+/// (std::transform(par_unseq, ...)).  libstdc++ would need TBB for real
+/// parallel execution; here the pool plays that role.
+class StdDataBackend final : public StreamBackend {
+ public:
+  std::string_view name() const override { return "std-data"; }
+
+  void copy(StreamArrays& s) override {
+    std::copy(std::execution::unseq, s.a.begin(), s.a.end(), s.c.begin());
+  }
+  void mul(StreamArrays& s) override {
+    std::transform(std::execution::unseq, s.c.begin(), s.c.end(),
+                   s.b.begin(), [](double ci) { return kScalar * ci; });
+  }
+  void add(StreamArrays& s) override {
+    std::transform(std::execution::unseq, s.a.begin(), s.a.end(),
+                   s.b.begin(), s.c.begin(),
+                   [](double ai, double bi) { return ai + bi; });
+  }
+  void triad(StreamArrays& s) override {
+    std::transform(std::execution::unseq, s.b.begin(), s.b.end(),
+                   s.c.begin(), s.a.begin(),
+                   [](double bi, double ci) { return bi + kScalar * ci; });
+  }
+  double dot(StreamArrays& s) override {
+    return std::transform_reduce(std::execution::unseq, s.a.begin(),
+                                 s.a.end(), s.b.begin(), 0.0);
+  }
+};
+
+/// "std-indices": parallel algorithms over an index space
+/// (for_each over iota).
+class StdIndicesBackend final : public StreamBackend {
+ public:
+  std::string_view name() const override { return "std-indices"; }
+
+  void copy(StreamArrays& s) override {
+    indexFor(s.size(), [&s](std::size_t i) { s.c[i] = s.a[i]; });
+  }
+  void mul(StreamArrays& s) override {
+    indexFor(s.size(), [&s](std::size_t i) { s.b[i] = kScalar * s.c[i]; });
+  }
+  void add(StreamArrays& s) override {
+    indexFor(s.size(), [&s](std::size_t i) { s.c[i] = s.a[i] + s.b[i]; });
+  }
+  void triad(StreamArrays& s) override {
+    indexFor(s.size(),
+             [&s](std::size_t i) { s.a[i] = s.b[i] + kScalar * s.c[i]; });
+  }
+  double dot(StreamArrays& s) override {
+    auto ids = std::views::iota(std::size_t{0}, s.size());
+    return std::transform_reduce(
+        std::execution::unseq, ids.begin(), ids.end(), 0.0, std::plus<>{},
+        [&s](std::size_t i) { return s.a[i] * s.b[i]; });
+  }
+
+ private:
+  static void indexFor(std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+    auto ids = std::views::iota(std::size_t{0}, n);
+    std::for_each(std::execution::unseq, ids.begin(), ids.end(), fn);
+  }
+};
+
+/// "std-ranges": range pipelines.  The paper notes the multicore version
+/// of std-ranges is work-in-progress and executes single-threaded — this
+/// backend is intentionally sequential for the same reason.
+class StdRangesBackend final : public StreamBackend {
+ public:
+  std::string_view name() const override { return "std-ranges"; }
+
+  void copy(StreamArrays& s) override {
+    std::ranges::copy(s.a, s.c.begin());
+  }
+  void mul(StreamArrays& s) override {
+    std::ranges::transform(s.c, s.b.begin(),
+                           [](double ci) { return kScalar * ci; });
+  }
+  void add(StreamArrays& s) override {
+    std::ranges::transform(s.a, s.b, s.c.begin(), std::plus<>{});
+  }
+  void triad(StreamArrays& s) override {
+    std::ranges::transform(
+        s.b, s.c, s.a.begin(),
+        [](double bi, double ci) { return bi + kScalar * ci; });
+  }
+  double dot(StreamArrays& s) override {
+    return std::inner_product(s.a.begin(), s.a.end(), s.b.begin(), 0.0);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StreamBackend> makeNativeBackend(std::string_view id) {
+  if (id == "serial") return std::make_unique<SerialBackend>();
+  if (id == "omp") return std::make_unique<OmpBackend>();
+  if (id == "kokkos") return std::make_unique<KokkosBackend>();
+  if (id == "tbb") return std::make_unique<TbbBackend>();
+  if (id == "std-data") return std::make_unique<StdDataBackend>();
+  if (id == "std-indices") return std::make_unique<StdIndicesBackend>();
+  if (id == "std-ranges") return std::make_unique<StdRangesBackend>();
+  return nullptr;
+}
+
+std::vector<std::string> nativeBackendIds() {
+  return {"serial",   "omp",         "kokkos",    "tbb",
+          "std-data", "std-indices", "std-ranges"};
+}
+
+}  // namespace rebench::babelstream

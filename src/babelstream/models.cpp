@@ -1,0 +1,158 @@
+#include "babelstream/models.hpp"
+
+#include "core/util/error.hpp"
+
+namespace rebench::babelstream {
+
+namespace {
+
+bool isX86Cpu(const MachineModel& m) {
+  return m.device == DeviceType::kCpu &&
+         (m.vendor == "Intel" || m.vendor == "AMD");
+}
+
+bool isArmCpu(const MachineModel& m) {
+  return m.device == DeviceType::kCpu && m.vendor == "Marvell";
+}
+
+bool isNvidiaGpu(const MachineModel& m) {
+  return m.device == DeviceType::kGpu && m.vendor == "NVIDIA";
+}
+
+ModelSupport unsupported(std::string reason) {
+  ModelSupport s;
+  s.supported = false;
+  s.reason = std::move(reason);
+  return s;
+}
+
+ModelSupport supported(std::string compilerLabel, double bwFraction,
+                       int coresUsed = 0, double extraLatency = 0.0) {
+  ModelSupport s;
+  s.supported = true;
+  s.compilerLabel = std::move(compilerLabel);
+  s.efficiency.bandwidthFraction = bwFraction;
+  s.efficiency.coresUsed = coresUsed;
+  s.efficiency.extraLatency = extraLatency;
+  return s;
+}
+
+std::string gccLabel(const MachineModel& m) {
+  // §3.1: GCC 9.2.0 on the Isambard-MACS systems (incl. its Volta),
+  // GCC 12.1.0 on Noctua2/Milan, GCC 10.3.0 elsewhere.
+  if (m.id == "clx-6230" || m.id == "v100") return "%gcc@9.2.0";
+  if (m.id == "milan-7763") return "%gcc@12.1.0";
+  return "%gcc@10.3.0";
+}
+
+}  // namespace
+
+ModelSupport ProgrammingModel::supportOn(const MachineModel& m) const {
+  // --- OpenMP: "works on all devices" (§3.1), best utilisation on the
+  // x86 CPUs with GCC.
+  if (id == "omp") {
+    if (isNvidiaGpu(m)) return supported("%nvhpc@22.11 (target offload)", 0.86);
+    if (isArmCpu(m)) return supported(gccLabel(m), 0.88);
+    return supported(gccLabel(m), 0.95);
+  }
+
+  // --- Kokkos over an OpenMP (CPU) or CUDA (GPU) backend.
+  if (id == "kokkos") {
+    if (isNvidiaGpu(m)) return supported("+cuda %nvcc@11.2", 0.90);
+    return supported("+omp " + gccLabel(m), 0.90);
+  }
+
+  // --- CUDA: NVIDIA GPUs only ("incompatibilities: CUDA on CPUs").
+  if (id == "cuda") {
+    if (isNvidiaGpu(m)) return supported("%nvcc@11.2", 0.97);
+    return unsupported("CUDA requires an NVIDIA GPU");
+  }
+
+  // --- OpenCL: excellent on the V100; Intel CPU runtime exists; no
+  // vendor CPU runtime on ThunderX2 or the AMD Rome/Milan systems tested.
+  if (id == "ocl") {
+    if (isNvidiaGpu(m)) return supported("%gcc@9.2.0 (NVIDIA OpenCL)", 0.96);
+    if (m.vendor == "Intel") {
+      return supported("%gcc (Intel CPU runtime)", 0.78);
+    }
+    return unsupported("no OpenCL CPU runtime installed");
+  }
+
+  // --- SYCL via oneAPI: Intel and AMD x86 CPUs; no sm_70 toolchain on
+  // the tested system; no aarch64 oneAPI.
+  if (id == "sycl") {
+    if (isX86Cpu(m)) return supported("%oneapi@2023.1.0", 0.84);
+    if (isNvidiaGpu(m)) {
+      return unsupported("no SYCL toolchain targeting sm_70 installed");
+    }
+    return unsupported("oneAPI SYCL unavailable on aarch64");
+  }
+
+  // --- TBB: x86-only ("incompatibilities: Intel-TBB on Thunder").
+  if (id == "tbb") {
+    if (isX86Cpu(m)) {
+      // The paper observes a disparity between paderborn-milan and
+      // isambard-macs:cascadelake TBB results.
+      const double bw = (m.id == "milan-7763") ? 0.88 : 0.68;
+      return supported("%oneapi@2023.1.0", bw);
+    }
+    if (isNvidiaGpu(m)) return unsupported("TBB targets CPUs only");
+    return unsupported("Intel TBB does not build on ThunderX2");
+  }
+
+  // --- ISO C++ parallel algorithms.  Multicore execution requires the
+  // TBB backend under libstdc++; where TBB is missing they run, but on a
+  // single thread (the degradation §3.1 describes on isambard-xci).
+  if (id == "std-data" || id == "std-indices") {
+    const double bw = (id == "std-data") ? 0.87 : 0.85;
+    if (isX86Cpu(m)) return supported(gccLabel(m) + " +tbb", bw);
+    if (isArmCpu(m)) {
+      return supported(gccLabel(m) + " (no TBB: serial)", 1.0, /*cores=*/1);
+    }
+    return unsupported("no stdpar offload toolchain on this system");
+  }
+
+  // --- std-ranges: "the multicore version of std-ranges is a work in
+  // progress, and it only executes in a single thread" (§3.1).
+  if (id == "std-ranges") {
+    if (m.device == DeviceType::kCpu) {
+      return supported(gccLabel(m) + " (single-thread)", 1.0, /*cores=*/1);
+    }
+    return unsupported("std-ranges has no device execution path");
+  }
+
+  if (id == "serial") {
+    if (m.device == DeviceType::kCpu) {
+      return supported(gccLabel(m), 1.0, /*cores=*/1);
+    }
+    return unsupported("serial CPU code does not run on a GPU");
+  }
+
+  return unsupported("unknown programming model '" + id + "'");
+}
+
+const std::vector<ProgrammingModel>& figure2Models() {
+  static const std::vector<ProgrammingModel> models = {
+      {"omp", "OpenMP", "omp"},
+      {"kokkos", "Kokkos", "kokkos+omp"},
+      {"cuda", "CUDA", "cuda"},
+      {"ocl", "OpenCL", "ocl"},
+      {"sycl", "SYCL", "sycl%oneapi"},
+      {"tbb", "TBB", "tbb%oneapi"},
+      {"std-data", "std-data", "std-data"},
+      {"std-indices", "std-indices", "std-indices"},
+      {"std-ranges", "std-ranges", "std-ranges"},
+  };
+  return models;
+}
+
+const ProgrammingModel& modelById(std::string_view id) {
+  for (const ProgrammingModel& model : figure2Models()) {
+    if (model.id == id) return model;
+  }
+  static const ProgrammingModel serial{"serial", "Serial", "serial"};
+  if (id == "serial") return serial;
+  throw NotFoundError("unknown programming model '" + std::string(id) + "'");
+}
+
+}  // namespace rebench::babelstream

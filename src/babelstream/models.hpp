@@ -1,0 +1,42 @@
+// The programming-model × platform support matrix behind Figure 2.
+//
+// Each ProgrammingModel row knows, per machine model: whether the
+// combination works at all (the paper's white "*" boxes come from real
+// incompatibilities — CUDA on CPUs, Intel TBB on ThunderX2, ...), which
+// compiler builds it there, and how efficiently it drives the memory
+// system when it does work.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/roofline.hpp"
+
+namespace rebench::babelstream {
+
+struct ModelSupport {
+  bool supported = false;
+  std::string reason;        // why not, when unsupported
+  std::string compilerLabel;  // "%gcc@9.2.0", "%nvcc@11.2", ...
+  ExecutionEfficiency efficiency;
+};
+
+struct ProgrammingModel {
+  std::string id;           // "omp", "cuda", ...
+  std::string displayName;  // "OpenMP", "CUDA", ...
+  /// Figure-2-style row label including backend/compiler decorations,
+  /// e.g. "kokkos+omp" ("+" marks the backend per the paper's legend).
+  std::string rowLabel;
+
+  ModelSupport supportOn(const MachineModel& machine) const;
+};
+
+/// The rows of Figure 2, in display order.
+const std::vector<ProgrammingModel>& figure2Models();
+
+/// Lookup by id; throws NotFoundError.
+const ProgrammingModel& modelById(std::string_view id);
+
+}  // namespace rebench::babelstream

@@ -1,0 +1,184 @@
+#include "babelstream/run.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/timer.hpp"
+#include "core/util/units.hpp"
+#include "sim/roofline.hpp"
+
+namespace rebench::babelstream {
+
+namespace {
+
+KernelTiming summarize(const std::vector<double>& samples, Kernel kernel,
+                       std::size_t n) {
+  KernelTiming t;
+  t.minSeconds = *std::min_element(samples.begin(), samples.end());
+  t.maxSeconds = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  t.avgSeconds = sum / static_cast<double>(samples.size());
+  const double bytes = kernelBytesPerElement(kernel) * static_cast<double>(n);
+  t.mbytesPerSec = bytes / t.minSeconds / 1.0e6;
+  return t;
+}
+
+}  // namespace
+
+double StreamResult::triadGBs() const {
+  auto it = timings.find(Kernel::kTriad);
+  REBENCH_REQUIRE(it != timings.end());
+  return it->second.mbytesPerSec / 1.0e3;
+}
+
+StreamResult runNative(std::string_view backendId, std::size_t arraySize,
+                       int ntimes) {
+  REBENCH_REQUIRE(ntimes >= 1 && arraySize >= 2);
+  auto backend = makeNativeBackend(backendId);
+  if (!backend) {
+    throw NotFoundError("no native backend '" + std::string(backendId) +
+                        "' on this host");
+  }
+
+  StreamArrays arrays(arraySize);
+  std::map<Kernel, std::vector<double>> samples;
+  double dotResult = 0.0;
+  WallTimer timer;
+  for (int iter = 0; iter < ntimes; ++iter) {
+    timer.reset();
+    backend->copy(arrays);
+    samples[Kernel::kCopy].push_back(timer.elapsed());
+
+    timer.reset();
+    backend->mul(arrays);
+    samples[Kernel::kMul].push_back(timer.elapsed());
+
+    timer.reset();
+    backend->add(arrays);
+    samples[Kernel::kAdd].push_back(timer.elapsed());
+
+    timer.reset();
+    backend->triad(arrays);
+    samples[Kernel::kTriad].push_back(timer.elapsed());
+
+    timer.reset();
+    dotResult = backend->dot(arrays);
+    samples[Kernel::kDot].push_back(timer.elapsed());
+  }
+
+  StreamResult result;
+  result.model = std::string(backendId);
+  result.platform = "native";
+  result.arraySize = arraySize;
+  result.ntimes = ntimes;
+  for (Kernel k : kAllKernels) {
+    result.timings[k] = summarize(samples.at(k), k, arraySize);
+    result.totalSeconds +=
+        result.timings[k].avgSeconds * static_cast<double>(ntimes);
+  }
+  result.validated = validate(arrays, ntimes, dotResult).passed;
+  return result;
+}
+
+std::string unsupportedReason(std::string_view modelId,
+                              const MachineModel& machine) {
+  const ModelSupport support = modelById(modelId).supportOn(machine);
+  return support.supported ? std::string{} : support.reason;
+}
+
+std::optional<StreamResult> runModeled(std::string_view modelId,
+                                       const MachineModel& machine,
+                                       std::size_t arraySize, int ntimes,
+                                       std::size_t checkSize,
+                                       const std::string& noiseSalt) {
+  const ProgrammingModel& model = modelById(modelId);
+  const ModelSupport support = model.supportOn(machine);
+  if (!support.supported) return std::nullopt;
+
+  // Correctness: execute the real kernels (the model's native backend
+  // where one exists, else the serial reference) at a reduced size.
+  bool validated = false;
+  {
+    auto backend = makeNativeBackend(modelId);
+    if (!backend) backend = makeNativeBackend("serial");
+    StreamArrays arrays(checkSize);
+    double dotResult = 0.0;
+    for (int iter = 0; iter < ntimes; ++iter) {
+      backend->iteration(arrays);
+      dotResult = backend->dot(arrays);
+    }
+    validated = validate(arrays, ntimes, dotResult).passed;
+  }
+
+  // Timing: roofline at the requested (paper-scale) array size.
+  StreamResult result;
+  result.model = model.id;
+  result.platform = machine.id;
+  result.arraySize = arraySize;
+  result.ntimes = ntimes;
+  result.validated = validated;
+  for (Kernel k : kAllKernels) {
+    KernelProfile profile;
+    const double n = static_cast<double>(arraySize);
+    const double bytes = kernelBytesPerElement(k) * n;
+    profile.bytesWritten = (k == Kernel::kDot) ? 0.0 : 8.0 * n;
+    profile.bytesRead = bytes - profile.bytesWritten;
+    profile.flops = kernelFlopsPerElement(k) * n;
+
+    std::vector<double> samples;
+    samples.reserve(ntimes);
+    for (int iter = 0; iter < ntimes; ++iter) {
+      const std::string key = "babelstream:" + machine.id + ":" + model.id +
+                              ":" + std::string(kernelName(k)) + ":" +
+                              std::to_string(iter) + noiseSalt;
+      samples.push_back(
+          simulateKernel(machine, profile, support.efficiency, key).seconds);
+    }
+    result.timings[k] = summarize(samples, k, arraySize);
+    result.totalSeconds +=
+        result.timings[k].avgSeconds * static_cast<double>(ntimes);
+  }
+  return result;
+}
+
+std::string formatOutput(const StreamResult& result) {
+  const double arrayBytes = 8.0 * static_cast<double>(result.arraySize);
+  std::string out;
+  out += "BabelStream\n";
+  out += "Version: 4.0\n";
+  out += "Implementation: " + result.model + "\n";
+  out += "Running kernels " + std::to_string(result.ntimes) + " times\n";
+  out += "Precision: double\n";
+  out += "Array size: " + formatMegabytes(arrayBytes) + " (=" +
+         str::fixed(arrayBytes / 1.0e9, 1) + " GB)\n";
+  out += "Total size: " + formatMegabytes(3.0 * arrayBytes) + " (=" +
+         str::fixed(3.0 * arrayBytes / 1.0e9, 1) + " GB)\n";
+  out += str::padRight("Function", 12) + str::padLeft("MBytes/sec", 12) +
+         str::padLeft("Min (sec)", 12) + str::padLeft("Max", 12) +
+         str::padLeft("Average", 12) + "\n";
+  for (Kernel k : kAllKernels) {
+    const KernelTiming& t = result.timings.at(k);
+    out += str::padRight(std::string(kernelName(k)), 12) +
+           str::padLeft(str::fixed(t.mbytesPerSec, 3), 12) +
+           str::padLeft(str::fixed(t.minSeconds, 5), 12) +
+           str::padLeft(str::fixed(t.maxSeconds, 5), 12) +
+           str::padLeft(str::fixed(t.avgSeconds, 5), 12) + "\n";
+  }
+  out += std::string("Validation: ") +
+         (result.validated ? "PASSED" : "FAILED") + "\n";
+  return out;
+}
+
+std::size_t paperArraySize(const MachineModel& machine) {
+  // §3.1: 2^25 doubles (268 MB/array) comfortably exceeds the ~27-77 MB
+  // L3 of the Cascade Lake/ThunderX2/V100 parts, but the 256 MB-per-
+  // socket L3 of the Rome/Milan EPYCs demands the 2^29 (4.3 GB/array)
+  // configuration the paper uses on paderborn-milan.
+  const bool hugeLlc = machine.llcMegabytes >= 256.0;
+  return std::size_t{1} << (hugeLlc ? 29 : 25);
+}
+
+}  // namespace rebench::babelstream

@@ -1,0 +1,68 @@
+// BabelStream drivers: native execution (real arrays, wall-clock) and
+// modelled execution (same kernels for correctness at reduced size, timing
+// from the machine model at paper scale).
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "babelstream/backend.hpp"
+#include "babelstream/models.hpp"
+#include "babelstream/stream.hpp"
+#include "sim/machine.hpp"
+
+namespace rebench::babelstream {
+
+struct KernelTiming {
+  double minSeconds = 0.0;
+  double maxSeconds = 0.0;
+  double avgSeconds = 0.0;
+  /// BabelStream reports MBytes/sec computed from the *minimum* time.
+  double mbytesPerSec = 0.0;
+};
+
+struct StreamResult {
+  std::string model;        // programming-model id
+  std::string platform;     // machine id or "native"
+  std::size_t arraySize = 0;
+  int ntimes = 0;
+  std::map<Kernel, KernelTiming> timings;
+  bool validated = false;
+  /// Sum of average kernel times — the job's runtime contribution.
+  double totalSeconds = 0.0;
+
+  double triadGBs() const;
+};
+
+/// Runs the named native backend on this host.  Throws NotFoundError for
+/// ids with no native implementation.
+StreamResult runNative(std::string_view backendId, std::size_t arraySize,
+                       int ntimes);
+
+/// Models the named programming model on `machine` at `arraySize`.
+/// Correctness still executes real kernels (at `checkSize` elements);
+/// timing comes from the roofline.  Returns nullopt when the (model,
+/// machine) combination is unsupported — a Figure 2 "*" cell.
+std::optional<StreamResult> runModeled(std::string_view modelId,
+                                       const MachineModel& machine,
+                                       std::size_t arraySize, int ntimes,
+                                       std::size_t checkSize = 4096,
+                                       const std::string& noiseSalt = {});
+
+/// Reason string for an unsupported combination (empty when supported).
+std::string unsupportedReason(std::string_view modelId,
+                              const MachineModel& machine);
+
+/// Renders BabelStream's canonical stdout for a result; the framework's
+/// perf_patterns regexes parse this text, exactly as ReFrame parses the
+/// real benchmark's output.
+std::string formatOutput(const StreamResult& result);
+
+/// §3.1's array-sizing rule: the smallest power-of-two element count whose
+/// three arrays overflow 4x the machine's LLC (2^25 default, 2^29 on
+/// large-L3 Milan/Rome parts).
+std::size_t paperArraySize(const MachineModel& machine);
+
+}  // namespace rebench::babelstream

@@ -1,0 +1,72 @@
+#include "babelstream/stream.hpp"
+
+#include <cmath>
+
+#include "core/util/error.hpp"
+
+namespace rebench::babelstream {
+
+std::string_view kernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kCopy: return "Copy";
+    case Kernel::kMul: return "Mul";
+    case Kernel::kAdd: return "Add";
+    case Kernel::kTriad: return "Triad";
+    case Kernel::kDot: return "Dot";
+  }
+  return "?";
+}
+
+double kernelBytesPerElement(Kernel k) {
+  switch (k) {
+    case Kernel::kCopy: return 2.0 * sizeof(double);   // c = a
+    case Kernel::kMul: return 2.0 * sizeof(double);    // b = s*c
+    case Kernel::kAdd: return 3.0 * sizeof(double);    // c = a+b
+    case Kernel::kTriad: return 3.0 * sizeof(double);  // a = b+s*c
+    case Kernel::kDot: return 2.0 * sizeof(double);    // sum += a*b
+  }
+  return 0.0;
+}
+
+double kernelFlopsPerElement(Kernel k) {
+  switch (k) {
+    case Kernel::kCopy: return 0.0;
+    case Kernel::kMul: return 1.0;
+    case Kernel::kAdd: return 1.0;
+    case Kernel::kTriad: return 2.0;
+    case Kernel::kDot: return 2.0;
+  }
+  return 0.0;
+}
+
+void GoldValues::stepIteration() {
+  c = a;                // copy
+  b = kScalar * c;      // mul
+  c = a + b;            // add
+  a = b + kScalar * c;  // triad
+}
+
+ValidationResult validate(const StreamArrays& arrays, int ntimes,
+                          double dotResult, double epsilon) {
+  REBENCH_REQUIRE(ntimes >= 1);
+  GoldValues gold;
+  for (int i = 0; i < ntimes; ++i) gold.stepIteration();
+
+  ValidationResult result;
+  const std::size_t n = arrays.size();
+  double sumA = 0.0, sumB = 0.0, sumC = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sumA += std::abs(arrays.a[i] - gold.a);
+    sumB += std::abs(arrays.b[i] - gold.b);
+    sumC += std::abs(arrays.c[i] - gold.c);
+  }
+  result.errA = sumA / static_cast<double>(n) / std::abs(gold.a);
+  result.errB = sumB / static_cast<double>(n) / std::abs(gold.b);
+  result.errC = sumC / static_cast<double>(n) / std::abs(gold.c);
+  result.errDot = std::abs(dotResult - gold.dot(n)) / std::abs(gold.dot(n));
+  result.passed = result.errA < epsilon && result.errB < epsilon &&
+                  result.errC < epsilon && result.errDot < epsilon;
+  return result;
+}
+
+}  // namespace rebench::babelstream

@@ -1,0 +1,65 @@
+// BabelStream data model: the five kernels, their canonical initial values
+// and analytic validation — a faithful reimplementation of the benchmark
+// of Deakin et al. used in §3.1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rebench::babelstream {
+
+/// Canonical BabelStream initialisation and scalar.
+inline constexpr double kInitA = 0.1;
+inline constexpr double kInitB = 0.2;
+inline constexpr double kInitC = 0.0;
+inline constexpr double kScalar = 0.4;
+
+enum class Kernel { kCopy, kMul, kAdd, kTriad, kDot };
+
+inline constexpr Kernel kAllKernels[] = {Kernel::kCopy, Kernel::kMul,
+                                         Kernel::kAdd, Kernel::kTriad,
+                                         Kernel::kDot};
+
+std::string_view kernelName(Kernel k);
+
+/// Bytes moved per element, per kernel (the figures BabelStream itself
+/// uses to convert time to MBytes/sec).
+double kernelBytesPerElement(Kernel k);
+
+/// Double-precision flops per element, per kernel (for roofline modelling).
+double kernelFlopsPerElement(Kernel k);
+
+/// The three benchmark arrays.
+struct StreamArrays {
+  std::vector<double> a, b, c;
+
+  explicit StreamArrays(std::size_t n)
+      : a(n, kInitA), b(n, kInitB), c(n, kInitC) {}
+
+  std::size_t size() const { return a.size(); }
+};
+
+/// Expected array values after `ntimes` iterations of the BabelStream
+/// sequence copy; mul; add; triad (the dot result follows from these).
+struct GoldValues {
+  double a = kInitA;
+  double b = kInitB;
+  double c = kInitC;
+
+  void stepIteration();            // one copy+mul+add+triad round
+  double dot(std::size_t n) const { return a * b * static_cast<double>(n); }
+};
+
+/// Relative-error validation identical in spirit to BabelStream's
+/// check_solution; returns true when all arrays and the dot product are
+/// within `epsilon`.
+struct ValidationResult {
+  bool passed = false;
+  double errA = 0.0, errB = 0.0, errC = 0.0, errDot = 0.0;
+};
+
+ValidationResult validate(const StreamArrays& arrays, int ntimes,
+                          double dotResult, double epsilon = 1.0e-8);
+
+}  // namespace rebench::babelstream

@@ -1,0 +1,60 @@
+#include "babelstream/testcase.hpp"
+
+#include "babelstream/run.hpp"
+#include "core/util/error.hpp"
+
+namespace rebench::babelstream {
+
+RegressionTest makeBabelstreamTest(const BabelstreamTestOptions& options) {
+  RegressionTest test;
+  test.name = "BabelstreamTest_" + options.model;
+  test.spackSpec = "babelstream model=" + options.model;
+  test.numTasks = 1;
+  test.numTasksPerNode = 1;
+  test.useAllCoresPerTask = true;  // the framework's BabelStream default
+  test.sanityPattern = R"(Validation: PASSED)";
+  test.perfPatterns = {
+      {"Copy", R"(Copy\s+([0-9]+\.[0-9]+))", Unit::kMBperSec},
+      {"Mul", R"(Mul\s+([0-9]+\.[0-9]+))", Unit::kMBperSec},
+      {"Add", R"(Add\s+([0-9]+\.[0-9]+))", Unit::kMBperSec},
+      {"Triad", R"(Triad\s+([0-9]+\.[0-9]+))", Unit::kMBperSec},
+      {"Dot", R"(Dot\s+([0-9]+\.[0-9]+))", Unit::kMBperSec},
+  };
+
+  test.run = [options](const RunContext& ctx) -> RunOutput {
+    RunOutput out;
+    const std::string& machineId = ctx.partition->machineModel;
+    if (machineId.empty()) {
+      // Native partition (the "local" system).
+      try {
+        const StreamResult result = runNative(
+            options.model, options.nativeArraySize, options.ntimes);
+        out.stdoutText = formatOutput(result);
+        out.elapsedSeconds = result.totalSeconds;
+      } catch (const NotFoundError& e) {
+        out.launchFailed = true;
+        out.failureReason = e.what();
+      }
+      return out;
+    }
+
+    const MachineModel& machine = builtinMachines().get(machineId);
+    const std::size_t arraySize =
+        options.arraySize != 0 ? options.arraySize : paperArraySize(machine);
+    const std::string salt =
+        ctx.repeatIndex > 0 ? ":rep" + std::to_string(ctx.repeatIndex) : "";
+    const auto result = runModeled(options.model, machine, arraySize,
+                                   options.ntimes, 4096, salt);
+    if (!result) {
+      out.launchFailed = true;
+      out.failureReason = unsupportedReason(options.model, machine);
+      return out;
+    }
+    out.stdoutText = formatOutput(*result);
+    out.elapsedSeconds = result->totalSeconds;
+    return out;
+  };
+  return test;
+}
+
+}  // namespace rebench::babelstream

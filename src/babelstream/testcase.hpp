@@ -1,0 +1,29 @@
+// ReFrame-style test descriptions for BabelStream — the glue between the
+// benchmark implementation and the framework pipeline, equivalent to
+// benchmarks/apps/babelstream in the paper's repository.
+#pragma once
+
+#include <string>
+
+#include "core/framework/regression_test.hpp"
+
+namespace rebench::babelstream {
+
+struct BabelstreamTestOptions {
+  /// Programming-model id ("omp", "cuda", ...).
+  std::string model = "omp";
+  /// 0 = use §3.1's per-platform array-size rule.
+  std::size_t arraySize = 0;
+  int ntimes = 100;
+  /// Array size for native runs (kept modest: the host is not the DUT).
+  std::size_t nativeArraySize = std::size_t{1} << 22;
+};
+
+/// Builds the regression test: spec "babelstream%... model=<id>", sanity
+/// "Validation: PASSED", FOM "Triad" in MB/s.  On partitions with a
+/// machine model the body runs the modelled path; on "local" it runs
+/// natively.  Unsupported (model, platform) combinations surface as launch
+/// failures, which the pipeline records as Figure 2's "*" cells.
+RegressionTest makeBabelstreamTest(const BabelstreamTestOptions& options);
+
+}  // namespace rebench::babelstream

@@ -1,0 +1,448 @@
+// The `rebench` command-line tool — the user-facing surface of the
+// framework, shaped after the ReFrame invocations in the paper's appendix:
+//
+//   rebench list-systems
+//   rebench list-packages
+//   rebench spec 'hpgmg%gcc' --system archer2
+//   rebench run --benchmark babelstream --system noctua2 -S model=omp \
+//               --perflog perf.log --repeats 3 --account ec999
+//   rebench run --benchmark hpgmg --system archer2
+//   rebench report --perflog perf.log --fom Triad
+//   rebench history --perflog perf.log --detect
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "babelstream/testcase.hpp"
+#include "cli/args.hpp"
+#include "core/concretizer/concretizer.hpp"
+#include "core/framework/pipeline.hpp"
+#include "core/postproc/perflog_reader.hpp"
+#include "core/postproc/plot.hpp"
+#include "core/postproc/hygiene.hpp"
+#include "core/postproc/regression.hpp"
+#include "core/postproc/stats.hpp"
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/table.hpp"
+#include "hpcg/testcase.hpp"
+#include "hpgmg/testcase.hpp"
+#include "suite/builtin_suite.hpp"
+
+namespace rebench::cli {
+namespace {
+
+int usage() {
+  std::cout <<
+      "rebench — automated and reproducible benchmarking\n"
+      "\n"
+      "subcommands:\n"
+      "  list-systems                     configured systems/partitions\n"
+      "  list-packages                    recipe repository contents\n"
+      "  spec <spec> --system S           concretize a spec on a system\n"
+      "       [--env-file F] [--trace]       (or a user-authored env file)\n"
+      "  run --benchmark B --system S     run a benchmark (babelstream |\n"
+      "      [-S key=value]... [--perflog F] [--repeats N] [--account A]\n"
+      "      hpcg | hpgmg) through the pipeline\n"
+      "  suite --system S [--tag T]       run the builtin suite, ReFrame\n"
+      "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
+      "  env --system S                   captured system environment\n"
+      "  audit --perflog F [--strict]     Bailey/Hoefler-Belli hygiene audit\n"
+      "  report --perflog F [--fom NAME]  tabulate/plot perflog contents\n"
+      "         [--stats] [--plot]\n"
+      "  history --perflog F [--detect]   performance history + regression\n"
+      "          [--window N] [--sigmas X]  detection\n"
+      "  compare --before A --after B     before/after perflog comparison\n"
+      "          [--threshold 0.05]         (CI gate: exit 1 on regression)\n";
+  return 2;
+}
+
+int listSystems() {
+  const SystemRegistry systems = builtinSystems();
+  AsciiTable table("configured systems:");
+  table.setHeader({"system:partition", "processor", "nodes", "scheduler",
+                   "launcher", "model"});
+  for (const std::string& name : systems.systemNames()) {
+    const SystemConfig& sys = systems.get(name);
+    for (const PartitionConfig& part : sys.partitions) {
+      table.addRow({sys.name + ":" + part.name, part.processor.model,
+                    std::to_string(part.numNodes),
+                    std::string(schedulerName(part.scheduler)),
+                    std::string(launcherName(part.launcher)),
+                    part.machineModel.empty() ? "(native)"
+                                              : part.machineModel});
+    }
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int listPackages() {
+  const PackageRepository repo = builtinRepository();
+  AsciiTable table("package recipes:");
+  table.setHeader({"package", "newest", "versions", "description"});
+  for (const std::string& name : repo.packageNames()) {
+    const PackageRecipe& recipe = repo.get(name);
+    table.addRow({name,
+                  recipe.versions().empty()
+                      ? "-"
+                      : recipe.versions().front().toString(),
+                  std::to_string(recipe.versions().size()),
+                  recipe.description()});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+/// Reads a whole file into a string; throws Error when unreadable.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read file '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int showSpec(const Args& args) {
+  if (args.positionals().empty()) {
+    std::cerr << "spec: missing spec string\n";
+    return 2;
+  }
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  // --env-file lets a user concretize against a hand-authored system
+  // environment (see `rebench env` for the format) without recompiling.
+  SystemEnvironment environment;
+  if (auto envFile = args.option("env-file")) {
+    environment = parseEnvironmentConfig(slurp(*envFile));
+  } else {
+    environment =
+        systems.resolve(args.optionOr("system", "local")).first->environment;
+  }
+  Concretizer concretizer(repo, environment);
+  const ConcretizationResult result =
+      concretizer.concretize(Spec::parse(args.positionals().front()));
+  std::cout << result.root->tree();
+  if (args.hasFlag("trace")) {
+    std::cout << "\ntrace:\n";
+    for (const std::string& line : result.trace) {
+      std::cout << "  " << line << "\n";
+    }
+  }
+  return 0;
+}
+
+RegressionTest buildTest(const Args& args) {
+  const std::string benchmark = args.optionOr("benchmark", "");
+  if (benchmark == "babelstream") {
+    babelstream::BabelstreamTestOptions options;
+    options.ntimes = args.intOptionOr("ntimes", 100);
+    for (const auto& [key, value] : args.settings()) {
+      if (key == "model") options.model = value;
+      if (key == "array_size") options.arraySize = std::stoull(value);
+    }
+    return babelstream::makeBabelstreamTest(options);
+  }
+  if (benchmark == "hpcg") {
+    hpcg::HpcgTestOptions options;
+    for (const auto& [key, value] : args.settings()) {
+      if (key == "operator") options.variant = hpcg::variantFromName(value);
+      if (key == "num_tasks") options.numTasks = std::stoi(value);
+      if (key == "grid") options.gridSize = std::stoi(value);
+      if (key == "multigrid") options.multigrid = value == "1" || value == "true";
+    }
+    return hpcg::makeHpcgTest(options);
+  }
+  if (benchmark == "hpgmg") {
+    hpgmg::HpgmgTestOptions options;
+    for (const auto& [key, value] : args.settings()) {
+      if (key == "num_tasks") options.numTasks = std::stoi(value);
+      if (key == "num_tasks_per_node") {
+        options.numTasksPerNode = std::stoi(value);
+      }
+      if (key == "num_cpus_per_task") {
+        options.numCpusPerTask = std::stoi(value);
+      }
+      if (key == "log2_box_dim") options.log2BoxDim = std::stoi(value);
+      if (key == "boxes_per_rank") {
+        options.targetBoxesPerRank = std::stoi(value);
+      }
+    }
+    return hpgmg::makeHpgmgTest(options);
+  }
+  throw ParseError("--benchmark must be babelstream, hpcg or hpgmg (got '" +
+                   benchmark + "')");
+}
+
+int showEnv(const Args& args) {
+  const SystemRegistry systems = builtinSystems();
+  const auto [sys, part] = systems.resolve(args.optionOr("system", "local"));
+  std::cout << sys->environment.renderConfig();
+  return 0;
+}
+
+int audit(const Args& args) {
+  const auto path = args.option("perflog");
+  if (!path) {
+    std::cerr << "audit: --perflog required\n";
+    return 2;
+  }
+  HygieneOptions options;
+  options.requireReferences = args.hasFlag("strict");
+  const auto findings =
+      auditPerflog(PerfLog::readFile(*path), options);
+  std::cout << renderHygieneReport(findings);
+  return findings.empty() ? 0 : 1;
+}
+
+int runBenchmark(const Args& args) {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  PipelineOptions options;
+  options.account = args.optionOr("account", "ec999");
+  options.numRepeats = args.intOptionOr("repeats", 1);
+  Pipeline pipeline(systems, repo, options);
+
+  PerfLog perflog(args.optionOr("perflog", ""));
+  const RegressionTest test = buildTest(args);
+  const std::string target = args.optionOr("system", "local");
+
+  bool anyFailed = false;
+  for (int repeat = 0; repeat < options.numRepeats; ++repeat) {
+    const TestRunResult result =
+        pipeline.runOne(test, target, &perflog, repeat);
+    std::cout << "[" << (result.passed ? " OK " : "FAIL") << "] "
+              << result.testName << " @ " << result.system << ":"
+              << result.partition << " (" << result.environ << ")\n";
+    if (args.hasFlag("verbose")) {
+      std::cout << "  spec:   " << result.concreteSpec->shortForm() << "\n";
+      std::cout << "  launch: " << result.launchCommand << "\n";
+    }
+    if (!result.passed) {
+      std::cout << "  " << result.failureStage << ": "
+                << result.failureDetail << "\n";
+      anyFailed = true;
+      continue;
+    }
+    for (const auto& [fom, value] : result.foms) {
+      std::cout << "  " << str::padRight(fom, 8) << " = "
+                << str::fixed(value, 2) << "\n";
+    }
+    if (!result.telemetry.empty()) {
+      std::cout << "  energy   = "
+                << str::fixed(result.telemetry.energyJoules(), 0) << " J ("
+                << str::fixed(result.telemetry.meanPowerWatts(), 0)
+                << " W mean, " << result.contentionFlags.size()
+                << " contended samples)\n";
+    }
+  }
+  if (perflog.size() > 0 && args.option("perflog")) {
+    std::cout << perflog.size() << " perflog entries appended to "
+              << *args.option("perflog") << "\n";
+  }
+  return anyFailed ? 1 : 0;
+}
+
+int runSuite(const Args& args) {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  PipelineOptions options;
+  options.account = args.optionOr("account", "ec999");
+  Pipeline pipeline(systems, repo, options);
+  PerfLog perflog(args.optionOr("perflog", ""));
+
+  const TestSuite suite = builtinSuite();
+  const std::vector<RegressionTest> selected =
+      suite.select(args.optionOr("tag", ""), args.optionOr("n", ""),
+                   args.optionOr("x", ""));
+  if (selected.empty()) {
+    std::cerr << "suite: no tests match the selection\n";
+    return 2;
+  }
+  const std::vector<std::string> targets{args.optionOr("system", "local")};
+  const auto results = pipeline.runAll(selected, targets, &perflog);
+  int failed = 0;
+  for (const TestRunResult& result : results) {
+    std::cout << "[" << (result.passed ? " OK " : "FAIL") << "] "
+              << result.testName << " @ " << result.system << ":"
+              << result.partition;
+    if (!result.passed) {
+      std::cout << "  (" << result.failureStage << ": "
+                << result.failureDetail << ")";
+      ++failed;
+    }
+    std::cout << "\n";
+  }
+  std::cout << results.size() - failed << "/" << results.size()
+            << " passed\n";
+  return failed == 0 ? 0 : 1;
+}
+
+int report(const Args& args) {
+  const auto path = args.option("perflog");
+  if (!path) {
+    std::cerr << "report: --perflog required\n";
+    return 2;
+  }
+  DataFrame frame = perflogToDataFrame(PerfLog::readFile(*path));
+  if (auto fom = args.option("fom")) {
+    frame = frame.filterEquals("fom", *fom);
+  }
+  if (frame.empty()) {
+    std::cout << "(no matching entries)\n";
+    return 0;
+  }
+  AsciiTable table("perflog report:");
+  table.setHeader({"system", "partition", "test", "fom", "value", "unit",
+                   "result"});
+  for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+    table.addRow({frame.strings("system")[i], frame.strings("partition")[i],
+                  frame.strings("test")[i], frame.strings("fom")[i],
+                  str::fixed(frame.numeric("value")[i], 2),
+                  frame.strings("unit")[i], frame.strings("result")[i]});
+  }
+  std::cout << table.render();
+
+  if (args.hasFlag("stats")) {
+    // H&B-style reporting: per (system, test, fom) summary over repeats.
+    const std::array<std::string, 3> keys{"system", "test", "fom"};
+    std::cout << "\nstatistics per series (Hoefler-Belli reporting):\n";
+    std::map<std::string, std::vector<double>> series;
+    for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+      const std::string key = frame.strings("system")[i] + "/" +
+                              frame.strings("test")[i] + "/" +
+                              frame.strings("fom")[i];
+      series[key].push_back(frame.numeric("value")[i]);
+    }
+    for (const auto& [key, values] : series) {
+      const SummaryStats stats = summarize(values);
+      std::cout << "  " << key << ": " << renderStats(stats);
+      if (!isReportable(stats)) std::cout << "  [NOT REPORTABLE]";
+      std::cout << "\n";
+    }
+    (void)keys;
+  }
+
+  if (args.hasFlag("plot")) {
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+      labels.push_back(frame.strings("system")[i] + "/" +
+                       frame.strings("fom")[i]);
+      values.push_back(frame.numeric("value")[i]);
+    }
+    std::cout << "\n" << renderBarChart(labels, values, {.width = 40});
+  }
+  return 0;
+}
+
+int compare(const Args& args) {
+  const auto before = args.option("before");
+  const auto after = args.option("after");
+  if (!before || !after) {
+    std::cerr << "compare: --before and --after perflogs required\n";
+    return 2;
+  }
+  const double threshold =
+      std::stod(args.optionOr("threshold", "0.05"));
+
+  auto collect = [](const std::string& path) {
+    std::map<std::string, std::vector<double>> series;
+    for (const PerfLogEntry& entry : PerfLog::readFile(path)) {
+      if (entry.result == "error") continue;
+      series[entry.system + ":" + entry.partition + "/" + entry.testName +
+             "/" + entry.fomName]
+          .push_back(entry.value);
+    }
+    return series;
+  };
+  const auto beforeSeries = collect(*before);
+  const auto afterSeries = collect(*after);
+
+  AsciiTable table("performance comparison (" + *before + " -> " + *after +
+                   "):");
+  table.setHeader({"series", "before (median)", "after (median)", "delta",
+                   "verdict"});
+  int regressions = 0;
+  for (const auto& [key, beforeValues] : beforeSeries) {
+    auto it = afterSeries.find(key);
+    if (it == afterSeries.end()) {
+      table.addRow({key, str::fixed(summarize(beforeValues).median, 2),
+                    "(missing)", "-", "DROPPED"});
+      ++regressions;
+      continue;
+    }
+    const double b = summarize(beforeValues).median;
+    const double a = summarize(it->second).median;
+    const double delta = b != 0.0 ? (a - b) / b : 0.0;
+    std::string verdict = "ok";
+    if (delta < -threshold) {
+      verdict = "REGRESSION";
+      ++regressions;
+    } else if (delta > threshold) {
+      verdict = "improved";
+    }
+    table.addRow({key, str::fixed(b, 2), str::fixed(a, 2),
+                  str::fixed(delta * 100.0, 1) + "%", verdict});
+  }
+  std::cout << table.render();
+  return regressions == 0 ? 0 : 1;
+}
+
+int history(const Args& args) {
+  const auto path = args.option("perflog");
+  if (!path) {
+    std::cerr << "history: --perflog required\n";
+    return 2;
+  }
+  PerfHistory perfHistory;
+  perfHistory.addAll(PerfLog::readFile(*path));
+
+  DetectorOptions options;
+  options.window = args.intOptionOr("window", 8);
+  options.sigmas = std::stod(args.optionOr("sigmas", "3.0"));
+  const auto events =
+      args.hasFlag("detect") ? perfHistory.detect(options)
+                             : std::vector<RegressionEvent>{};
+
+  for (const SeriesKey& key : perfHistory.keys()) {
+    const auto& points = perfHistory.series(key);
+    std::cout << key.toString() << ": " << points.size() << " points\n";
+    if (points.size() >= 2) {
+      std::cout << renderHistoryPlot(points, events, "") << "\n";
+    }
+  }
+  for (const RegressionEvent& event : events) {
+    std::cout << "REGRESSION " << event.detail << "\n";
+  }
+  return events.empty() ? 0 : 1;
+}
+
+int dispatch(const Args& args) {
+  if (args.subcommand() == "list-systems") return listSystems();
+  if (args.subcommand() == "list-packages") return listPackages();
+  if (args.subcommand() == "spec") return showSpec(args);
+  if (args.subcommand() == "env") return showEnv(args);
+  if (args.subcommand() == "audit") return audit(args);
+  if (args.subcommand() == "run") return runBenchmark(args);
+  if (args.subcommand() == "suite") return runSuite(args);
+  if (args.subcommand() == "report") return report(args);
+  if (args.subcommand() == "history") return history(args);
+  if (args.subcommand() == "compare") return compare(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace rebench::cli
+
+int main(int argc, char** argv) {
+  try {
+    const rebench::cli::Args args = rebench::cli::Args::parse(argc, argv);
+    return rebench::cli::dispatch(args);
+  } catch (const rebench::Error& e) {
+    std::cerr << "rebench: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,275 @@
+#include "core/concretizer/concretizer.hpp"
+
+#include <algorithm>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+
+namespace {
+
+/// One concretization run; holds the per-run memo tables.
+class Solver {
+ public:
+  Solver(const PackageRepository& repo, const SystemEnvironment& env,
+         const ConcretizerOptions& options)
+      : repo_(repo), env_(env), options_(options) {}
+
+  ConcretizationResult solve(const Spec& abstract) {
+    // User ^constraints apply to the named node wherever it appears.
+    for (const Spec& dep : abstract.dependencies()) {
+      auto [it, inserted] = userConstraints_.try_emplace(dep.name(), dep);
+      if (!inserted) it->second.constrain(dep);
+    }
+
+    Spec rootRequest = abstract;  // without altering caller's object
+    auto root = resolve(rootRequest, /*inheritedCompiler=*/nullptr);
+
+    // ^constraints that no dependency edge reached become direct deps of
+    // the root (Spack attaches unreached user deps the same way).
+    for (const auto& [name, constraint] : userConstraints_) {
+      if (resolved_.find(resolveVirtualName(name)) == resolved_.end() &&
+          resolved_.find(name) == resolved_.end()) {
+        Spec request = constraint;
+        auto node = resolve(request, &rootCompilerPin_);
+        std::const_pointer_cast<ConcreteSpec>(root)->dependencies[node->name] =
+            node;
+        trace_.push_back("attached user dependency ^" + node->shortForm());
+      }
+    }
+    return ConcretizationResult{root, std::move(trace_)};
+  }
+
+ private:
+  std::string resolveVirtualName(const std::string& name) const {
+    if (!repo_.isVirtual(name)) return name;
+    // Preference order: system preference, then (under kPreferExternal)
+    // a provider with a system external, then registration order.
+    const std::vector<std::string> candidates = repo_.providersOf(name);
+    auto pref = env_.preferredProviders.find(name);
+    if (pref != env_.preferredProviders.end()) {
+      for (const std::string& wanted : pref->second) {
+        if (std::find(candidates.begin(), candidates.end(), wanted) !=
+            candidates.end()) {
+          return wanted;
+        }
+      }
+    }
+    if (options_.reuse == ReusePolicy::kPreferExternal) {
+      for (const std::string& candidate : candidates) {
+        if (!env_.externalsNamed(candidate).empty()) return candidate;
+      }
+    }
+    if (candidates.empty()) {
+      throw ConcretizationError("no provider for virtual '" + name + "'");
+    }
+    return candidates.front();
+  }
+
+  /// Chooses the concrete compiler for a node.
+  CompilerEntry chooseCompiler(const Spec& effective,
+                               const CompilerSpec* inherited,
+                               const std::string& forPackage) {
+    CompilerSpec want;
+    if (effective.compiler()) {
+      want = *effective.compiler();
+    } else if (inherited) {
+      want = *inherited;
+    } else {
+      want.name = env_.defaultCompiler;
+    }
+    auto best = env_.bestCompiler(want.name, want.versions);
+    if (!best) {
+      throw ConcretizationError(
+          "no installed compiler satisfies %" + want.name +
+          (want.versions.isAny() ? "" : "@" + want.versions.toString()) +
+          " for package '" + forPackage + "' on system '" + env_.systemName +
+          "'");
+    }
+    return *best;
+  }
+
+  /// Tries to reuse a system external for `effective`; null when none fits.
+  std::shared_ptr<ConcreteSpec> tryExternal(const Spec& effective,
+                                            const std::string& name) {
+    if (options_.reuse != ReusePolicy::kPreferExternal) return nullptr;
+    for (const ExternalEntry* ext : env_.externalsNamed(name)) {
+      if (!effective.versions().satisfiedBy(ext->version)) continue;
+      bool variantsOk = true;
+      for (const auto& [key, value] : effective.variants()) {
+        auto it = ext->variants.find(key);
+        if (it == ext->variants.end() || it->second != value) {
+          variantsOk = false;
+          break;
+        }
+      }
+      if (!variantsOk) continue;
+      if (effective.compiler() && !ext->compilerName.empty()) {
+        if (ext->compilerName != effective.compiler()->name ||
+            !effective.compiler()->versions.satisfiedBy(
+                ext->compilerVersion)) {
+          continue;
+        }
+      }
+      auto node = std::make_shared<ConcreteSpec>();
+      node->name = name;
+      node->version = ext->version;
+      node->variants = ext->variants;
+      node->external = true;
+      node->externalOrigin = ext->origin;
+      node->compilerName = ext->compilerName;
+      node->compilerVersion = ext->compilerVersion;
+      trace_.push_back("reused external " + node->shortForm() + " (" +
+                       ext->origin + ")");
+      return node;
+    }
+    return nullptr;
+  }
+
+  std::shared_ptr<const ConcreteSpec> resolve(
+      const Spec& request, const CompilerSpec* inheritedCompiler) {
+    const std::string name = resolveVirtualName(request.name());
+    if (name != request.name()) {
+      trace_.push_back("virtual '" + request.name() + "' -> provider '" +
+                       name + "'");
+    }
+
+    Spec effective = request;
+    // Renaming a virtual request: rebuild with the provider name.
+    if (name != request.name()) {
+      Spec renamed(name);
+      renamed.setVersions(request.versions());
+      if (request.compiler()) renamed.setCompiler(*request.compiler());
+      for (const auto& [key, value] : request.variants()) {
+        renamed.setVariant(key, value);
+      }
+      effective = std::move(renamed);
+    }
+    if (auto it = userConstraints_.find(name); it != userConstraints_.end()) {
+      effective.constrain(it->second);
+    }
+
+    if (auto it = resolved_.find(name); it != resolved_.end()) {
+      if (!it->second->satisfiesNode(effective)) {
+        throw ConcretizationError(
+            "package '" + name + "' already concretized as " +
+            it->second->shortForm() + " which does not satisfy '" +
+            effective.toString() + "'");
+      }
+      return it->second;
+    }
+
+    if (std::find(stack_.begin(), stack_.end(), name) != stack_.end()) {
+      throw ConcretizationError("dependency cycle through '" + name + "'");
+    }
+    stack_.push_back(name);
+
+    std::shared_ptr<ConcreteSpec> node = tryExternal(effective, name);
+    if (!node) {
+      const PackageRecipe& recipe = repo_.get(name);
+      const CompilerEntry compiler =
+          chooseCompiler(effective, inheritedCompiler, name);
+
+      auto version = recipe.bestVersion(effective.versions());
+      if (!version) {
+        throw ConcretizationError(
+            "no version of '" + name + "' satisfies @" +
+            effective.versions().toString());
+      }
+
+      node = std::make_shared<ConcreteSpec>();
+      node->name = name;
+      node->version = *version;
+      node->compilerName = compiler.name;
+      node->compilerVersion = compiler.version;
+
+      // Variants: recipe defaults, overridden by the request.
+      for (const VariantDef& def : recipe.variants()) {
+        node->variants[def.name] = def.defaultValue;
+      }
+      for (const auto& [key, value] : effective.variants()) {
+        const VariantDef* def = recipe.findVariant(key);
+        if (def == nullptr) {
+          throw ConcretizationError("package '" + name +
+                                    "' has no variant '" + key + "'");
+        }
+        if (const std::string* s = std::get_if<std::string>(&value)) {
+          if (!def->allowedValues.empty() &&
+              std::find(def->allowedValues.begin(), def->allowedValues.end(),
+                        *s) == def->allowedValues.end()) {
+            throw ConcretizationError("value '" + *s +
+                                      "' not allowed for variant '" + key +
+                                      "' of '" + name + "'");
+          }
+        }
+        node->variants[key] = value;
+      }
+
+      // Declared incompatibilities (Spack conflicts()): a node that
+      // satisfies the conflict spec cannot be built.
+      for (const ConflictDef& conflict : recipe.conflicts()) {
+        if (node->satisfiesNode(conflict.when)) {
+          throw ConcretizationError("package '" + name + "' conflicts with " +
+                                    conflict.when.toString() + ": " +
+                                    conflict.reason);
+        }
+      }
+
+      trace_.push_back("build " + node->shortForm());
+
+      // Register before descending so children unify with this node.
+      resolved_[name] = node;
+
+      CompilerSpec pin{compiler.name,
+                       VersionConstraint::exactly(compiler.version)};
+      if (stack_.size() == 1) rootCompilerPin_ = pin;
+
+      for (const DependencyDef& dep : recipe.dependencies()) {
+        if (dep.when) {
+          auto it = node->variants.find(dep.when->first);
+          if (it == node->variants.end() || it->second != dep.when->second) {
+            continue;
+          }
+        }
+        auto child = resolve(dep.spec, &pin);
+        node->dependencies[child->name] = child;
+      }
+    } else {
+      resolved_[name] = node;
+      if (stack_.size() == 1 && !node->compilerName.empty()) {
+        rootCompilerPin_ =
+            CompilerSpec{node->compilerName,
+                         VersionConstraint::exactly(node->compilerVersion)};
+      }
+    }
+
+    stack_.pop_back();
+    return node;
+  }
+
+  const PackageRepository& repo_;
+  const SystemEnvironment& env_;
+  const ConcretizerOptions& options_;
+  std::map<std::string, Spec> userConstraints_;
+  std::map<std::string, std::shared_ptr<ConcreteSpec>> resolved_;
+  std::vector<std::string> stack_;
+  std::vector<std::string> trace_;
+  CompilerSpec rootCompilerPin_;
+};
+
+}  // namespace
+
+Concretizer::Concretizer(const PackageRepository& repo,
+                         const SystemEnvironment& env,
+                         ConcretizerOptions options)
+    : repo_(repo), env_(env), options_(options) {}
+
+ConcretizationResult Concretizer::concretize(const Spec& abstract) const {
+  if (abstract.name().empty()) {
+    throw ConcretizationError("cannot concretize an anonymous spec");
+  }
+  Solver solver(repo_, env_, options_);
+  return solver.solve(abstract);
+}
+
+}  // namespace rebench

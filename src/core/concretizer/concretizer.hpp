@@ -1,0 +1,55 @@
+// The concretizer: turns an abstract Spec into a fully-pinned ConcreteSpec
+// DAG against a package repository and a system environment.
+//
+// Behavioural model (the subset of Spack semantics the paper exercises):
+//   * nodes are unified by package name across the DAG,
+//   * virtuals ("mpi", "blas") are resolved via system preference, then
+//     external availability, then repository registration order,
+//   * under ReusePolicy::kPreferExternal a satisfying system external wins
+//     over building a newer version from source — this is what makes
+//     Table 3 come out with cray-mpich 8.1.23 on ARCHER2 rather than a
+//     freshly built newest openmpi,
+//   * every decision is appended to a human-readable trace, providing the
+//     "archaeological reproducibility" of §2.2.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/concretizer/environment.hpp"
+#include "core/pkg/recipe.hpp"
+#include "core/spec/spec.hpp"
+
+namespace rebench {
+
+enum class ReusePolicy {
+  kPreferExternal,  // Spack default on the paper's systems
+  kPreferNewest,    // always build the newest satisfying version
+};
+
+struct ConcretizerOptions {
+  ReusePolicy reuse = ReusePolicy::kPreferExternal;
+};
+
+struct ConcretizationResult {
+  std::shared_ptr<const ConcreteSpec> root;
+  /// One line per decision, in resolution order.
+  std::vector<std::string> trace;
+};
+
+class Concretizer {
+ public:
+  Concretizer(const PackageRepository& repo, const SystemEnvironment& env,
+              ConcretizerOptions options = {});
+
+  /// Throws ConcretizationError when constraints cannot be met.
+  ConcretizationResult concretize(const Spec& abstract) const;
+
+ private:
+  const PackageRepository& repo_;
+  const SystemEnvironment& env_;
+  ConcretizerOptions options_;
+};
+
+}  // namespace rebench

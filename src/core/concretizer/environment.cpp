@@ -1,0 +1,169 @@
+#include "core/concretizer/environment.hpp"
+
+#include <algorithm>
+
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+std::optional<CompilerEntry> SystemEnvironment::bestCompiler(
+    std::string_view name, const VersionConstraint& c) const {
+  std::optional<CompilerEntry> best;
+  for (const CompilerEntry& entry : compilers) {
+    if (entry.name != name || !c.satisfiedBy(entry.version)) continue;
+    if (!best || best->version < entry.version) best = entry;
+  }
+  return best;
+}
+
+std::vector<const ExternalEntry*> SystemEnvironment::externalsNamed(
+    std::string_view name) const {
+  std::vector<const ExternalEntry*> out;
+  for (const ExternalEntry& entry : externals) {
+    if (entry.name == name) out.push_back(&entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExternalEntry* a, const ExternalEntry* b) {
+              return b->version < a->version;
+            });
+  return out;
+}
+
+std::string SystemEnvironment::renderConfig() const {
+  std::string out = "# rebench system environment (shareable, Principle 4)\n";
+  out += "system: " + systemName + "\n";
+  out += "default_compiler: " + defaultCompiler + "\n";
+  out += "compilers:\n";
+  for (const CompilerEntry& c : compilers) {
+    out += "  - " + c.name + "@" + c.version.toString();
+    if (!c.modules.empty()) out += "    # module: " + c.modules;
+    out += "\n";
+  }
+  out += "externals:\n";
+  for (const ExternalEntry& e : externals) {
+    out += "  - spec: " + e.name + "@" + e.version.toString();
+    if (!e.compilerName.empty()) {
+      out += "%" + e.compilerName + "@" + e.compilerVersion.toString();
+    }
+    out += "\n    origin: " + e.origin + "\n";
+  }
+  if (!preferredProviders.empty()) {
+    out += "preferred_providers:\n";
+    for (const auto& [virtualName, providers] : preferredProviders) {
+      out += "  " + virtualName + ": [";
+      for (std::size_t i = 0; i < providers.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += providers[i];
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+SystemEnvironment parseEnvironmentConfig(const std::string& text) {
+  SystemEnvironment env;
+  enum class Section { kNone, kCompilers, kExternals, kProviders };
+  Section section = Section::kNone;
+  ExternalEntry* currentExternal = nullptr;
+
+  auto parseCompilerSpec = [](std::string_view specText, std::string& name,
+                              Version& version) {
+    const std::size_t at = specText.find('@');
+    if (at == std::string_view::npos) {
+      throw ParseError("compiler entry missing '@version': '" +
+                       std::string(specText) + "'");
+    }
+    name = std::string(specText.substr(0, at));
+    version = Version::parse(specText.substr(at + 1));
+  };
+
+  for (const std::string& rawLine : str::split(text, '\n')) {
+    // Strip comments ("# module: ..." decorations are informative).
+    std::string comment;
+    std::string line = rawLine;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      comment = std::string(str::trim(line.substr(hash + 1)));
+      line = line.substr(0, hash);
+    }
+    const std::string_view trimmed = str::trim(line);
+    if (trimmed.empty()) continue;
+
+    if (str::startsWith(trimmed, "system:")) {
+      env.systemName = std::string(str::trim(trimmed.substr(7)));
+      section = Section::kNone;
+    } else if (str::startsWith(trimmed, "default_compiler:")) {
+      env.defaultCompiler = std::string(str::trim(trimmed.substr(17)));
+      section = Section::kNone;
+    } else if (trimmed == "compilers:") {
+      section = Section::kCompilers;
+    } else if (trimmed == "externals:") {
+      section = Section::kExternals;
+    } else if (trimmed == "preferred_providers:") {
+      section = Section::kProviders;
+    } else if (str::startsWith(trimmed, "- ") ||
+               str::startsWith(trimmed, "-")) {
+      std::string_view item = str::trim(trimmed.substr(1));
+      if (section == Section::kCompilers) {
+        CompilerEntry entry;
+        parseCompilerSpec(item, entry.name, entry.version);
+        if (str::startsWith(comment, "module:")) {
+          entry.modules = std::string(str::trim(comment.substr(7)));
+        }
+        env.compilers.push_back(std::move(entry));
+      } else if (section == Section::kExternals) {
+        if (!str::startsWith(item, "spec:")) {
+          throw ParseError("external entry must start with 'spec:'");
+        }
+        const std::string specText(str::trim(item.substr(5)));
+        ExternalEntry entry;
+        const std::size_t percent = specText.find('%');
+        const std::string base = percent == std::string::npos
+                                     ? specText
+                                     : specText.substr(0, percent);
+        parseCompilerSpec(base, entry.name, entry.version);
+        if (percent != std::string::npos) {
+          parseCompilerSpec(specText.substr(percent + 1),
+                            entry.compilerName, entry.compilerVersion);
+        }
+        env.externals.push_back(std::move(entry));
+        currentExternal = &env.externals.back();
+      } else {
+        throw ParseError("list item outside a section: '" +
+                         std::string(trimmed) + "'");
+      }
+    } else if (str::startsWith(trimmed, "origin:")) {
+      if (currentExternal == nullptr) {
+        throw ParseError("'origin:' with no preceding external");
+      }
+      currentExternal->origin = std::string(str::trim(trimmed.substr(7)));
+    } else if (section == Section::kProviders) {
+      const std::size_t colon = trimmed.find(':');
+      if (colon == std::string_view::npos) {
+        throw ParseError("malformed provider line: '" +
+                         std::string(trimmed) + "'");
+      }
+      const std::string virtualName(str::trim(trimmed.substr(0, colon)));
+      std::string_view rest = str::trim(trimmed.substr(colon + 1));
+      if (rest.size() < 2 || rest.front() != '[' || rest.back() != ']') {
+        throw ParseError("provider list must be [a, b]: '" +
+                         std::string(trimmed) + "'");
+      }
+      rest = rest.substr(1, rest.size() - 2);
+      std::vector<std::string> providers;
+      for (const std::string& provider : str::split(rest, ',')) {
+        const std::string_view cleaned = str::trim(provider);
+        if (!cleaned.empty()) providers.emplace_back(cleaned);
+      }
+      env.preferredProviders[virtualName] = std::move(providers);
+    } else {
+      throw ParseError("unrecognised environment line: '" +
+                       std::string(trimmed) + "'");
+    }
+  }
+  return env;
+}
+
+}  // namespace rebench

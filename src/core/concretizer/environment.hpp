@@ -1,0 +1,66 @@
+// The per-system software environment visible to the concretizer:
+// installed compilers, external packages (modules / vendor stacks), and
+// provider preferences.  This is the C++ analogue of the per-system Spack
+// configuration files the Benchmarking Framework ships (Principle 4).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec/spec.hpp"
+#include "core/util/version.hpp"
+
+namespace rebench {
+
+/// A compiler installed on the system (module or OS toolchain).
+struct CompilerEntry {
+  std::string name;     // "gcc", "oneapi", "cce", ...
+  Version version;
+  std::string modules;  // informational, e.g. "PrgEnv-gnu/8.3.3"
+};
+
+/// A package pre-installed on the system the concretizer may reuse instead
+/// of building.  Externals are opaque: they carry no dependency subtree.
+struct ExternalEntry {
+  std::string name;
+  Version version;
+  std::map<std::string, VariantValue> variants;
+  std::string origin;  // module name or prefix, e.g. "cray-mpich/8.1.23"
+  /// Compiler the external was built with, when known.
+  std::string compilerName;
+  Version compilerVersion;
+};
+
+/// Complete environment for one system (or partition).
+struct SystemEnvironment {
+  std::string systemName;
+  std::vector<CompilerEntry> compilers;
+  std::vector<ExternalEntry> externals;
+  /// Provider preference per virtual, e.g. {"mpi" -> {"cray-mpich"}}.
+  std::map<std::string, std::vector<std::string>> preferredProviders;
+  /// Compiler used when the spec names none.
+  std::string defaultCompiler = "gcc";
+
+  /// Highest installed version of compiler `name` satisfying `c`.
+  std::optional<CompilerEntry> bestCompiler(std::string_view name,
+                                            const VersionConstraint& c) const;
+
+  /// Externals with package name `name`, best (highest) version first.
+  std::vector<const ExternalEntry*> externalsNamed(
+      std::string_view name) const;
+
+  /// Renders the environment as a shareable, YAML-shaped configuration
+  /// document — the per-system Spack-configuration artefact the
+  /// Benchmarking Framework ships (Principle 4's "captured steps").
+  std::string renderConfig() const;
+};
+
+/// Parses a document produced by renderConfig() (adding a system without
+/// recompiling: write the file, load it, benchmark).  Round-trip
+/// guarantee: parse(render(env)) == env for the captured fields.
+/// Throws ParseError on malformed input.
+SystemEnvironment parseEnvironmentConfig(const std::string& text);
+
+}  // namespace rebench

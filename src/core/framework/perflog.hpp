@@ -1,0 +1,65 @@
+// Performance logs ("perflogs", §2.4).
+//
+// Every (test, system, partition, FOM) measurement is appended as one line
+// of `key=value|key=value|...` records.  The format is append-only,
+// greppable, and machine-parseable — the property Principle 6 needs so that
+// assimilation of results from isolated systems is a concatenation, not a
+// transcription.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/util/units.hpp"
+
+namespace rebench {
+
+struct PerfLogEntry {
+  std::string timestamp;       // ISO-like or simulated-seconds stamp
+  std::string frameworkVersion = "rebench-1.0.0";
+  std::string system;
+  std::string partition;
+  std::string environ;         // "gcc@11.2.0"
+  std::string testName;
+  std::string spec;            // concretized short form
+  std::string specHash;        // DAG hash (Principle 4)
+  std::string binaryId;        // build provenance (Principle 3)
+  std::string jobId;
+  std::string fomName;
+  double value = 0.0;
+  Unit unit = Unit::kNone;
+  std::optional<double> reference;
+  double lowerThresh = 0.0;    // fractional, e.g. -0.05
+  double upperThresh = 0.0;
+  std::string result;          // "pass" | "fail" | "error"
+  /// Free-form extras (num_tasks, array_size, ...).
+  std::map<std::string, std::string> extras;
+
+  std::string serialize() const;
+  static PerfLogEntry parse(const std::string& line);
+};
+
+/// Collects perflog lines in memory and/or appends them to a file.
+class PerfLog {
+ public:
+  PerfLog() = default;
+  /// When `path` is non-empty every append is also written to the file.
+  explicit PerfLog(std::string path);
+
+  void append(const PerfLogEntry& entry);
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::size_t size() const { return lines_.size(); }
+
+  /// Reads a perflog file back into entries.
+  static std::vector<PerfLogEntry> readFile(const std::string& path);
+  static std::vector<PerfLogEntry> parseLines(
+      const std::vector<std::string>& lines);
+
+ private:
+  std::string path_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace rebench

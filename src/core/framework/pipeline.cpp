@@ -1,0 +1,302 @@
+#include "core/framework/pipeline.hpp"
+
+#include <algorithm>
+#include <regex>
+
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+#include "sim/machine.hpp"
+
+namespace rebench {
+
+Pipeline::Pipeline(const SystemRegistry& systems,
+                   const PackageRepository& repo, PipelineOptions options)
+    : systems_(systems),
+      repo_(repo),
+      options_(std::move(options)),
+      builder_(options_.rebuildEveryRun) {}
+
+std::string Pipeline::nextTimestamp() {
+  return "T" + std::to_string(logicalTime_++);
+}
+
+TestRunResult Pipeline::runOne(const RegressionTest& test,
+                               std::string_view target, PerfLog* perflog,
+                               int repeatIndex) {
+  TestRunResult result = runOnce(test, target, perflog, repeatIndex);
+  int attempts = 1;
+  while (!result.passed && attempts <= options_.maxRetries &&
+         (result.failureStage == "run" || result.failureStage == "sanity" ||
+          result.failureStage == "performance")) {
+    result = runOnce(test, target, perflog, repeatIndex);
+    ++attempts;
+  }
+  result.attempts = attempts;
+  return result;
+}
+
+TestRunResult Pipeline::runOnce(const RegressionTest& test,
+                                std::string_view target, PerfLog* perflog,
+                                int repeatIndex) {
+  TestRunResult result;
+  result.testName = test.name;
+
+  const auto [system, partition] = systems_.resolve(target);
+  result.system = system->name;
+  result.partition = partition->name;
+
+  auto fail = [&result](std::string stage, std::string detail) {
+    result.failureStage = std::move(stage);
+    result.failureDetail = std::move(detail);
+    result.passed = false;
+    return result;
+  };
+
+  // --- Stage 1: concretize (Principle 4) -------------------------------
+  std::shared_ptr<const ConcreteSpec> concrete;
+  try {
+    const Spec abstract = Spec::parse(test.spackSpec);
+    Concretizer concretizer(repo_, system->environment, {options_.reuse});
+    ConcretizationResult cres = concretizer.concretize(abstract);
+    concrete = cres.root;
+    result.concretizationTrace = std::move(cres.trace);
+  } catch (const Error& e) {
+    return fail("concretize", e.what());
+  }
+  result.concreteSpec = concrete;
+  result.environ = concrete->compilerName.empty()
+                       ? system->environment.defaultCompiler
+                       : concrete->compilerName + "@" +
+                             concrete->compilerVersion.toString();
+
+  // --- Stage 2: build (Principles 2 & 3) --------------------------------
+  const BuildPlan plan = makeBuildPlan(*concrete);
+  result.build = builder_.build(plan);
+  result.simulatedPipelineSeconds += result.build.buildSeconds;
+
+  // --- Stage 3: run through the scheduler (Principle 5) ------------------
+  ClusterOptions cluster;
+  cluster.numNodes = partition->numNodes;
+  cluster.coresPerNode = partition->processor.totalCores();
+  cluster.requireAccount = partition->requiresAccount;
+  cluster.validQos = {"standard"};
+  SchedulerSim scheduler(cluster);
+
+  int cpusPerTask = test.numCpusPerTask;
+  if (test.useAllCoresPerTask) {
+    cpusPerTask = partition->processor.totalCores();
+  }
+
+  RunContext ctx;
+  ctx.system = system;
+  ctx.partition = partition;
+  ctx.spec = concrete;
+  ctx.binaryId = result.build.binaryId;
+  ctx.args = test.executableOpts;
+  ctx.repeatIndex = repeatIndex;
+
+  RunOutput output;
+  JobRequest request;
+  request.name = test.name;
+  request.numTasks = test.numTasks;
+  request.numTasksPerNode = test.numTasksPerNode;
+  request.numCpusPerTask = cpusPerTask;
+  request.timeLimit = test.timeLimit;
+  request.account = partition->requiresAccount ? options_.account : "";
+  request.payload = [&](const Allocation& alloc) {
+    ctx.allocation = alloc;
+    output = test.run(ctx);
+    JobOutcome outcome;
+    outcome.success = !output.launchFailed;
+    outcome.runtimeSeconds = output.elapsedSeconds;
+    outcome.stdoutText = output.stdoutText;
+    return outcome;
+  };
+
+  JobId jobId = 0;
+  try {
+    jobId = scheduler.submit(request);
+  } catch (const SchedulerError& e) {
+    return fail("submit", e.what());
+  }
+  scheduler.drain();
+  const JobInfo& job = scheduler.query(jobId);
+  result.jobId = jobId;
+  result.jobState = job.state;
+  result.stdoutText = output.stdoutText;
+  result.simulatedPipelineSeconds += job.endTime - job.submitTime;
+  result.launchCommand = renderLaunchCommand(
+      partition->launcher, job.allocation, test.name, test.executableOpts);
+  {
+    JobScriptRequest script;
+    script.jobName = test.name;
+    script.numTasks = job.allocation.numTasks;
+    script.tasksPerNode = job.allocation.tasksPerNode;
+    script.cpusPerTask = job.allocation.cpusPerTask;
+    script.timeLimitSeconds = test.timeLimit;
+    script.account = request.account;
+    for (const BuildStep& step : plan.steps) {
+      if (step.external) {
+        // "module load X" -> module name.
+        script.moduleLoads.push_back(step.command.substr(12));
+      }
+    }
+    script.launchCommand = result.launchCommand;
+    result.jobScript = renderJobScript(*partition, script);
+  }
+
+  // --- Telemetry capture (paper §4 future work) ---------------------------
+  if (options_.captureTelemetry && !partition->machineModel.empty() &&
+      job.startTime >= 0.0) {
+    const MachineModel& machine =
+        builtinMachines().get(partition->machineModel);
+    WorkloadProfile profile;
+    profile.cpuIntensity =
+        std::min(1.0, static_cast<double>(job.allocation.tasksPerNode *
+                                          job.allocation.cpusPerTask) /
+                          partition->processor.totalCores());
+    profile.memoryIntensity = 0.85;  // the suite is bandwidth-dominated
+    profile.networkMBs = 20.0 * job.allocation.numTasks;
+    const double duration = std::max(job.endTime - job.startTime, 1.0);
+    result.telemetry = sampleTelemetry(
+        machine, profile, duration,
+        result.testName + ":" + result.system + ":" + result.partition,
+        {.intervalSeconds = std::max(duration / 64.0, 0.25)});
+    result.contentionFlags = contendedSamples(result.telemetry);
+  }
+
+  if (job.state != JobState::kCompleted) {
+    const std::string detail = output.launchFailed
+                                   ? output.failureReason
+                                   : std::string(jobStateName(job.state));
+    // Record the failure in the perflog too: failed combinations are data
+    // (the white "*" boxes of Figure 2), not gaps.
+    if (perflog != nullptr) {
+      PerfLogEntry entry;
+      entry.timestamp = nextTimestamp();
+      entry.system = result.system;
+      entry.partition = result.partition;
+      entry.environ = result.environ;
+      entry.testName = test.name;
+      entry.spec = concrete->shortForm();
+      entry.specHash = concrete->dagHash();
+      entry.binaryId = result.build.binaryId;
+      entry.jobId = std::to_string(jobId);
+      entry.fomName = "run";
+      entry.value = 0.0;
+      entry.unit = Unit::kNone;
+      entry.result = "error";
+      entry.extras["error"] = detail;
+      perflog->append(entry);
+    }
+    return fail("run", detail);
+  }
+
+  // --- Stage 4: sanity ----------------------------------------------------
+  if (!test.sanityPattern.empty()) {
+    const std::regex sanity(test.sanityPattern);
+    if (!std::regex_search(result.stdoutText, sanity)) {
+      return fail("sanity", "pattern '" + test.sanityPattern +
+                                "' not found in output");
+    }
+  }
+  result.sanityPassed = true;
+
+  // --- Stage 5: performance (Principle 1/6) -------------------------------
+  const std::string targetKey = result.system + ":" + result.partition;
+  bool allWithinReference = true;
+  for (const PerfPattern& pattern : test.perfPatterns) {
+    const std::regex re(pattern.pattern);
+    std::smatch match;
+    if (!std::regex_search(result.stdoutText, match, re) ||
+        match.size() < 2) {
+      return fail("performance", "FOM '" + pattern.fomName +
+                                     "' not found via /" + pattern.pattern +
+                                     "/");
+    }
+    double value = 0.0;
+    try {
+      value = std::stod(match[1].str());
+    } catch (const std::exception&) {
+      return fail("performance",
+                  "FOM '" + pattern.fomName + "' captured non-numeric '" +
+                      match[1].str() + "'");
+    }
+    result.foms[pattern.fomName] = value;
+
+    std::optional<ReferenceValue> ref;
+    if (auto sysIt = test.references.find(targetKey);
+        sysIt != test.references.end()) {
+      if (auto fomIt = sysIt->second.find(pattern.fomName);
+          fomIt != sysIt->second.end()) {
+        ref = fomIt->second;
+      }
+    }
+    bool within = true;
+    if (ref) {
+      const double lo = ref->value * (1.0 + ref->lowerFrac);
+      const double hi = ref->value * (1.0 + ref->upperFrac);
+      within = value >= lo && value <= hi;
+      if (!within) allWithinReference = false;
+    }
+    result.fomWithinReference[pattern.fomName] = within;
+
+    if (perflog != nullptr) {
+      PerfLogEntry entry;
+      entry.timestamp = nextTimestamp();
+      entry.system = result.system;
+      entry.partition = result.partition;
+      entry.environ = result.environ;
+      entry.testName = test.name;
+      entry.spec = concrete->shortForm();
+      entry.specHash = concrete->dagHash();
+      entry.binaryId = result.build.binaryId;
+      entry.jobId = std::to_string(jobId);
+      entry.fomName = pattern.fomName;
+      entry.value = value;
+      entry.unit = pattern.unit;
+      if (ref) {
+        entry.reference = ref->value;
+        entry.lowerThresh = ref->lowerFrac;
+        entry.upperThresh = ref->upperFrac;
+      }
+      entry.result = within ? "pass" : "fail";
+      entry.extras["num_tasks"] = std::to_string(test.numTasks);
+      entry.extras["launch"] = result.launchCommand;
+      if (!result.telemetry.empty()) {
+        entry.extras["energy_j"] =
+            str::fixed(result.telemetry.energyJoules(), 1);
+        entry.extras["mean_power_w"] =
+            str::fixed(result.telemetry.meanPowerWatts(), 1);
+        entry.extras["contended_samples"] =
+            std::to_string(result.contentionFlags.size());
+      }
+      perflog->append(entry);
+    }
+  }
+
+  result.passed = allWithinReference;
+  if (!allWithinReference) {
+    result.failureStage = "reference";
+    result.failureDetail = "one or more FOMs outside reference bounds";
+  }
+  return result;
+}
+
+std::vector<TestRunResult> Pipeline::runAll(
+    std::span<const RegressionTest> tests,
+    std::span<const std::string> targets, PerfLog* perflog) {
+  std::vector<TestRunResult> results;
+  for (const std::string& target : targets) {
+    const auto [system, partition] = systems_.resolve(target);
+    for (const RegressionTest& test : tests) {
+      if (!test.matchesTarget(system->name, partition->name)) continue;
+      for (int repeat = 0; repeat < options_.numRepeats; ++repeat) {
+        results.push_back(runOne(test, target, perflog, repeat));
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace rebench

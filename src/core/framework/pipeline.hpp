@@ -1,0 +1,112 @@
+// The benchmarking pipeline — Figure 1 of the paper as code.
+//
+//   concretize -> build -> submit/run -> sanity -> performance -> perflog
+//
+// Each stage's artefacts (concrete spec, build record, launch command, job
+// accounting) are retained on the result object so that a run is fully
+// auditable after the fact.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/concretizer/concretizer.hpp"
+#include "core/framework/perflog.hpp"
+#include "core/framework/regression_test.hpp"
+#include "core/framework/telemetry.hpp"
+#include "core/pkg/build_plan.hpp"
+#include "core/pkg/recipe.hpp"
+#include "core/sched/launcher.hpp"
+#include "core/sysconfig/system_config.hpp"
+
+namespace rebench {
+
+struct PipelineOptions {
+  /// Principle 3; disabling reuses cached binaries (ablation only).
+  bool rebuildEveryRun = true;
+  ReusePolicy reuse = ReusePolicy::kPreferExternal;
+  /// Account passed to schedulers that require one (-J'--account=...').
+  std::string account = "ec999";
+  /// Number of times to re-run the measurement (first-class repeats; the
+  /// perflog records every repeat).
+  int numRepeats = 1;
+  /// Capture system-state telemetry (energy, background load) for each
+  /// run on modelled platforms — the paper's §4 future work.
+  bool captureTelemetry = true;
+  /// Retry transiently-failed runs (run/sanity/performance stages) up to
+  /// this many extra times, ReFrame's --max-retries.  Concretization and
+  /// submission errors are configuration bugs and never retried.
+  int maxRetries = 0;
+};
+
+/// Everything that happened for one (test, system:partition) execution.
+struct TestRunResult {
+  std::string testName;
+  std::string system;
+  std::string partition;
+  std::string environ;
+
+  std::shared_ptr<const ConcreteSpec> concreteSpec;
+  std::vector<std::string> concretizationTrace;
+  BuildRecord build;
+  std::string launchCommand;
+  /// The batch script that reproduces this run (Principle 5 artefact).
+  std::string jobScript;
+  JobId jobId = 0;
+  JobState jobState = JobState::kPending;
+  std::string stdoutText;
+
+  bool sanityPassed = false;
+  /// Extracted FOM values by name (last repeat).
+  std::map<std::string, double> foms;
+  /// Per-FOM pass/fail against references (true when no reference exists).
+  std::map<std::string, bool> fomWithinReference;
+
+  bool passed = false;
+  std::string failureStage;  // empty on success
+  std::string failureDetail;
+  /// 1 + number of retries consumed.
+  int attempts = 1;
+
+  /// System-state samples covering the job (empty when telemetry is off
+  /// or the partition has no machine model).
+  TelemetrySeries telemetry;
+  /// Sample indices where background traffic may have perturbed the run.
+  std::vector<std::size_t> contentionFlags;
+
+  double simulatedPipelineSeconds = 0.0;  // build + queue + run
+};
+
+/// Drives regression tests through the full pipeline on simulated systems.
+class Pipeline {
+ public:
+  Pipeline(const SystemRegistry& systems, const PackageRepository& repo,
+           PipelineOptions options = {});
+
+  /// Runs one test on "system[:partition]", honouring maxRetries.
+  /// `repeatIndex` feeds the benchmark's run-to-run noise stream.
+  TestRunResult runOne(const RegressionTest& test, std::string_view target,
+                       PerfLog* perflog = nullptr, int repeatIndex = 0);
+
+  /// Runs every test on every matching target; skips non-matching pairs.
+  std::vector<TestRunResult> runAll(std::span<const RegressionTest> tests,
+                                    std::span<const std::string> targets,
+                                    PerfLog* perflog = nullptr);
+
+  /// Monotone stamp used for perflog timestamps (deterministic).
+  std::string nextTimestamp();
+
+ private:
+  TestRunResult runOnce(const RegressionTest& test, std::string_view target,
+                        PerfLog* perflog, int repeatIndex);
+
+  const SystemRegistry& systems_;
+  const PackageRepository& repo_;
+  PipelineOptions options_;
+  Builder builder_;
+  std::uint64_t logicalTime_ = 0;
+};
+
+}  // namespace rebench

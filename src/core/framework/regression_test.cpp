@@ -1,0 +1,22 @@
+#include "core/framework/regression_test.hpp"
+
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+bool RegressionTest::matchesTarget(std::string_view system,
+                                   std::string_view partition) const {
+  const std::string full = std::string(system) + ":" + std::string(partition);
+  for (const std::string& filter : validSystems) {
+    if (filter == "*") return true;
+    if (filter == system) return true;
+    if (filter == full) return true;
+    if (str::endsWith(filter, ":*") &&
+        filter.substr(0, filter.size() - 2) == system) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rebench

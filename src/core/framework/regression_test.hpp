@@ -1,0 +1,88 @@
+// ReFrame-style regression-test description (§2.3).
+//
+// A RegressionTest describes *what* to benchmark: the spec to build, the
+// job geometry, the sanity condition and the FOM extraction patterns.
+// Where the benchmark runs (scheduler, launcher, environment) lives in the
+// SystemConfig — the separation the paper identifies as the key abstraction
+// enabling portable benchmarks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sched/scheduler.hpp"
+#include "core/spec/spec.hpp"
+#include "core/sysconfig/system_config.hpp"
+#include "core/util/units.hpp"
+
+namespace rebench {
+
+/// Extraction rule: `pattern` is an ECMAScript regex whose first capture
+/// group is parsed as the FOM value.
+struct PerfPattern {
+  std::string fomName;
+  std::string pattern;
+  Unit unit = Unit::kNone;
+};
+
+/// Expected performance on a given system (ReFrame-style reference tuple).
+struct ReferenceValue {
+  double value = 0.0;
+  double lowerFrac = -0.25;  // accept value*(1+lowerFrac) ..
+  double upperFrac = 0.25;   //        .. value*(1+upperFrac)
+};
+
+/// Everything the "benchmark binary" sees when it runs.
+struct RunContext {
+  const SystemConfig* system = nullptr;
+  const PartitionConfig* partition = nullptr;
+  Allocation allocation;
+  std::shared_ptr<const ConcreteSpec> spec;
+  std::string binaryId;
+  std::vector<std::string> args;
+  /// 0 on the first run; repeats get 1, 2, ... so modelled runs draw
+  /// fresh (but still deterministic) run-to-run noise.
+  int repeatIndex = 0;
+};
+
+/// What the benchmark body reports: its textual output (parsed for sanity
+/// and FOMs) and its simulated duration (native runs report wall time).
+struct RunOutput {
+  std::string stdoutText;
+  double elapsedSeconds = 0.0;
+  bool launchFailed = false;  // e.g. model unsupported on this platform
+  std::string failureReason;
+};
+
+struct RegressionTest {
+  std::string name;
+  /// Target filters, "system[:partition]" or "*" for anywhere.
+  std::vector<std::string> validSystems = {"*"};
+  /// Abstract spec to concretize and build (Principles 2-4).
+  std::string spackSpec;
+  /// Job geometry (appendix: num_tasks / num_tasks_per_node / cpus_per_task).
+  int numTasks = 1;
+  int numTasksPerNode = 0;  // 0 = pack
+  int numCpusPerTask = 1;
+  /// When true and numCpusPerTask==0-like behaviour is wanted: use all the
+  /// cores of a node per task (BabelStream's default in the framework).
+  bool useAllCoresPerTask = false;
+  double timeLimit = 3600.0;
+  std::vector<std::string> executableOpts;
+  /// Regex that must match the output for the run to be valid.
+  std::string sanityPattern;
+  std::vector<PerfPattern> perfPatterns;
+  /// References keyed by "system:partition" then FOM name.
+  std::map<std::string, std::map<std::string, ReferenceValue>> references;
+  /// The benchmark body (stands in for the built binary).
+  std::function<RunOutput(const RunContext&)> run;
+
+  bool matchesTarget(std::string_view system,
+                     std::string_view partition) const;
+};
+
+}  // namespace rebench

@@ -1,0 +1,41 @@
+#include "core/framework/suite.hpp"
+
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+void TestSuite::add(RegressionTest test, std::vector<std::string> tags) {
+  tests_.push_back(TaggedTest{std::move(test), std::move(tags)});
+}
+
+std::vector<RegressionTest> TestSuite::select(
+    std::string_view tag, std::string_view namePattern,
+    std::string_view excludePattern) const {
+  std::vector<RegressionTest> out;
+  for (const TaggedTest& entry : tests_) {
+    if (!tag.empty()) {
+      bool tagged = false;
+      for (const std::string& t : entry.tags) tagged |= t == tag;
+      if (!tagged) continue;
+    }
+    if (!namePattern.empty() &&
+        !str::contains(entry.test.name, namePattern)) {
+      continue;
+    }
+    if (!excludePattern.empty() &&
+        str::contains(entry.test.name, excludePattern)) {
+      continue;
+    }
+    out.push_back(entry.test);
+  }
+  return out;
+}
+
+std::vector<std::string> TestSuite::testNames() const {
+  std::vector<std::string> out;
+  out.reserve(tests_.size());
+  for (const TaggedTest& entry : tests_) out.push_back(entry.test.name);
+  return out;
+}
+
+}  // namespace rebench

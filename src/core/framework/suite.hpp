@@ -1,0 +1,38 @@
+// The benchmark suite: a named, tag-filterable collection of regression
+// tests — the shape of the paper's `reframe -c benchmarks/apps/... -r
+// --tag omp -n HPCG_ -x HPCG_Intel` selection interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/framework/regression_test.hpp"
+
+namespace rebench {
+
+struct TaggedTest {
+  RegressionTest test;
+  std::vector<std::string> tags;
+};
+
+class TestSuite {
+ public:
+  void add(RegressionTest test, std::vector<std::string> tags = {});
+
+  std::size_t size() const { return tests_.size(); }
+  const std::vector<TaggedTest>& all() const { return tests_; }
+
+  /// ReFrame-style selection: keep tests carrying `tag` (empty = all),
+  /// whose name contains `namePattern` (-n), and whose name does not
+  /// contain `excludePattern` (-x).
+  std::vector<RegressionTest> select(std::string_view tag = {},
+                                     std::string_view namePattern = {},
+                                     std::string_view excludePattern = {}) const;
+
+  std::vector<std::string> testNames() const;
+
+ private:
+  std::vector<TaggedTest> tests_;
+};
+
+}  // namespace rebench

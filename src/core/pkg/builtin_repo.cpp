@@ -1,0 +1,236 @@
+// The built-in recipe collection.  Version sets are chosen to cover every
+// concrete version the paper reports (Table 3, §3.1 compiler notes) plus
+// neighbours, so the concretizer has real choices to make.
+#include "core/pkg/recipe.hpp"
+
+namespace rebench {
+
+namespace {
+
+PackageRecipe makeGcc() {
+  PackageRecipe p("gcc");
+  p.describe("GNU Compiler Collection");
+  for (const char* v : {"13.1.0", "12.2.0", "12.1.0", "11.2.0", "11.1.0",
+                        "10.3.0", "9.3.0", "9.2.0"}) {
+    p.version(v);
+  }
+  p.provides("cxx").provides("c").provides("fortran");
+  return p;
+}
+
+PackageRecipe makeOneapi() {
+  PackageRecipe p("oneapi");
+  p.describe("Intel oneAPI DPC++/C++ compiler");
+  for (const char* v : {"2023.1.0", "2022.2.0", "2021.4.0"}) p.version(v);
+  p.provides("cxx").provides("c").provides("sycl-impl");
+  return p;
+}
+
+PackageRecipe makeNvhpc() {
+  PackageRecipe p("nvhpc");
+  p.describe("NVIDIA HPC SDK compilers");
+  for (const char* v : {"23.5", "22.11", "21.9"}) p.version(v);
+  p.provides("cxx").provides("c");
+  return p;
+}
+
+PackageRecipe makeCce() {
+  PackageRecipe p("cce");
+  p.describe("Cray Compiling Environment");
+  for (const char* v : {"15.0.0", "14.0.1", "13.0.2"}) p.version(v);
+  p.provides("cxx").provides("c").provides("fortran");
+  return p;
+}
+
+PackageRecipe makePython() {
+  PackageRecipe p("python");
+  p.describe("CPython interpreter");
+  for (const char* v : {"3.11.4", "3.10.12", "3.8.2", "3.7.5", "2.7.15"}) {
+    p.version(v);
+  }
+  return p;
+}
+
+PackageRecipe makeCmake() {
+  PackageRecipe p("cmake");
+  p.describe("CMake build-system generator");
+  for (const char* v : {"3.26.3", "3.25.1", "3.20.2", "3.16.5"}) p.version(v);
+  return p;
+}
+
+PackageRecipe makeNinja() {
+  PackageRecipe p("ninja");
+  p.describe("Ninja build tool");
+  for (const char* v : {"1.11.1", "1.10.2"}) p.version(v);
+  return p;
+}
+
+PackageRecipe makeOpenmpi() {
+  PackageRecipe p("openmpi");
+  p.describe("Open MPI message passing library");
+  for (const char* v : {"4.1.4", "4.0.4", "4.0.3", "3.1.6"}) p.version(v);
+  p.provides("mpi");
+  return p;
+}
+
+PackageRecipe makeMpich() {
+  PackageRecipe p("mpich");
+  p.describe("MPICH message passing library");
+  for (const char* v : {"4.1", "3.4.2"}) p.version(v);
+  p.provides("mpi");
+  return p;
+}
+
+PackageRecipe makeCrayMpich() {
+  PackageRecipe p("cray-mpich");
+  p.describe("HPE Cray MPI (PALS/Slingshot)");
+  for (const char* v : {"8.1.23", "8.1.15"}) p.version(v);
+  p.provides("mpi");
+  return p;
+}
+
+PackageRecipe makeMvapich() {
+  PackageRecipe p("mvapich");
+  p.describe("MVAPICH MPI over InfiniBand");
+  for (const char* v : {"2.3.7", "2.3.6"}) p.version(v);
+  p.provides("mpi");
+  return p;
+}
+
+PackageRecipe makeCuda() {
+  PackageRecipe p("cuda");
+  p.describe("NVIDIA CUDA toolkit");
+  for (const char* v : {"12.1.1", "11.8.0", "11.2.2", "10.2.89"}) p.version(v);
+  return p;
+}
+
+PackageRecipe makeTbb() {
+  PackageRecipe p("intel-tbb");
+  p.describe("Intel oneAPI Threading Building Blocks");
+  for (const char* v : {"2021.9.0", "2021.4.0", "2020.3"}) p.version(v);
+  // §3.1: "incompatibilities (... Intel-TBB on Thunder)".
+  p.conflictsWith("intel-tbb arch=aarch64",
+                  "Intel TBB does not build on ThunderX2");
+  p.variant({"arch", std::string("x86_64"), {"x86_64", "aarch64"},
+             "target architecture"});
+  return p;
+}
+
+PackageRecipe makeOpencl() {
+  PackageRecipe p("opencl-loader");
+  p.describe("Khronos OpenCL ICD loader");
+  for (const char* v : {"2023.04.17", "2022.09.30"}) p.version(v);
+  p.provides("opencl");
+  return p;
+}
+
+PackageRecipe makeKokkos() {
+  PackageRecipe p("kokkos");
+  p.describe("Kokkos performance-portability programming model");
+  for (const char* v : {"4.0.01", "3.7.02", "3.6.01"}) p.version(v);
+  p.variant({"backend", std::string("openmp"),
+             {"openmp", "cuda", "serial"}, "device backend"});
+  p.dependsOnWhen("cuda@11:", "backend", std::string("cuda"));
+  return p;
+}
+
+PackageRecipe makeMkl() {
+  PackageRecipe p("intel-oneapi-mkl");
+  p.describe("Intel oneAPI Math Kernel Library (ships optimised HPCG)");
+  for (const char* v : {"2023.1.0", "2022.2.0"}) p.version(v);
+  p.provides("blas").provides("lapack");
+  return p;
+}
+
+PackageRecipe makeBabelstream() {
+  PackageRecipe p("babelstream");
+  p.describe("BabelStream memory-bandwidth benchmark (many models)");
+  for (const char* v : {"4.0", "3.4"}) p.version(v);
+  p.variant({"model", std::string("omp"),
+             {"serial", "omp", "kokkos", "cuda", "ocl", "sycl", "tbb",
+              "std-data", "std-indices", "std-ranges"},
+             "programming model to build"});
+  // The paper's invocation spells the OpenMP build as "+omp"
+  // (babelstream%gcc@9.2.0 +omp); accept that spelling as well.
+  p.variant({"omp", true, {}, "alias: build the OpenMP model"});
+  p.dependsOn("cmake@3.16:", DepKind::kBuild);
+  p.dependsOnWhen("kokkos@3.6:", "model", std::string("kokkos"));
+  p.dependsOnWhen("cuda@10.2:", "model", std::string("cuda"));
+  p.dependsOnWhen("opencl-loader", "model", std::string("ocl"));
+  p.dependsOnWhen("intel-tbb@2020.3:", "model", std::string("tbb"));
+  p.dependsOnWhen("intel-tbb@2020.3:", "model", std::string("std-data"));
+  p.dependsOnWhen("intel-tbb@2020.3:", "model", std::string("std-indices"));
+  // §3.1: "the build system has conflicts with newer [GCC] versions" for
+  // the OpenCL build on Isambard-MACS.
+  p.conflictsWith("babelstream model=ocl %gcc@10:",
+                  "OpenCL build breaks with gcc >= 10 (see paper §3.1)");
+  return p;
+}
+
+PackageRecipe makeHpcg() {
+  PackageRecipe p("hpcg");
+  p.describe("High Performance Conjugate Gradient benchmark + variants");
+  for (const char* v : {"3.1", "3.0"}) p.version(v);
+  p.variant({"operator", std::string("csr"),
+             {"csr", "csr-opt", "matrix-free", "lfric"},
+             "operator/algorithm variant (Table 2)"});
+  p.dependsOn("mpi");
+  p.dependsOnWhen("intel-oneapi-mkl@2022:", "operator",
+                  std::string("csr-opt"));
+  return p;
+}
+
+PackageRecipe makeHpgmg() {
+  PackageRecipe p("hpgmg");
+  p.describe("HPGMG-FV: finite-volume full multigrid benchmark");
+  for (const char* v : {"0.4", "0.3"}) p.version(v);
+  p.variant({"fv", true, {}, "build the finite-volume solver"});
+  p.dependsOn("mpi");
+  p.dependsOn("python", DepKind::kBuild);
+  return p;
+}
+
+PackageRecipe makeStream() {
+  PackageRecipe p("stream");
+  p.describe("McCalpin STREAM benchmark");
+  p.version("5.10");
+  return p;
+}
+
+PackageRecipe makeOsuBenchmarks() {
+  PackageRecipe p("osu-micro-benchmarks");
+  p.describe("OSU MPI micro-benchmarks");
+  for (const char* v : {"7.1", "6.2"}) p.version(v);
+  p.dependsOn("mpi");
+  return p;
+}
+
+}  // namespace
+
+PackageRepository builtinRepository() {
+  PackageRepository repo;
+  repo.add(makeGcc());
+  repo.add(makeOneapi());
+  repo.add(makeNvhpc());
+  repo.add(makeCce());
+  repo.add(makePython());
+  repo.add(makeCmake());
+  repo.add(makeNinja());
+  repo.add(makeOpenmpi());
+  repo.add(makeMpich());
+  repo.add(makeCrayMpich());
+  repo.add(makeMvapich());
+  repo.add(makeCuda());
+  repo.add(makeTbb());
+  repo.add(makeOpencl());
+  repo.add(makeKokkos());
+  repo.add(makeMkl());
+  repo.add(makeBabelstream());
+  repo.add(makeHpcg());
+  repo.add(makeHpgmg());
+  repo.add(makeStream());
+  repo.add(makeOsuBenchmarks());
+  return repo;
+}
+
+}  // namespace rebench

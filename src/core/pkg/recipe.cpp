@@ -1,0 +1,125 @@
+#include "core/pkg/recipe.hpp"
+
+#include <algorithm>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+
+PackageRecipe& PackageRecipe::describe(std::string text) {
+  description_ = std::move(text);
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::version(std::string_view v) {
+  versions_.push_back(Version::parse(v));
+  std::sort(versions_.begin(), versions_.end(),
+            [](const Version& a, const Version& b) { return b < a; });
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::variant(VariantDef def) {
+  variants_.push_back(std::move(def));
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::dependsOn(std::string_view specText,
+                                        DepKind kind) {
+  dependencies_.push_back(DependencyDef{Spec::parse(specText), kind, {}});
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::dependsOnWhen(std::string_view specText,
+                                            std::string variantName,
+                                            VariantValue value, DepKind kind) {
+  dependencies_.push_back(
+      DependencyDef{Spec::parse(specText), kind,
+                    std::make_pair(std::move(variantName), std::move(value))});
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::provides(std::string virtualName) {
+  provides_.push_back(std::move(virtualName));
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::conflictsWith(std::string_view specText,
+                                            std::string reason) {
+  conflicts_.push_back(ConflictDef{Spec::parse(specText), std::move(reason)});
+  return *this;
+}
+
+std::optional<Version> PackageRecipe::bestVersion(
+    const VersionConstraint& c) const {
+  for (const Version& v : versions_) {  // descending: first hit is best
+    if (c.satisfiedBy(v)) return v;
+  }
+  return std::nullopt;
+}
+
+const VariantDef* PackageRecipe::findVariant(
+    std::string_view variantName) const {
+  for (const VariantDef& def : variants_) {
+    if (def.name == variantName) return &def;
+  }
+  return nullptr;
+}
+
+void PackageRepository::add(PackageRecipe recipe) {
+  const std::string name = recipe.name();
+  for (const std::string& v : recipe.providedVirtuals()) {
+    providers_[v].push_back(name);
+  }
+  recipes_.insert_or_assign(name, std::move(recipe));
+}
+
+bool PackageRepository::has(std::string_view name) const {
+  return recipes_.find(name) != recipes_.end();
+}
+
+const PackageRecipe& PackageRepository::get(std::string_view name) const {
+  auto it = recipes_.find(name);
+  if (it == recipes_.end()) {
+    throw NotFoundError("no recipe for package '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool PackageRepository::isVirtual(std::string_view name) const {
+  return providers_.find(name) != providers_.end();
+}
+
+std::vector<std::string> PackageRepository::providersOf(
+    std::string_view virtualName) const {
+  auto it = providers_.find(virtualName);
+  if (it == providers_.end()) return {};
+  return it->second;
+}
+
+std::vector<const PackageRecipe*> PackageRepository::allRecipes() const {
+  std::vector<const PackageRecipe*> out;
+  out.reserve(recipes_.size());
+  for (const auto& [name, recipe] : recipes_) out.push_back(&recipe);
+  return out;
+}
+
+PackageRepository mergeRepositories(const PackageRepository& upstream,
+                                    const PackageRepository& local) {
+  PackageRepository merged;
+  for (const PackageRecipe* recipe : upstream.allRecipes()) {
+    if (!local.has(recipe->name())) merged.add(*recipe);
+  }
+  for (const PackageRecipe* recipe : local.allRecipes()) {
+    merged.add(*recipe);
+  }
+  return merged;
+}
+
+std::vector<std::string> PackageRepository::packageNames() const {
+  std::vector<std::string> out;
+  out.reserve(recipes_.size());
+  for (const auto& [name, recipe] : recipes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace rebench

@@ -1,0 +1,125 @@
+// Package recipes — the unit of "Wisdom of the Crowd" knowledge capture
+// (Principle 2).  A recipe records, per package: the versions that exist,
+// the variants it can be built with, its (possibly conditional) dependency
+// constraints, and which virtual interfaces it provides (e.g. "mpi").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec/spec.hpp"
+#include "core/util/version.hpp"
+
+namespace rebench {
+
+/// A variant a package can be built with.
+struct VariantDef {
+  std::string name;
+  VariantValue defaultValue;
+  /// Allowed values for string variants; empty means unrestricted.
+  std::vector<std::string> allowedValues;
+  std::string description;
+};
+
+/// Dependency edge classification, mirroring Spack's deptypes.
+enum class DepKind { kBuild, kLink, kRun };
+
+/// A declared incompatibility: the package cannot be concretized when the
+/// (partially concretized) node satisfies `when` — Spack's conflicts().
+struct ConflictDef {
+  Spec when;
+  std::string reason;
+};
+
+/// A conditional dependency: `spec` applies when `when` (a variant
+/// name/value pair) holds on the dependent — or unconditionally.
+struct DependencyDef {
+  Spec spec;
+  DepKind kind = DepKind::kLink;
+  std::optional<std::pair<std::string, VariantValue>> when;
+};
+
+/// Immutable description of how to build one package.
+class PackageRecipe {
+ public:
+  explicit PackageRecipe(std::string name) : name_(std::move(name)) {}
+
+  PackageRecipe& describe(std::string text);
+  /// Declares an available version; recipes keep them sorted descending.
+  PackageRecipe& version(std::string_view v);
+  PackageRecipe& variant(VariantDef def);
+  PackageRecipe& dependsOn(std::string_view specText,
+                           DepKind kind = DepKind::kLink);
+  PackageRecipe& dependsOnWhen(std::string_view specText, std::string variant,
+                               VariantValue value,
+                               DepKind kind = DepKind::kLink);
+  /// Declares that this package implements a virtual interface.
+  PackageRecipe& provides(std::string virtualName);
+  /// Declares an incompatibility (Spack's conflicts("spec", msg=...)).
+  PackageRecipe& conflictsWith(std::string_view specText,
+                               std::string reason);
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  const std::vector<Version>& versions() const { return versions_; }
+  const std::vector<VariantDef>& variants() const { return variants_; }
+  const std::vector<DependencyDef>& dependencies() const {
+    return dependencies_;
+  }
+  const std::vector<std::string>& providedVirtuals() const {
+    return provides_;
+  }
+  const std::vector<ConflictDef>& conflicts() const { return conflicts_; }
+
+  /// Highest declared version satisfying `c`; nullopt when none does.
+  std::optional<Version> bestVersion(const VersionConstraint& c) const;
+
+  /// The variant definition by name, or nullptr.
+  const VariantDef* findVariant(std::string_view variantName) const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<Version> versions_;  // sorted descending
+  std::vector<VariantDef> variants_;
+  std::vector<DependencyDef> dependencies_;
+  std::vector<std::string> provides_;
+  std::vector<ConflictDef> conflicts_;
+};
+
+/// Named collection of recipes plus the virtual→providers index.
+class PackageRepository {
+ public:
+  void add(PackageRecipe recipe);
+
+  bool has(std::string_view name) const;
+  /// Throws NotFoundError for unknown packages.
+  const PackageRecipe& get(std::string_view name) const;
+
+  bool isVirtual(std::string_view name) const;
+  /// Package names providing a virtual, in registration order.
+  std::vector<std::string> providersOf(std::string_view virtualName) const;
+
+  std::vector<std::string> packageNames() const;
+  std::size_t size() const { return recipes_.size(); }
+  /// Every recipe, for merging (registration order not preserved).
+  std::vector<const PackageRecipe*> allRecipes() const;
+
+ private:
+  std::map<std::string, PackageRecipe, std::less<>> recipes_;
+  std::map<std::string, std::vector<std::string>, std::less<>> providers_;
+};
+
+/// The repository of recipes shipped with rebench: compilers, MPI
+/// implementations, tools and the benchmark applications used in the paper.
+PackageRepository builtinRepository();
+
+/// Layers `local` over `upstream` (§2.2: "we keep a local repository of
+/// recipes for building applications not generally relevant for upstream
+/// Spack").  Local recipes shadow upstream ones of the same name.
+PackageRepository mergeRepositories(const PackageRepository& upstream,
+                                    const PackageRepository& local);
+
+}  // namespace rebench

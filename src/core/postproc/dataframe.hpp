@@ -1,0 +1,91 @@
+// A small column-typed data frame — the Pandas stand-in of §2.4.
+//
+// Columns are either numeric (double) or string; rows are implicit.  The
+// operations provided are exactly those the paper's post-processing
+// pipeline needs: concatenating perflogs from isolated systems, filtering,
+// group-by aggregation, sorting, pivoting to (row,col)->value matrices for
+// heatmaps, and CSV round-tripping.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rebench {
+
+enum class Agg { kMean, kMin, kMax, kSum, kCount, kFirst };
+
+/// Pivoted matrix, e.g. programming-model × platform for Figure 2.
+struct PivotTable {
+  std::vector<std::string> rowLabels;
+  std::vector<std::string> colLabels;
+  /// cells[r][c]; nullopt where no data exists (the white boxes of Fig. 2).
+  std::vector<std::vector<std::optional<double>>> cells;
+};
+
+class DataFrame {
+ public:
+  using NumericColumn = std::vector<double>;
+  using StringColumn = std::vector<std::string>;
+  using Column = std::variant<NumericColumn, StringColumn>;
+
+  DataFrame() = default;
+
+  void addNumeric(std::string name, NumericColumn values);
+  void addStrings(std::string name, StringColumn values);
+
+  std::size_t rowCount() const { return rows_; }
+  std::size_t columnCount() const { return columns_.size(); }
+  bool empty() const { return rows_ == 0; }
+
+  bool hasColumn(std::string_view name) const;
+  bool isNumeric(std::string_view name) const;
+  std::vector<std::string> columnNames() const;
+
+  /// Throws NotFoundError / InternalError on missing or mistyped columns.
+  const NumericColumn& numeric(std::string_view name) const;
+  const StringColumn& strings(std::string_view name) const;
+
+  /// Cell rendered as text regardless of column type.
+  std::string cellText(std::string_view name, std::size_t row) const;
+
+  // ---- relational operations -------------------------------------------
+  DataFrame filter(const std::function<bool(std::size_t)>& rowPredicate) const;
+  DataFrame filterEquals(std::string_view column,
+                         std::string_view value) const;
+  DataFrame selectColumns(std::span<const std::string> names) const;
+  DataFrame sortBy(std::string_view column, bool ascending = true) const;
+
+  /// Row-wise concatenation; requires identical schemas (names and types in
+  /// order) — the cross-platform assimilation step of Principle 6.
+  static DataFrame concat(std::span<const DataFrame> frames);
+
+  /// Groups on string key columns and aggregates one numeric column.
+  /// Output columns: keys..., then `valueColumn` holding the aggregate.
+  DataFrame groupBy(std::span<const std::string> keyColumns,
+                    std::string_view valueColumn, Agg agg) const;
+
+  PivotTable pivot(std::string_view rowKey, std::string_view colKey,
+                   std::string_view valueColumn, Agg agg = Agg::kMean) const;
+
+  /// Pandas-style describe(): one row per numeric column with columns
+  /// column/count/mean/std/min/median/max.
+  DataFrame describe() const;
+
+  // ---- serialization ------------------------------------------------------
+  std::string toCsv() const;
+  /// All-string parse except columns where every value parses as double.
+  static DataFrame fromCsv(const std::string& text);
+
+ private:
+  const Column& column(std::string_view name) const;
+  DataFrame takeRows(const std::vector<std::size_t>& indices) const;
+
+  std::vector<std::pair<std::string, Column>> columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace rebench

@@ -1,0 +1,53 @@
+#include "core/postproc/efficiency.hpp"
+
+#include <algorithm>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+
+double architecturalEfficiency(double achieved, double peak) {
+  if (peak <= 0.0) throw Error("peak must be positive");
+  return achieved / peak;
+}
+
+double applicationEfficiency(double variant, double original) {
+  if (original <= 0.0) throw Error("original FOM must be positive");
+  return variant / original;
+}
+
+double performancePortability(
+    std::span<const std::optional<double>> efficiencies) {
+  if (efficiencies.empty()) return 0.0;
+  double invSum = 0.0;
+  for (const std::optional<double>& e : efficiencies) {
+    if (!e || *e <= 0.0) return 0.0;  // Pennycook: any unsupported => 0
+    invSum += 1.0 / *e;
+  }
+  return static_cast<double>(efficiencies.size()) / invSum;
+}
+
+PortabilityReport analyzePortability(
+    std::span<const EfficiencyObservation> observations) {
+  PortabilityReport report;
+  report.totalPlatforms = observations.size();
+  std::vector<std::optional<double>> efficiencies;
+  efficiencies.reserve(observations.size());
+  double minE = 1e300, maxE = -1e300;
+  for (const EfficiencyObservation& obs : observations) {
+    efficiencies.push_back(obs.efficiency);
+    if (obs.efficiency) {
+      ++report.supportedPlatforms;
+      minE = std::min(minE, *obs.efficiency);
+      maxE = std::max(maxE, *obs.efficiency);
+    }
+  }
+  if (report.supportedPlatforms > 0) {
+    report.minEfficiency = minE;
+    report.maxEfficiency = maxE;
+  }
+  report.pp = performancePortability(efficiencies);
+  return report;
+}
+
+}  // namespace rebench

@@ -1,0 +1,42 @@
+// Efficiency metrics (Principle 1) and the performance-portability metric
+// of Pennycook et al. that the paper's analysis builds on.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rebench {
+
+/// Architectural efficiency: achieved / theoretical peak, in [0, ~1].
+double architecturalEfficiency(double achieved, double peak);
+
+/// Application efficiency against the best-known implementation
+/// (Equation 1 of the paper generalises this: E = VAR / ORIG).
+double applicationEfficiency(double variant, double original);
+
+/// Pennycook's performance-portability metric: the harmonic mean of the
+/// per-platform efficiencies when the application runs everywhere in H,
+/// and 0 when any platform is unsupported (nullopt entry).
+double performancePortability(
+    std::span<const std::optional<double>> efficiencies);
+
+/// One (platform, efficiency) observation for PP reporting.
+struct EfficiencyObservation {
+  std::string platform;
+  std::optional<double> efficiency;  // nullopt: does not run
+};
+
+struct PortabilityReport {
+  double pp = 0.0;              // harmonic-mean metric
+  double minEfficiency = 0.0;   // worst supported platform
+  double maxEfficiency = 0.0;
+  std::size_t supportedPlatforms = 0;
+  std::size_t totalPlatforms = 0;
+};
+
+PortabilityReport analyzePortability(
+    std::span<const EfficiencyObservation> observations);
+
+}  // namespace rebench

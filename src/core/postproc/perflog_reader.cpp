@@ -1,0 +1,43 @@
+#include "core/postproc/perflog_reader.hpp"
+
+namespace rebench {
+
+DataFrame perflogToDataFrame(std::span<const PerfLogEntry> entries) {
+  DataFrame::StringColumn system, partition, environ, test, spec, fom, unit,
+      result;
+  DataFrame::NumericColumn value;
+  for (const PerfLogEntry& entry : entries) {
+    system.push_back(entry.system);
+    partition.push_back(entry.partition);
+    environ.push_back(entry.environ);
+    test.push_back(entry.testName);
+    spec.push_back(entry.spec);
+    fom.push_back(entry.fomName);
+    unit.push_back(std::string(unitName(entry.unit)));
+    result.push_back(entry.result);
+    value.push_back(entry.value);
+  }
+  DataFrame frame;
+  frame.addStrings("system", std::move(system));
+  frame.addStrings("partition", std::move(partition));
+  frame.addStrings("environ", std::move(environ));
+  frame.addStrings("test", std::move(test));
+  frame.addStrings("spec", std::move(spec));
+  frame.addStrings("fom", std::move(fom));
+  frame.addStrings("unit", std::move(unit));
+  frame.addStrings("result", std::move(result));
+  frame.addNumeric("value", std::move(value));
+  return frame;
+}
+
+DataFrame assimilatePerflogs(std::span<const std::string> paths) {
+  std::vector<DataFrame> frames;
+  frames.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const std::vector<PerfLogEntry> entries = PerfLog::readFile(path);
+    frames.push_back(perflogToDataFrame(entries));
+  }
+  return DataFrame::concat(frames);
+}
+
+}  // namespace rebench

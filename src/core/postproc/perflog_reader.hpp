@@ -1,0 +1,22 @@
+// Bridges perflogs into DataFrames (the "assimilate" step of Principle 6).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/framework/perflog.hpp"
+#include "core/postproc/dataframe.hpp"
+
+namespace rebench {
+
+/// Converts parsed perflog entries into a frame with columns:
+///   system, partition, environ, test, spec, fom, unit, result (strings)
+///   value, and any numeric extras prefixed "x_".
+DataFrame perflogToDataFrame(std::span<const PerfLogEntry> entries);
+
+/// Reads several perflog files (one per system, as generated on isolated
+/// machines) and concatenates them into one frame.
+DataFrame assimilatePerflogs(std::span<const std::string> paths);
+
+}  // namespace rebench

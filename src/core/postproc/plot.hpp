@@ -1,0 +1,59 @@
+// Plot renderers for the analysis step of Figure 1.
+//
+// Three output media: ASCII (terminal-readable, what the bench binaries
+// print), SVG (publication-shaped heatmaps/bars, mirrors the paper's Bokeh
+// proof-of-concept), and CSV (for external tooling).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/postproc/dataframe.hpp"
+
+namespace rebench {
+
+struct BarChartOptions {
+  std::string title;
+  int width = 50;            // characters for the longest bar
+  std::string valueSuffix;   // e.g. " GB/s"
+  std::optional<double> maxValue;  // default: data max
+};
+
+/// Horizontal ASCII bar chart from (label, value) pairs.
+std::string renderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<double>& values,
+                           const BarChartOptions& options = {});
+
+struct HeatmapOptions {
+  std::string title;
+  /// Values are fractions in [0,1] (efficiencies); cells print as percent.
+  bool asPercent = true;
+  /// Marker for missing cells (Fig. 2 uses "*" for unsupported combos).
+  std::string missingMarker = "*";
+};
+
+/// ASCII heatmap of a PivotTable; missing cells render the marker.
+std::string renderHeatmap(const PivotTable& table,
+                          const HeatmapOptions& options = {});
+
+/// SVG heatmap (one <rect> per cell with a perceptual single-hue ramp).
+std::string renderHeatmapSvg(const PivotTable& table,
+                             const HeatmapOptions& options = {});
+
+/// SVG grouped bar chart for (label, value) pairs.
+std::string renderBarChartSvg(const std::vector<std::string>& labels,
+                              const std::vector<double>& values,
+                              const BarChartOptions& options = {});
+
+/// Scaling / time-series ASCII plot: one line per series.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+std::string renderScalingPlot(const std::vector<Series>& series,
+                              const std::string& title, int width = 60,
+                              int height = 16);
+
+}  // namespace rebench

@@ -1,0 +1,100 @@
+// Performance-history tracking and regression detection — the CI-pipeline
+// capability the paper's conclusion calls for ("making changes in
+// performance as important as changes in answers", "measure and track the
+// performance portability of applications over time").
+//
+// A PerfHistory is the ordered series of FOM values one (test, system,
+// partition, fom) key produced across runs; detectors flag points that
+// fall outside either a fixed reference band (ReFrame-style) or a rolling
+// statistical band learned from the history itself.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/framework/perflog.hpp"
+
+namespace rebench {
+
+/// Identity of one tracked series.
+struct SeriesKey {
+  std::string system;
+  std::string partition;
+  std::string testName;
+  std::string fomName;
+
+  auto operator<=>(const SeriesKey&) const = default;
+  std::string toString() const;
+};
+
+struct HistoryPoint {
+  std::string timestamp;
+  double value = 0.0;
+  std::string binaryId;  // provenance: *what* produced this point
+};
+
+enum class RegressionKind {
+  kNone,
+  kDropBelowBand,   // performance fell below the expected band
+  kRiseAboveBand,   // suspicious improvement (config change? wrong size?)
+};
+
+struct RegressionEvent {
+  SeriesKey key;
+  std::size_t pointIndex = 0;
+  HistoryPoint point;
+  RegressionKind kind = RegressionKind::kNone;
+  double expected = 0.0;   // band centre at that point
+  double deviation = 0.0;  // fractional deviation from the centre
+  std::string detail;
+};
+
+struct DetectorOptions {
+  /// Points used to learn the rolling band (older points only; the point
+  /// under test never contributes to its own band).
+  std::size_t window = 8;
+  /// Minimum history before detection starts.
+  std::size_t minHistory = 4;
+  /// Band half-width as a multiple of the rolling standard deviation.
+  double sigmas = 3.0;
+  /// ... but never narrower than this fraction of the rolling mean
+  /// (guards against a freakishly quiet history flagging normal noise).
+  double minBandFraction = 0.05;
+};
+
+/// Performance history database, filled from perflog entries.
+class PerfHistory {
+ public:
+  void add(const PerfLogEntry& entry);
+  void addAll(std::span<const PerfLogEntry> entries);
+
+  std::vector<SeriesKey> keys() const;
+  const std::vector<HistoryPoint>& series(const SeriesKey& key) const;
+  bool has(const SeriesKey& key) const;
+
+  /// Runs the rolling-band detector over every series.
+  std::vector<RegressionEvent> detect(
+      const DetectorOptions& options = {}) const;
+
+  /// Fixed-band check of the latest point of one series against a
+  /// reference value (ReFrame semantics: value in
+  /// [ref*(1+lower), ref*(1+upper)]).
+  std::optional<RegressionEvent> checkAgainstReference(
+      const SeriesKey& key, double reference, double lowerFrac,
+      double upperFrac) const;
+
+ private:
+  std::map<SeriesKey, std::vector<HistoryPoint>> series_;
+};
+
+/// Renders an ASCII time-series with the flagged points marked — the
+/// "time-series regression plot" of §2.4.
+std::string renderHistoryPlot(const std::vector<HistoryPoint>& points,
+                              std::span<const RegressionEvent> events,
+                              const std::string& title, int width = 64,
+                              int height = 12);
+
+}  // namespace rebench

@@ -1,0 +1,43 @@
+// Summary statistics for repeated measurements — the reporting discipline
+// of Hoefler & Belli that the paper builds on: never a bare number, always
+// enough runs to quantify variability, medians and nonparametric spread
+// for skewed timing distributions, and a confidence interval for means.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace rebench {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;    // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;        // 25th percentile
+  double q3 = 0.0;        // 75th percentile
+  /// Half-width of the 95% confidence interval of the mean
+  /// (t-distribution for small n).
+  double ci95 = 0.0;
+  /// Coefficient of variation, stddev/mean (0 when mean == 0).
+  double cv = 0.0;
+};
+
+/// Computes the summary; throws Error on an empty sample.
+SummaryStats summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> samples, double p);
+
+/// One-line rendering: "median 12.3 [q1 11.9, q3 12.8], mean 12.4 ± 0.3
+/// (95% CI, n=10, CV 2.1%)".
+std::string renderStats(const SummaryStats& stats, int digits = 2);
+
+/// True when the sample is reportable by H&B standards: enough runs and
+/// variability below `maxCv`.
+bool isReportable(const SummaryStats& stats, std::size_t minRuns = 5,
+                  double maxCv = 0.10);
+
+}  // namespace rebench

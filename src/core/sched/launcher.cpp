@@ -1,0 +1,139 @@
+#include "core/sched/launcher.hpp"
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+
+std::vector<RankPlacement> computeRankLayout(const Allocation& alloc) {
+  REBENCH_REQUIRE(alloc.tasksPerNode > 0 && alloc.cpusPerTask > 0);
+  std::vector<RankPlacement> layout;
+  layout.reserve(alloc.numTasks);
+  for (int rank = 0; rank < alloc.numTasks; ++rank) {
+    const int nodeIndex = rank / alloc.tasksPerNode;
+    const int slot = rank % alloc.tasksPerNode;
+    RankPlacement placement;
+    placement.rank = rank;
+    placement.nodeId = nodeIndex < static_cast<int>(alloc.nodeIds.size())
+                           ? alloc.nodeIds[nodeIndex]
+                           : nodeIndex;
+    placement.firstCpu = slot * alloc.cpusPerTask;
+    placement.numCpus = alloc.cpusPerTask;
+    layout.push_back(placement);
+  }
+  return layout;
+}
+
+std::string_view launcherName(LauncherKind launcher) {
+  switch (launcher) {
+    case LauncherKind::kLocal: return "local";
+    case LauncherKind::kSrun: return "srun";
+    case LauncherKind::kMpirun: return "mpirun";
+    case LauncherKind::kAprun: return "aprun";
+  }
+  return "unknown";
+}
+
+std::string_view schedulerName(SchedulerKind scheduler) {
+  switch (scheduler) {
+    case SchedulerKind::kLocal: return "local";
+    case SchedulerKind::kSlurm: return "slurm";
+    case SchedulerKind::kPbs: return "pbs";
+  }
+  return "unknown";
+}
+
+std::string renderLaunchCommand(LauncherKind launcher,
+                                const Allocation& alloc,
+                                const std::string& executable,
+                                const std::vector<std::string>& args) {
+  std::string cmd;
+  switch (launcher) {
+    case LauncherKind::kLocal:
+      cmd = executable;
+      break;
+    case LauncherKind::kSrun:
+      cmd = "srun --ntasks=" + std::to_string(alloc.numTasks) +
+            " --ntasks-per-node=" + std::to_string(alloc.tasksPerNode) +
+            " --cpus-per-task=" + std::to_string(alloc.cpusPerTask) + " " +
+            executable;
+      break;
+    case LauncherKind::kMpirun:
+      cmd = "mpirun -np " + std::to_string(alloc.numTasks) + " --map-by ppr:" +
+            std::to_string(alloc.tasksPerNode) + ":node:pe=" +
+            std::to_string(alloc.cpusPerTask) + " " + executable;
+      break;
+    case LauncherKind::kAprun:
+      cmd = "aprun -n " + std::to_string(alloc.numTasks) + " -N " +
+            std::to_string(alloc.tasksPerNode) + " -d " +
+            std::to_string(alloc.cpusPerTask) + " " + executable;
+      break;
+  }
+  for (const std::string& arg : args) {
+    cmd += " " + arg;
+  }
+  return cmd;
+}
+
+namespace {
+
+std::string formatWalltime(double seconds) {
+  const int total = static_cast<int>(seconds);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", total / 3600,
+                (total / 60) % 60, total % 60);
+  return buf;
+}
+
+}  // namespace
+
+std::string renderJobScript(const PartitionConfig& partition,
+                            const JobScriptRequest& request) {
+  std::string out = "#!/bin/bash\n";
+  const int nodes =
+      (request.numTasks + request.tasksPerNode - 1) / request.tasksPerNode;
+  switch (partition.scheduler) {
+    case SchedulerKind::kSlurm:
+      out += "#SBATCH --job-name=" + request.jobName + "\n";
+      out += "#SBATCH --nodes=" + std::to_string(nodes) + "\n";
+      out += "#SBATCH --ntasks=" + std::to_string(request.numTasks) + "\n";
+      out += "#SBATCH --ntasks-per-node=" +
+             std::to_string(request.tasksPerNode) + "\n";
+      out += "#SBATCH --cpus-per-task=" +
+             std::to_string(request.cpusPerTask) + "\n";
+      out += "#SBATCH --time=" + formatWalltime(request.timeLimitSeconds) +
+             "\n";
+      out += "#SBATCH --partition=" + partition.name + "\n";
+      if (!request.account.empty()) {
+        out += "#SBATCH --account=" + request.account + "\n";
+      }
+      if (!request.qos.empty()) {
+        out += "#SBATCH --qos=" + request.qos + "\n";
+      }
+      break;
+    case SchedulerKind::kPbs:
+      out += "#PBS -N " + request.jobName + "\n";
+      out += "#PBS -l select=" + std::to_string(nodes) + ":mpiprocs=" +
+             std::to_string(request.tasksPerNode) + ":ncpus=" +
+             std::to_string(request.tasksPerNode * request.cpusPerTask) +
+             "\n";
+      out += "#PBS -l walltime=" + formatWalltime(request.timeLimitSeconds) +
+             "\n";
+      out += "#PBS -q " + partition.name + "\n";
+      if (!request.account.empty()) {
+        out += "#PBS -A " + request.account + "\n";
+      }
+      break;
+    case SchedulerKind::kLocal:
+      out += "# local execution (no scheduler)\n";
+      break;
+  }
+  out += "\n";
+  for (const std::string& module : request.moduleLoads) {
+    out += "module load " + module + "\n";
+  }
+  if (!request.moduleLoads.empty()) out += "\n";
+  out += request.launchCommand + "\n";
+  return out;
+}
+
+}  // namespace rebench

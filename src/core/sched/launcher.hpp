@@ -1,0 +1,54 @@
+// Parallel launcher abstraction (srun/mpirun/aprun stand-ins).
+//
+// Given a scheduler allocation, a launcher decides the rank→(node, cpus)
+// layout and renders the exact command line that reproduces the run
+// (Principle 5: the run procedure is captured, not remembered).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sched/scheduler.hpp"
+#include "core/sysconfig/system_config.hpp"
+
+namespace rebench {
+
+/// Placement of one MPI rank.
+struct RankPlacement {
+  int rank = 0;
+  int nodeId = 0;
+  int firstCpu = 0;  // first logical CPU of the rank's affinity set
+  int numCpus = 1;
+};
+
+/// Block-distributed rank layout for an allocation.
+std::vector<RankPlacement> computeRankLayout(const Allocation& alloc);
+
+/// Renders the launcher command ReFrame would have emitted for this
+/// allocation on a partition ("srun --ntasks=8 --ntasks-per-node=2 ...").
+std::string renderLaunchCommand(LauncherKind launcher,
+                                const Allocation& alloc,
+                                const std::string& executable,
+                                const std::vector<std::string>& args);
+
+std::string_view launcherName(LauncherKind launcher);
+std::string_view schedulerName(SchedulerKind scheduler);
+
+/// Renders the batch script the framework would submit on this partition
+/// (#SBATCH / #PBS headers + module loads + the launch line) — the
+/// Principle-5 artefact: the run procedure as a replayable document.
+struct JobScriptRequest {
+  std::string jobName;
+  int numTasks = 1;
+  int tasksPerNode = 1;
+  int cpusPerTask = 1;
+  double timeLimitSeconds = 3600.0;
+  std::string account;
+  std::string qos = "standard";
+  std::vector<std::string> moduleLoads;  // from the build plan's externals
+  std::string launchCommand;
+};
+std::string renderJobScript(const PartitionConfig& partition,
+                            const JobScriptRequest& request);
+
+}  // namespace rebench

@@ -1,0 +1,121 @@
+// Spack-like spec grammar.
+//
+// An *abstract* Spec is a constraint written by the user, e.g.
+//
+//   babelstream@4.0%gcc@9.2.0 +omp ^openmpi@4.0.3
+//
+//   name        package name ("babelstream")
+//   @...        version constraint
+//   %name@...   compiler constraint
+//   +v / ~v     boolean variant on/off
+//   key=value   string variant
+//   ^spec       constraint on a (transitive) dependency
+//
+// A *ConcreteSpec* is the concretizer's output: every version pinned, every
+// variant valued, every dependency resolved to another ConcreteSpec, plus
+// provenance (built from source vs reused system external) and a DAG hash.
+// This mirrors the split Spack itself makes and is what lets the framework
+// uphold Principle 4: the concrete DAG *is* the record of the build.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/util/version.hpp"
+
+namespace rebench {
+
+/// Variant values are booleans (+omp/~omp) or strings (backend=cuda).
+using VariantValue = std::variant<bool, std::string>;
+
+std::string variantToString(std::string_view name, const VariantValue& value);
+
+/// Compiler constraint attached with '%'.
+struct CompilerSpec {
+  std::string name;
+  VersionConstraint versions;
+
+  std::string toString() const;
+  bool operator==(const CompilerSpec&) const = default;
+};
+
+/// An abstract (possibly underconstrained) spec.
+class Spec {
+ public:
+  Spec() = default;
+  explicit Spec(std::string name) : name_(std::move(name)) {}
+
+  /// Parses the textual grammar above; throws ParseError on bad input.
+  static Spec parse(std::string_view text);
+
+  const std::string& name() const { return name_; }
+  const VersionConstraint& versions() const { return versions_; }
+  const std::optional<CompilerSpec>& compiler() const { return compiler_; }
+  const std::map<std::string, VariantValue>& variants() const {
+    return variants_;
+  }
+  const std::vector<Spec>& dependencies() const { return dependencies_; }
+
+  Spec& setVersions(VersionConstraint c);
+  Spec& setCompiler(CompilerSpec c);
+  Spec& setVariant(std::string name, VariantValue value);
+  Spec& addDependency(Spec dep);
+
+  /// True when every constraint in `other` is implied by this spec
+  /// (anonymous `other` name matches anything).
+  bool satisfies(const Spec& other) const;
+
+  /// Merges the constraints of `other` into this spec; throws
+  /// ConcretizationError when they conflict (e.g. disjoint versions).
+  void constrain(const Spec& other);
+
+  /// Canonical round-trippable text form.
+  std::string toString() const;
+
+ private:
+  std::string name_;
+  VersionConstraint versions_;
+  std::optional<CompilerSpec> compiler_;
+  std::map<std::string, VariantValue> variants_;
+  std::vector<Spec> dependencies_;
+};
+
+/// Fully-resolved spec; nodes are shared within a concretized DAG.
+struct ConcreteSpec {
+  std::string name;
+  Version version;
+  std::string compilerName;
+  Version compilerVersion;
+  std::map<std::string, VariantValue> variants;
+  std::map<std::string, std::shared_ptr<const ConcreteSpec>> dependencies;
+
+  /// True when the package was reused from the system installation rather
+  /// than (virtually) built from source.
+  bool external = false;
+  /// Module/prefix the external came from; informational.
+  std::string externalOrigin;
+
+  /// Stable hash over the full DAG (name, version, compiler, variants,
+  /// dependency hashes).  Equal hashes == reproducibly identical builds.
+  std::string dagHash() const;
+
+  /// Short "name@version%compiler" form.
+  std::string shortForm() const;
+
+  /// Full multi-line tree rendering, Spack "spack spec" style.
+  std::string tree() const;
+
+  /// Whether this concrete node satisfies an abstract constraint
+  /// (ignores the abstract spec's dependency constraints).
+  bool satisfiesNode(const Spec& abstract) const;
+
+  /// Depth-first search for a dependency by name (includes self).
+  const ConcreteSpec* find(std::string_view depName) const;
+};
+
+}  // namespace rebench

@@ -1,0 +1,301 @@
+// Builtin system configurations: the seven systems of the paper (Table 5)
+// plus "local", the host the test-suite runs on natively.
+//
+// The environments encode exactly the externals the paper reports:
+// Table 3's concretized dependencies are *derived* from these entries by
+// the concretizer, not hard-coded anywhere else.
+#include "core/sysconfig/system_config.hpp"
+
+namespace rebench {
+
+namespace {
+
+ExternalEntry external(std::string name, std::string version,
+                       std::string origin, std::string compilerName = {},
+                       std::string compilerVersion = {}) {
+  ExternalEntry e;
+  e.name = std::move(name);
+  e.version = Version::parse(version);
+  e.origin = std::move(origin);
+  e.compilerName = std::move(compilerName);
+  if (!compilerVersion.empty()) {
+    e.compilerVersion = Version::parse(compilerVersion);
+  }
+  return e;
+}
+
+CompilerEntry compiler(std::string name, std::string version,
+                       std::string modules = {}) {
+  return CompilerEntry{std::move(name), Version::parse(version),
+                       std::move(modules)};
+}
+
+SystemConfig makeArcher2() {
+  SystemConfig sys;
+  sys.name = "archer2";
+  sys.description = "ARCHER2 UK National Supercomputing Service (HPE Cray EX)";
+
+  PartitionConfig compute;
+  compute.name = "compute";
+  compute.scheduler = SchedulerKind::kSlurm;
+  compute.launcher = LauncherKind::kSrun;
+  compute.processor = {"AMD", "EPYC 7742 (Rome)", "x86_64", false, 2, 64,
+                       2.25};
+  compute.numNodes = 1024;  // simulated subset of the 5,860-node machine
+  compute.machineModel = "rome-7742";
+  // Calibrated against Table 4 (ARCHER2 row): see EXPERIMENTS.md.
+  compute.platformEfficiency = 0.0458;
+  compute.launchOverheadSeconds = 5.35e-6;
+  // HPE Slingshot-10.
+  compute.netLatencySeconds = 1.7e-6;
+  compute.netBandwidthGBs = 12.5;
+  compute.accessOptions = {"--qos=standard"};
+  compute.requiresAccount = true;
+  sys.partitions.push_back(compute);
+
+  sys.environment.systemName = sys.name;
+  sys.environment.defaultCompiler = "gcc";
+  sys.environment.compilers = {
+      compiler("gcc", "11.2.0", "PrgEnv-gnu/8.3.3"),
+      compiler("gcc", "10.3.0", "gcc/10.3.0"),
+      compiler("cce", "15.0.0", "PrgEnv-cray/8.3.3"),
+  };
+  sys.environment.externals = {
+      external("cray-mpich", "8.1.23", "cray-mpich/8.1.23", "gcc", "11.2.0"),
+      external("python", "3.10.12", "cray-python/3.10.12"),
+      external("cmake", "3.25.1", "cmake/3.25.1"),
+  };
+  sys.environment.preferredProviders["mpi"] = {"cray-mpich"};
+  return sys;
+}
+
+SystemConfig makeCosma8() {
+  SystemConfig sys;
+  sys.name = "cosma8";
+  sys.description = "DiRAC COSMA8 (Durham) — dual AMD Rome 7H12";
+
+  PartitionConfig compute;
+  compute.name = "compute";
+  compute.scheduler = SchedulerKind::kSlurm;
+  compute.launcher = LauncherKind::kMpirun;
+  compute.processor = {"AMD", "EPYC 7H12 (Rome)", "x86_64", false, 2, 64,
+                       2.6};
+  compute.numNodes = 360;
+  compute.machineModel = "rome-7h12";
+  // Calibrated against Table 4 (COSMA8 row): see EXPERIMENTS.md.
+  compute.platformEfficiency = 0.0396;
+  compute.launchOverheadSeconds = 1.0e-6;
+  // Mellanox HDR200 InfiniBand.
+  compute.netLatencySeconds = 1.1e-6;
+  compute.netBandwidthGBs = 25.0;
+  compute.requiresAccount = true;
+  sys.partitions.push_back(compute);
+
+  sys.environment.systemName = sys.name;
+  sys.environment.compilers = {
+      compiler("gcc", "11.1.0", "gnu_comp/11.1.0"),
+      compiler("gcc", "9.3.0", "gnu_comp/9.3.0"),
+  };
+  sys.environment.externals = {
+      external("mvapich", "2.3.6", "mvapich2/2.3.6", "gcc", "11.1.0"),
+      external("python", "2.7.15", "python/2.7.15"),
+  };
+  sys.environment.preferredProviders["mpi"] = {"mvapich"};
+  return sys;
+}
+
+SystemConfig makeCsd3() {
+  SystemConfig sys;
+  sys.name = "csd3";
+  sys.description =
+      "Cambridge Service for Data Driven Discovery — Cascade Lake partition";
+
+  PartitionConfig compute;
+  compute.name = "cclake";
+  compute.scheduler = SchedulerKind::kSlurm;
+  compute.launcher = LauncherKind::kMpirun;
+  compute.processor = {"Intel", "Xeon Platinum 8276 (Cascade Lake)", "x86_64",
+                       false, 2, 28, 2.2};
+  compute.numNodes = 672;
+  compute.machineModel = "clx-8276";
+  // Calibrated against Table 4 (CSD3 row): see EXPERIMENTS.md.
+  compute.platformEfficiency = 0.0953;
+  compute.launchOverheadSeconds = 1.24e-5;
+  // HDR100 InfiniBand.
+  compute.netLatencySeconds = 1.3e-6;
+  compute.netBandwidthGBs = 12.5;
+  compute.requiresAccount = true;
+  sys.partitions.push_back(compute);
+
+  sys.environment.systemName = sys.name;
+  sys.environment.compilers = {
+      compiler("gcc", "11.2.0", "gcc/11.2.0"),
+      compiler("oneapi", "2022.2.0", "intel-oneapi-compilers/2022.2.0"),
+  };
+  sys.environment.externals = {
+      external("openmpi", "4.0.4", "openmpi/4.0.4", "gcc", "11.2.0"),
+      external("python", "3.8.2", "python/3.8.2"),
+  };
+  sys.environment.preferredProviders["mpi"] = {"openmpi"};
+  return sys;
+}
+
+SystemConfig makeIsambard() {
+  SystemConfig sys;
+  sys.name = "isambard";
+  sys.description = "Isambard 2 XCI — Marvell ThunderX2 (Arm)";
+
+  PartitionConfig xci;
+  xci.name = "xci";
+  xci.scheduler = SchedulerKind::kPbs;
+  xci.launcher = LauncherKind::kAprun;
+  xci.processor = {"Marvell", "ThunderX2 CN9980", "aarch64", false, 2, 32,
+                   2.5};
+  xci.numNodes = 329;
+  xci.machineModel = "thunderx2";
+  xci.platformEfficiency = 0.025;
+  xci.launchOverheadSeconds = 2.0e-5;
+  // Cray Aries.
+  xci.netLatencySeconds = 1.9e-6;
+  xci.netBandwidthGBs = 10.0;
+  sys.partitions.push_back(xci);
+
+  sys.environment.systemName = sys.name;
+  sys.environment.compilers = {
+      compiler("gcc", "10.3.0", "gcc/10.3.0"),
+      compiler("gcc", "9.2.0", "gcc/9.2.0"),
+  };
+  sys.environment.externals = {
+      external("openmpi", "4.0.3", "openmpi/4.0.3", "gcc", "9.2.0"),
+      external("python", "3.7.5", "python/3.7.5"),
+  };
+  sys.environment.preferredProviders["mpi"] = {"openmpi"};
+  return sys;
+}
+
+SystemConfig makeIsambardMacs() {
+  SystemConfig sys;
+  sys.name = "isambard-macs";
+  sys.description = "Isambard Multi-Architecture Comparison System";
+
+  PartitionConfig clx;
+  clx.name = "cascadelake";
+  clx.scheduler = SchedulerKind::kPbs;
+  clx.launcher = LauncherKind::kMpirun;
+  clx.processor = {"Intel", "Xeon Gold 6230 (Cascade Lake)", "x86_64", false,
+                   2, 20, 2.1};
+  clx.numNodes = 4;
+  clx.machineModel = "clx-6230";
+  // Calibrated against Table 4 (Isambard CLX row): see EXPERIMENTS.md.
+  clx.platformEfficiency = 0.0232;
+  clx.launchOverheadSeconds = 2.49e-5;
+  // EDR InfiniBand.
+  clx.netLatencySeconds = 1.5e-6;
+  clx.netBandwidthGBs = 12.0;
+  sys.partitions.push_back(clx);
+
+  PartitionConfig volta;
+  volta.name = "volta";
+  volta.scheduler = SchedulerKind::kPbs;
+  volta.launcher = LauncherKind::kLocal;
+  volta.processor = {"NVIDIA", "Tesla V100 PCIe 16GB", "sm_70", true, 1, 80,
+                     1.245};
+  volta.numNodes = 1;
+  volta.machineModel = "v100";
+  sys.partitions.push_back(volta);
+
+  sys.environment.systemName = sys.name;
+  // The paper pins GCC 9.2.0 here: "the build system has conflicts with
+  // newer versions" (§3.1) — so 9.2.0 is the *only* gcc on this system.
+  sys.environment.compilers = {
+      compiler("gcc", "9.2.0", "gcc/9.2.0"),
+      compiler("oneapi", "2023.1.0", "oneapi/2023.1.0"),
+      compiler("nvhpc", "22.11", "nvhpc/22.11"),
+  };
+  sys.environment.externals = {
+      external("openmpi", "4.0.3", "openmpi/4.0.3", "gcc", "9.2.0"),
+      external("python", "3.7.5", "python/3.7.5"),
+      external("cuda", "11.2.2", "cuda/11.2.2"),
+      external("intel-tbb", "2021.4.0", "oneapi/tbb/2021.4.0"),
+  };
+  sys.environment.preferredProviders["mpi"] = {"openmpi"};
+  return sys;
+}
+
+SystemConfig makeNoctua2() {
+  SystemConfig sys;
+  sys.name = "noctua2";
+  sys.description = "Noctua 2 (Paderborn PC2) — AMD Milan 7763";
+
+  PartitionConfig compute;
+  compute.name = "normal";
+  compute.scheduler = SchedulerKind::kSlurm;
+  compute.launcher = LauncherKind::kSrun;
+  compute.processor = {"AMD", "EPYC 7763 (Milan)", "x86_64", false, 2, 64,
+                       2.45};
+  compute.numNodes = 990;
+  compute.machineModel = "milan-7763";
+  compute.platformEfficiency = 0.075;
+  compute.launchOverheadSeconds = 1.0e-5;
+  // HDR200 InfiniBand.
+  compute.netLatencySeconds = 1.1e-6;
+  compute.netBandwidthGBs = 25.0;
+  compute.requiresAccount = true;
+  sys.partitions.push_back(compute);
+
+  sys.environment.systemName = sys.name;
+  sys.environment.compilers = {
+      compiler("gcc", "12.1.0", "gcc/12.1.0"),
+      compiler("oneapi", "2023.1.0", "oneapi/2023.1.0"),
+  };
+  sys.environment.externals = {
+      external("openmpi", "4.1.4", "openmpi/4.1.4", "gcc", "12.1.0"),
+      external("python", "3.11.4", "python/3.11.4"),
+      external("intel-tbb", "2021.9.0", "oneapi/tbb/2021.9.0"),
+  };
+  sys.environment.preferredProviders["mpi"] = {"openmpi"};
+  return sys;
+}
+
+SystemConfig makeLocal() {
+  SystemConfig sys;
+  sys.name = "local";
+  sys.description = "The host this process runs on (native execution)";
+
+  PartitionConfig part;
+  part.name = "default";
+  part.scheduler = SchedulerKind::kLocal;
+  part.launcher = LauncherKind::kLocal;
+  // Thread-backed ranks oversubscribe happily; expose a few logical
+  // CPUs so small MPI jobs (OSU pt2pt, 2-rank solvers) fit on the node.
+  part.processor = {"generic", "host CPU", "native", false, 1, 4, 0.0};
+  part.numNodes = 1;
+  part.machineModel = "";  // native timing, no model
+  sys.partitions.push_back(part);
+
+  sys.environment.systemName = sys.name;
+  sys.environment.compilers = {compiler("gcc", "12.2.0", "system")};
+  sys.environment.externals = {
+      external("openmpi", "4.1.4", "system", "gcc", "12.2.0"),
+      external("python", "3.11.4", "system"),
+      external("cmake", "3.25.1", "system"),
+  };
+  sys.environment.preferredProviders["mpi"] = {"openmpi"};
+  return sys;
+}
+
+}  // namespace
+
+SystemRegistry builtinSystems() {
+  SystemRegistry reg;
+  reg.add(makeArcher2());
+  reg.add(makeCosma8());
+  reg.add(makeCsd3());
+  reg.add(makeIsambard());
+  reg.add(makeIsambardMacs());
+  reg.add(makeNoctua2());
+  reg.add(makeLocal());
+  return reg;
+}
+
+}  // namespace rebench

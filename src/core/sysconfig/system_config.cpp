@@ -1,0 +1,63 @@
+#include "core/sysconfig/system_config.hpp"
+
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+const PartitionConfig* SystemConfig::findPartition(
+    std::string_view partition) const {
+  for (const PartitionConfig& p : partitions) {
+    if (p.name == partition) return &p;
+  }
+  return nullptr;
+}
+
+void SystemRegistry::add(SystemConfig config) {
+  systems_.push_back(std::move(config));
+}
+
+const SystemConfig& SystemRegistry::get(std::string_view systemName) const {
+  for (const SystemConfig& sys : systems_) {
+    if (sys.name == systemName) return sys;
+  }
+  throw NotFoundError("unknown system '" + std::string(systemName) + "'");
+}
+
+bool SystemRegistry::has(std::string_view systemName) const {
+  for (const SystemConfig& sys : systems_) {
+    if (sys.name == systemName) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SystemRegistry::systemNames() const {
+  std::vector<std::string> out;
+  out.reserve(systems_.size());
+  for (const SystemConfig& sys : systems_) out.push_back(sys.name);
+  return out;
+}
+
+std::pair<const SystemConfig*, const PartitionConfig*> SystemRegistry::resolve(
+    std::string_view target) const {
+  const std::size_t colon = target.find(':');
+  const std::string_view systemName =
+      colon == std::string_view::npos ? target : target.substr(0, colon);
+  const SystemConfig& sys = get(systemName);
+  if (colon == std::string_view::npos) {
+    if (sys.partitions.empty()) {
+      throw NotFoundError("system '" + std::string(systemName) +
+                          "' has no partitions");
+    }
+    return {&sys, &sys.partitions.front()};
+  }
+  const std::string_view partName = target.substr(colon + 1);
+  const PartitionConfig* part = sys.findPartition(partName);
+  if (part == nullptr) {
+    throw NotFoundError("system '" + std::string(systemName) +
+                        "' has no partition '" + std::string(partName) + "'");
+  }
+  return {&sys, part};
+}
+
+}  // namespace rebench

@@ -1,0 +1,94 @@
+// System and partition descriptions — the ReFrame-style configuration that
+// separates *where* a benchmark runs from *what* the benchmark is (§2.3).
+// The builtin registry encodes the seven systems of the paper (Table 5),
+// including their software environments (Table 3's externals).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/concretizer/environment.hpp"
+
+namespace rebench {
+
+/// Hardware description of a partition's node type (paper Tables 1 & 5).
+struct ProcessorInfo {
+  std::string vendor;       // "Intel", "AMD", "Marvell", "NVIDIA"
+  std::string model;        // "Xeon Platinum 8276 (Cascade Lake)"
+  std::string arch;         // "x86_64", "aarch64", "sm_70"
+  bool isGpu = false;
+  int sockets = 2;
+  int coresPerSocket = 0;   // CUs for GPUs
+  double baseClockGhz = 0.0;
+
+  int totalCores() const { return sockets * coresPerSocket; }
+};
+
+enum class SchedulerKind { kLocal, kSlurm, kPbs };
+enum class LauncherKind { kLocal, kSrun, kMpirun, kAprun };
+
+/// One scheduler partition of a system.
+struct PartitionConfig {
+  std::string name;                    // "compute", "cascadelake", ...
+  SchedulerKind scheduler = SchedulerKind::kSlurm;
+  LauncherKind launcher = LauncherKind::kSrun;
+  ProcessorInfo processor;
+  int numNodes = 1;
+  /// Key of the machine model in the sim registry driving modelled runs;
+  /// empty for native-only partitions (the "local" system).
+  std::string machineModel;
+  /// Scheduler access options every job must carry (qos/account flags the
+  /// appendix documents, e.g. "-J--qos=standard" on ARCHER2).
+  std::vector<std::string> accessOptions;
+  bool requiresAccount = false;
+  /// Default wall-clock limit for jobs, seconds (simulated time).
+  double defaultTimeLimit = 3600.0;
+  /// Fraction of the machine model's achievable performance this
+  /// *platform* (software stack, MPI library, filesystem, BIOS tuning...)
+  /// sustains in practice.  §3.3's point: the same architecture on two
+  /// systems performs very differently; this knob is where that
+  /// platform-not-architecture character lives.
+  double platformEfficiency = 1.0;
+  /// Fixed overhead per kernel launch / communication step on this
+  /// platform, seconds (MPI latency, jitter).
+  double launchOverheadSeconds = 30.0e-6;
+  /// Interconnect character (for MPI micro-benchmark modelling): one-way
+  /// small-message latency and per-link streaming bandwidth.
+  double netLatencySeconds = 1.5e-6;
+  double netBandwidthGBs = 12.5;
+};
+
+/// A complete system: partitions + software environment.
+struct SystemConfig {
+  std::string name;         // "archer2", "isambard-macs", ...
+  std::string description;
+  std::vector<PartitionConfig> partitions;
+  SystemEnvironment environment;
+
+  const PartitionConfig* findPartition(std::string_view partition) const;
+};
+
+/// Registry of known systems, addressable as "system" or
+/// "system:partition" exactly like ReFrame's --system flag.
+class SystemRegistry {
+ public:
+  void add(SystemConfig config);
+
+  const SystemConfig& get(std::string_view systemName) const;
+  bool has(std::string_view systemName) const;
+  std::vector<std::string> systemNames() const;
+
+  /// Resolves "system[:partition]"; when the partition is omitted the
+  /// system's first partition is returned.  Throws NotFoundError.
+  std::pair<const SystemConfig*, const PartitionConfig*> resolve(
+      std::string_view target) const;
+
+ private:
+  std::vector<SystemConfig> systems_;
+};
+
+/// The systems used in the paper plus "local" (this host).
+SystemRegistry builtinSystems();
+
+}  // namespace rebench

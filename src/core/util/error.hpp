@@ -1,0 +1,72 @@
+// Error handling primitives for rebench.
+//
+// The framework follows the C++ Core Guidelines (E.2): errors that prevent a
+// function from meeting its postcondition are reported by throwing an
+// exception derived from rebench::Error.  Expected, recoverable outcomes
+// (e.g. a benchmark failing its sanity check) are modelled as values, not
+// exceptions.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rebench {
+
+/// Base class of all exceptions thrown by rebench itself.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed user input: spec strings, configuration files, CLI values.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A lookup for a named entity (package, system, machine model...) failed.
+class NotFoundError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The concretizer could not satisfy a constraint set.
+class ConcretizationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A scheduler request was invalid or could not be honoured.
+class SchedulerError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation; indicates a bug in rebench, not user error.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throwInternal(std::string_view expr,
+                                       const std::source_location& loc) {
+  throw InternalError("invariant violated: " + std::string(expr) + " at " +
+                      loc.file_name() + ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+/// Checks an internal invariant; throws InternalError on failure.  Active in
+/// all build types: benchmarking correctness matters more than the few
+/// branches this costs outside of inner kernels (kernels use plain asserts).
+#define REBENCH_REQUIRE(expr)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::rebench::detail::throwInternal(#expr,                              \
+                                       std::source_location::current());   \
+    }                                                                      \
+  } while (false)
+
+}  // namespace rebench

@@ -1,0 +1,55 @@
+#include "core/util/hash.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace rebench {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001b3ull;
+}
+
+Hasher& Hasher::update(std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    state_ ^= c;
+    state_ *= kPrime;
+  }
+  // Length marker prevents concatenation ambiguity ("ab"+"c" vs "a"+"bc").
+  return update(static_cast<std::uint64_t>(bytes.size()));
+}
+
+Hasher& Hasher::update(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (value >> (8 * i)) & 0xffu;
+    state_ *= kPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::update(double value) {
+  return update(std::bit_cast<std::uint64_t>(value));
+}
+
+std::string Hasher::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(state_));
+  return buf;
+}
+
+std::string Hasher::shortHash() const {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz234567";
+  std::string out;
+  std::uint64_t s = state_;
+  for (int i = 0; i < 7; ++i) {
+    out += kAlphabet[s & 31];
+    s >>= 5;
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  return Hasher{}.update(bytes).digest();
+}
+
+}  // namespace rebench

@@ -1,0 +1,35 @@
+// Deterministic content hashing used for build provenance (Principle 3/4):
+// every build plan, concretized spec and perflog entry carries a stable hash
+// so that "the same build" is a checkable property, not a hope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rebench {
+
+/// Incremental FNV-1a (64-bit).  Not cryptographic; used for provenance
+/// fingerprints where collision resistance at the 2^-32 level suffices.
+class Hasher {
+ public:
+  Hasher& update(std::string_view bytes);
+  Hasher& update(std::uint64_t value);
+  Hasher& update(double value);
+
+  std::uint64_t digest() const { return state_; }
+
+  /// 16-hex-character digest, the form stored in logs and file names.
+  std::string hex() const;
+
+  /// Spack-style short hash (first 7 chars of a base32-like encoding).
+  std::string shortHash() const;
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/// One-shot convenience.
+std::uint64_t fnv1a(std::string_view bytes);
+
+}  // namespace rebench

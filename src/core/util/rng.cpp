@@ -1,0 +1,28 @@
+#include "core/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/util/hash.hpp"
+
+namespace rebench {
+
+Rng Rng::fromKey(std::string_view key) { return Rng(fnv1a(key)); }
+
+double Rng::normal() {
+  // Marsaglia polar method; loop terminates with probability 1.
+  while (true) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::noiseFactor(double sigma) {
+  return std::max(0.05, 1.0 + sigma * normal());
+}
+
+}  // namespace rebench

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// Reproducibility (the point of the paper) forbids nondeterministic seeds:
+// every stochastic element of the simulation — run-to-run timing noise,
+// scheduler jitter, synthetic workloads — derives its stream from an
+// explicit (experiment, machine, iteration) key so results replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rebench {
+
+/// SplitMix64: used to expand string keys into seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, and trivially seedable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Derives a generator from a textual key; equal keys → equal streams.
+  static Rng fromKey(std::string_view key);
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Multiplicative noise factor: 1 + N(0, sigma), clamped to stay positive.
+  double noiseFactor(double sigma);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace rebench

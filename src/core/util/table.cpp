@@ -1,0 +1,54 @@
+#include "core/util/table.hpp"
+
+#include <algorithm>
+
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+void AsciiTable::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::addRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  auto renderRow = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string{};
+      if (i != 0) line += "  ";
+      line += (i == 0) ? str::padRight(cell, widths[i])
+                       : str::padLeft(cell, widths[i]);
+    }
+    // Trailing spaces make diffs noisy; trim them.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  if (!widths.empty()) total += 2 * (widths.size() - 1);
+  if (!header_.empty()) {
+    out += renderRow(header_);
+    out += std::string(total, '-') + "\n";
+  }
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+}  // namespace rebench

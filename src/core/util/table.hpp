@@ -1,0 +1,29 @@
+// Plain-text table renderer used by every bench binary to print the
+// paper's tables in the same row/column shape as published.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rebench {
+
+class AsciiTable {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+
+  /// Right-aligns every column except the first (label) column.
+  std::string render() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rebench

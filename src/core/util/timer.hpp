@@ -1,0 +1,25 @@
+// Wall-clock timing for native kernel runs.
+#pragma once
+
+#include <chrono>
+
+namespace rebench {
+
+/// Monotonic stopwatch; `elapsed()` returns seconds since construction or
+/// the last `reset()`.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rebench

@@ -1,0 +1,60 @@
+#include "core/util/units.hpp"
+
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+std::string_view unitName(Unit u) {
+  switch (u) {
+    case Unit::kNone: return "";
+    case Unit::kSeconds: return "s";
+    case Unit::kGBperSec: return "GB/s";
+    case Unit::kMBperSec: return "MB/s";
+    case Unit::kGFlopPerSec: return "GFlop/s";
+    case Unit::kMDofPerSec: return "MDOF/s";
+    case Unit::kCount: return "count";
+    case Unit::kJoules: return "J";
+    case Unit::kWatts: return "W";
+  }
+  return "";
+}
+
+Unit unitFromName(std::string_view name) {
+  for (Unit u : {Unit::kNone, Unit::kSeconds, Unit::kGBperSec, Unit::kMBperSec,
+                 Unit::kGFlopPerSec, Unit::kMDofPerSec, Unit::kCount,
+                 Unit::kJoules, Unit::kWatts}) {
+    if (unitName(u) == name) return u;
+  }
+  throw ParseError("unknown unit: '" + std::string(name) + "'");
+}
+
+bool higherIsBetter(Unit u) {
+  switch (u) {
+    case Unit::kSeconds:
+    case Unit::kJoules:
+    case Unit::kWatts:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string formatQuantity(double value, Unit u) {
+  int digits = 2;
+  if (u == Unit::kSeconds) digits = 5;
+  if (u == Unit::kCount) digits = 0;
+  std::string out = str::fixed(value, digits);
+  const std::string_view name = unitName(u);
+  if (!name.empty()) {
+    out += ' ';
+    out += name;
+  }
+  return out;
+}
+
+std::string formatMegabytes(double bytes) {
+  return str::fixed(bytes / 1.0e6, 1) + " MB";
+}
+
+}  // namespace rebench

@@ -1,0 +1,39 @@
+// Units used by Figures of Merit.  Keeping units as typed values (rather
+// than free-form strings) lets the post-processor refuse to aggregate
+// incompatible series — one of the silent-error classes Principle 6 targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rebench {
+
+enum class Unit : std::uint8_t {
+  kNone,         // dimensionless (ratios, efficiencies)
+  kSeconds,      // runtime
+  kGBperSec,     // memory bandwidth
+  kMBperSec,     // BabelStream's native output unit
+  kGFlopPerSec,  // HPCG figure of merit
+  kMDofPerSec,   // HPGMG figure of merit (10^6 DOF/s)
+  kCount,        // iteration counts etc.
+  kJoules,       // future work in the paper: energy capture
+  kWatts,
+};
+
+/// Canonical display string ("GB/s", "GFlop/s", ...).
+std::string_view unitName(Unit u);
+
+/// Inverse of unitName; throws ParseError for unknown names.
+Unit unitFromName(std::string_view name);
+
+/// True for units where larger values mean better performance.
+bool higherIsBetter(Unit u);
+
+/// Formats "value unit" with a sensible precision per unit.
+std::string formatQuantity(double value, Unit u);
+
+/// Byte-size helper: "4295.0 MB" style formatting used in §3.1.
+std::string formatMegabytes(double bytes);
+
+}  // namespace rebench

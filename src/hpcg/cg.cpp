@@ -1,0 +1,161 @@
+#include "hpcg/cg.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "core/util/error.hpp"
+#include "hpcg/mg_preconditioner.hpp"
+
+namespace rebench::hpcg {
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b,
+           minimpi::Comm* comm, CgCounters& counters) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  counters.flops += 2.0 * static_cast<double>(a.size());
+  counters.bytes += 16.0 * static_cast<double>(a.size());
+  if (comm != nullptr) {
+    sum = comm->allreduce(sum, minimpi::Op::kSum);
+    ++counters.allreduces;
+  }
+  return sum;
+}
+
+// y = x + alpha * y (HPCG's WAXPBY shape).
+void xpay(std::span<const double> x, double alpha, std::span<double> y,
+          CgCounters& counters) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + alpha * y[i];
+  counters.flops += 2.0 * static_cast<double>(x.size());
+  counters.bytes += 24.0 * static_cast<double>(x.size());
+}
+
+// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y,
+          CgCounters& counters) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  counters.flops += 2.0 * static_cast<double>(x.size());
+  counters.bytes += 24.0 * static_cast<double>(x.size());
+}
+
+}  // namespace
+
+HaloExchanger::HaloExchanger(const Geometry& geometry, minimpi::Comm* comm)
+    : geo_(geometry), comm_(comm) {
+  lo_.resize(geo_.planePoints());
+  hi_.resize(geo_.planePoints());
+}
+
+HaloView HaloExchanger::exchange(std::span<const double> x, int baseTag) {
+  HaloView halo;
+  if (comm_ == nullptr) return halo;
+  const std::size_t P = geo_.planePoints();
+  const int rank = comm_->rank();
+  ++count_;
+
+  // Send own boundary planes, then receive the neighbours'.  Pairwise
+  // ordering (send both first) avoids deadlock with thread-backed ranks.
+  if (geo_.hasLowerNeighbor()) {
+    comm_->send<double>(rank - 1, baseTag, x.subspan(0, P));
+  }
+  if (geo_.hasUpperNeighbor()) {
+    comm_->send<double>(rank + 1, baseTag + 1, x.subspan(x.size() - P, P));
+  }
+  if (geo_.hasLowerNeighbor()) {
+    comm_->recv<double>(rank - 1, baseTag + 1, std::span<double>(lo_));
+    halo.lo = lo_.data();
+  }
+  if (geo_.hasUpperNeighbor()) {
+    comm_->recv<double>(rank + 1, baseTag, std::span<double>(hi_));
+    halo.hi = hi_.data();
+  }
+  return halo;
+}
+
+CgResult conjugateGradient(const Operator& A, std::span<const double> b,
+                           const CgOptions& options, minimpi::Comm* comm) {
+  const std::size_t n = A.n();
+  REBENCH_REQUIRE(b.size() == n);
+
+  CgResult result;
+  CgCounters& counters = result.counters;
+  HaloExchanger halos(A.geometry(), comm);
+
+  std::unique_ptr<MgPreconditioner> mg;
+  if (options.preconditioned && options.useMultigrid) {
+    mg = std::make_unique<MgPreconditioner>(
+        variantFromName(A.name()), A.geometry(), options.multigridLevels);
+    if (mg->numLevels() < 2) mg.reset();  // geometry too small: SYMGS
+  }
+
+  std::vector<double> x(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());  // r = b - A*0 = b
+  std::vector<double> z(n, 0.0);
+  std::vector<double> p(n, 0.0);
+  std::vector<double> Ap(n, 0.0);
+
+  auto applyA = [&](std::span<const double> v, std::span<double> out) {
+    const HaloView halo = halos.exchange(v, /*baseTag=*/10);
+    A.apply(v, halo, out);
+    counters.flops += A.applyFlops();
+    counters.bytes += A.applyBytes();
+  };
+  auto applyM = [&](std::span<const double> rr, std::span<double> zz) {
+    if (options.preconditioned && mg) {
+      MgCounters mgCounters;
+      mg->apply(A, rr, zz, &mgCounters);
+      counters.flops += mgCounters.flops;
+      counters.bytes += mgCounters.bytes;
+    } else if (options.preconditioned) {
+      A.precondition(rr, zz);
+      counters.flops += A.precondFlops();
+      counters.bytes += A.precondBytes();
+    } else {
+      std::copy(rr.begin(), rr.end(), zz.begin());
+      counters.bytes += 16.0 * static_cast<double>(n);
+    }
+  };
+
+  result.initialResidualNorm = std::sqrt(dot(r, r, comm, counters));
+  double rtz = 0.0;
+
+  for (int iter = 0; iter < options.maxIterations; ++iter) {
+    applyM(r, z);
+    const double rtzOld = rtz;
+    rtz = dot(r, z, comm, counters);
+    if (iter == 0) {
+      std::copy(z.begin(), z.end(), p.begin());
+      counters.bytes += 16.0 * static_cast<double>(n);
+    } else {
+      REBENCH_REQUIRE(rtzOld != 0.0);
+      xpay(z, rtz / rtzOld, p, counters);  // p = z + beta p
+    }
+    applyA(p, Ap);
+    const double pAp = dot(p, Ap, comm, counters);
+    REBENCH_REQUIRE(pAp > 0.0);  // SPD sanity: fails on a broken operator
+    const double alpha = rtz / pAp;
+    axpy(alpha, p, x, counters);    // x += alpha p
+    axpy(-alpha, Ap, r, counters);  // r -= alpha Ap
+    const double rnorm = std::sqrt(dot(r, r, comm, counters));
+    result.residualHistory.push_back(rnorm);
+    ++counters.iterations;
+    if (options.tolerance > 0.0 &&
+        rnorm <= options.tolerance * result.initialResidualNorm) {
+      result.converged = true;
+      break;
+    }
+  }
+  counters.haloExchanges = halos.exchangesPerformed();
+  result.finalResidualNorm =
+      result.residualHistory.empty() ? result.initialResidualNorm
+                                     : result.residualHistory.back();
+  if (options.tolerance == 0.0) {
+    result.converged =
+        result.finalResidualNorm < result.initialResidualNorm;
+  }
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace rebench::hpcg

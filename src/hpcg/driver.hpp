@@ -1,0 +1,63 @@
+// HPCG benchmark driver: sets up b = A·1, runs preconditioned CG, checks
+// the solution, and reports GFlop/s — natively (wall-clock) or projected
+// onto a paper platform (roofline over the solver's exact counters).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hpcg/cg.hpp"
+#include "sim/machine.hpp"
+#include "sim/roofline.hpp"
+
+namespace rebench::hpcg {
+
+struct HpcgConfig {
+  Variant variant = Variant::kCsr;
+  int gridSize = 32;   // per-rank cube edge (paper runs use 104 per rank)
+  int numRanks = 1;
+  int iterations = 50;
+  /// Precondition with the HPCG-style multigrid V-cycle instead of
+  /// single-level SYMGS (the Table 2 calibration uses SYMGS).
+  bool multigrid = false;
+};
+
+struct HpcgResult {
+  std::string variant;
+  int gridSize = 0;
+  int numRanks = 0;
+  int iterations = 0;
+  double gflops = 0.0;
+  double seconds = 0.0;
+  double finalResidual = 0.0;
+  double solutionError = 0.0;  // ||x - 1||_inf after the run
+  bool validated = false;
+  CgCounters counters;
+};
+
+/// Runs the benchmark natively with minimpi ranks and wall-clock timing.
+HpcgResult runNative(const HpcgConfig& config);
+
+/// Projects a paper-scale configuration onto `machine`.  The counters are
+/// measured by executing the real solver at `calibrationGrid` (per-rank)
+/// size, then scaled to `config` — per-point work is size-independent for
+/// these operators.  The per-(variant, machine) efficiency calibration is
+/// in variantEfficiency() below.
+HpcgResult runModeled(const HpcgConfig& config, const MachineModel& machine,
+                      int calibrationGrid = 24,
+                      const std::string& noiseSalt = {});
+
+/// Calibrated roofline efficiency for a variant on a machine.  These four
+/// knobs per platform are the substitution for "the authors' compilers and
+/// vendor binaries"; EXPERIMENTS.md documents the calibration.
+ExecutionEfficiency variantEfficiency(Variant variant,
+                                      const MachineModel& machine);
+
+/// True when the variant exists on the platform (Intel's vendor binary is
+/// x86/AVX-only: "N/A" on AMD Rome in Table 2 and on aarch64).
+bool variantAvailable(Variant variant, const MachineModel& machine);
+
+/// Renders the benchmark's stdout (parsed by the framework regexes).
+std::string formatOutput(const HpcgResult& result);
+
+}  // namespace rebench::hpcg

@@ -1,0 +1,61 @@
+// Geometric multigrid preconditioner in the shape of real HPCG's:
+// a fixed hierarchy coarsened by 2 per dimension, one SYMGS pre-smooth
+// and one post-smooth per level, injection transfers, and a single SYMGS
+// sweep as the coarsest-level "solve".
+//
+// Like real HPCG's MG, smoothing is rank-local (halos frozen); the
+// hierarchy therefore composes with the distributed CG without extra
+// communication per level.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hpcg/operator.hpp"
+
+namespace rebench::hpcg {
+
+struct MgCounters {
+  double flops = 0.0;
+  double bytes = 0.0;
+  int smootherSweeps = 0;
+};
+
+class MgPreconditioner {
+ public:
+  /// Builds up to `maxLevels` levels below (and including) `fineGeometry`;
+  /// coarsening stops early when a dimension stops being even or drops
+  /// below 4 (HPCG's own constraint is divisibility by 8 on each rank).
+  MgPreconditioner(Variant variant, const Geometry& fineGeometry,
+                   int maxLevels = 4);
+
+  int numLevels() const { return static_cast<int>(levels_.size()); }
+
+  /// z = M^{-1} r via one V-cycle.  `fineA` must be the operator the
+  /// hierarchy was built for (level 0).
+  void apply(const Operator& fineA, std::span<const double> r,
+             std::span<double> z, MgCounters* counters = nullptr) const;
+
+  /// Estimated cost of one full apply (for roofline projection).
+  double applyBytes() const;
+  double applyFlops() const;
+
+ private:
+  struct Level {
+    Geometry geometry;
+    std::unique_ptr<Operator> A;  // null on level 0 (caller's operator)
+    // Work vectors, mutable across applies.
+    mutable std::vector<double> b, x, r;
+  };
+
+  void vCycle(const Operator& A, int depth, MgCounters* counters) const;
+
+  static Geometry coarsen(const Geometry& fine);
+  static bool canCoarsen(const Geometry& g);
+
+  Variant variant_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace rebench::hpcg

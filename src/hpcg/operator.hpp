@@ -1,0 +1,75 @@
+// The operator abstraction behind Table 2's variant axis.
+//
+// All four variants (CSR, vendor-optimised CSR, matrix-free, LFRic) expose
+// the same interface: operator application, one symmetric Gauss-Seidel
+// preconditioner sweep, and analytic per-call traffic/flop counters that
+// feed the roofline model when runs are projected onto paper hardware.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "hpcg/problem.hpp"
+
+namespace rebench::hpcg {
+
+/// Ghost xy-planes received from the z-neighbours; nullptr at the domain
+/// boundary (homogeneous Dirichlet: missing neighbours contribute zero).
+struct HaloView {
+  const double* lo = nullptr;  // plane at local k == -1
+  const double* hi = nullptr;  // plane at local k == nzLocal
+};
+
+class Operator {
+ public:
+  explicit Operator(const Geometry& geometry) : geo_(geometry) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const Geometry& geometry() const { return geo_; }
+  std::size_t n() const { return geo_.localPoints(); }
+
+  virtual std::string_view name() const = 0;
+
+  /// y = A x over the local slab.
+  virtual void apply(std::span<const double> x, const HaloView& halo,
+                     std::span<double> y) const = 0;
+
+  /// One symmetric Gauss-Seidel sweep (forward then backward) on
+  /// A x = b, updating x in place from its current values.  Halo values
+  /// of x are frozen at zero during the sweep (rank-local smoothing,
+  /// matching real HPCG's per-sweep halo treatment).
+  virtual void smoothInPlace(std::span<const double> b,
+                             std::span<double> x) const = 0;
+
+  /// z <- one SYMGS sweep on A z = r starting from z = 0 (the
+  /// single-level preconditioner; multigrid composes smoothInPlace
+  /// across a grid hierarchy, see mg_preconditioner.hpp).
+  void precondition(std::span<const double> r, std::span<double> z) const;
+
+  /// Estimated DRAM bytes per apply() call (counts matrix data, vector
+  /// stream traffic and halo copies; cached re-reads excluded).
+  virtual double applyBytes() const = 0;
+  virtual double applyFlops() const = 0;
+  virtual double precondBytes() const = 0;
+  virtual double precondFlops() const = 0;
+
+ private:
+  Geometry geo_;
+};
+
+enum class Variant { kCsr, kCsrOpt, kMatrixFree, kLfric };
+
+std::string_view variantName(Variant v);
+Variant variantFromName(std::string_view name);
+
+/// Factory.  All variants of the 27-point problem assemble/encode the same
+/// SPD matrix; the LFRic variant discretises a different (Helmholtz-like)
+/// operator, as in the paper.
+std::unique_ptr<Operator> makeOperator(Variant variant,
+                                       const Geometry& geometry);
+
+}  // namespace rebench::hpcg

@@ -1,0 +1,21 @@
+#include "hpcg/problem.hpp"
+
+#include "core/util/error.hpp"
+
+namespace rebench::hpcg {
+
+Geometry Geometry::slab(int n, int rank, int numRanks) {
+  REBENCH_REQUIRE(n > 0 && numRanks > 0 && rank >= 0 && rank < numRanks);
+  REBENCH_REQUIRE(numRanks <= n);
+  Geometry g;
+  g.nx = n;
+  g.ny = n;
+  g.nzGlobal = n;
+  const int base = n / numRanks;
+  const int extra = n % numRanks;
+  g.nzLocal = base + (rank < extra ? 1 : 0);
+  g.zOffset = rank * base + std::min(rank, extra);
+  return g;
+}
+
+}  // namespace rebench::hpcg

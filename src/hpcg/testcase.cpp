@@ -1,0 +1,63 @@
+#include "hpcg/testcase.hpp"
+
+#include "core/util/error.hpp"
+#include "hpcg/driver.hpp"
+
+namespace rebench::hpcg {
+
+RegressionTest makeHpcgTest(const HpcgTestOptions& options) {
+  RegressionTest test;
+  const std::string variant = std::string(variantName(options.variant));
+  test.name = "HPCG_" + variant;
+  test.spackSpec = "hpcg operator=" + variant;
+  // Scheduler geometry: 0 means "one rank per core", resolved in the run
+  // body; give the scheduler a single whole-node task in that case.
+  test.numTasks = options.numTasks > 0 ? options.numTasks : 1;
+  if (options.numTasks == 0) test.useAllCoresPerTask = true;
+  test.numTasksPerNode = 0;
+  test.numCpusPerTask = 1;
+  test.sanityPattern = R"(VALID with a GFLOP/s rating)";
+  test.perfPatterns = {
+      {"GFLOPs", R"(GFLOP/s rating of ([0-9]+\.[0-9]+))",
+       Unit::kGFlopPerSec},
+  };
+
+  test.run = [options, variant](const RunContext& ctx) -> RunOutput {
+    RunOutput out;
+    const std::string& machineId = ctx.partition->machineModel;
+    HpcgConfig config;
+    config.variant = options.variant;
+    config.iterations = options.iterations;
+    config.multigrid = options.multigrid;
+
+    if (machineId.empty()) {
+      config.gridSize = options.nativeGridSize;
+      config.numRanks = options.nativeRanks;
+      const HpcgResult result = runNative(config);
+      out.stdoutText = formatOutput(result);
+      out.elapsedSeconds = result.seconds;
+      return out;
+    }
+
+    const MachineModel& machine = builtinMachines().get(machineId);
+    config.gridSize = options.gridSize;
+    config.numRanks = options.numTasks > 0
+                          ? options.numTasks
+                          : machine.totalCores();  // one rank per core
+    if (!variantAvailable(options.variant, machine)) {
+      out.launchFailed = true;
+      out.failureReason = "variant '" + variant + "' N/A on " +
+                          machine.displayName;
+      return out;
+    }
+    const std::string salt =
+        ctx.repeatIndex > 0 ? ":rep" + std::to_string(ctx.repeatIndex) : "";
+    const HpcgResult result = runModeled(config, machine, 24, salt);
+    out.stdoutText = formatOutput(result);
+    out.elapsedSeconds = result.seconds;
+    return out;
+  };
+  return test;
+}
+
+}  // namespace rebench::hpcg

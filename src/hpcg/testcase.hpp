@@ -1,0 +1,29 @@
+// Framework test descriptions for the HPCG variants (Table 2's rows),
+// equivalent to benchmarks/apps/hpcg in the paper's repository.
+#pragma once
+
+#include "core/framework/regression_test.hpp"
+#include "hpcg/operator.hpp"
+
+namespace rebench::hpcg {
+
+struct HpcgTestOptions {
+  Variant variant = Variant::kCsr;
+  /// Per-rank grid edge for the paper-scale (modelled) runs.
+  int gridSize = 104;
+  /// 0: use every core of the node as one MPI rank each (Table 2's
+  /// "MPI only on a single node" geometry: 40 on CLX, 128 on Rome).
+  int numTasks = 0;
+  int iterations = 50;
+  /// Precondition with multigrid instead of SYMGS.
+  bool multigrid = false;
+  /// Settings for the native ("local") path.
+  int nativeGridSize = 24;
+  int nativeRanks = 2;
+};
+
+/// Spec "hpcg operator=<variant>", sanity "VALID", FOM "GFLOPs" extracted
+/// from "GFLOP/s rating of <value>".
+RegressionTest makeHpcgTest(const HpcgTestOptions& options);
+
+}  // namespace rebench::hpcg

@@ -1,0 +1,65 @@
+// HPGMG-FV benchmark driver.
+//
+// HPGMG reports a compute rate (DOF/s) for the full problem and for the
+// problems 1/8 and 1/64 of that size — the l0/l1/l2 columns of Table 4.
+// The CLI convention follows real HPGMG: `log2BoxDim targetBoxesPerRank`
+// ("7 8" in the paper), with the box count times ranks fixing the global
+// problem size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpgmg/mg.hpp"
+#include "sim/machine.hpp"
+
+namespace rebench::hpgmg {
+
+struct HpgmgConfig {
+  int log2BoxDim = 7;        // paper: 7 (128^3 boxes)
+  int targetBoxesPerRank = 8;  // paper: 8
+  int numRanks = 8;          // paper: 8 tasks, 2 per node
+  int tasksPerNode = 2;      // appendix geometry
+
+  int numNodes() const {
+    return (numRanks + tasksPerNode - 1) / tasksPerNode;
+  }
+};
+
+/// Global degrees of freedom of the full (l0) problem for a config.
+std::size_t globalDof(const HpgmgConfig& config);
+
+struct LevelFom {
+  std::string name;       // "l0", "l1", "l2"
+  std::size_t dof = 0;
+  double seconds = 0.0;
+  double mdofPerSec = 0.0;  // 10^6 DOF/s, Table 4's unit
+};
+
+struct HpgmgResult {
+  HpgmgConfig config;
+  std::vector<LevelFom> foms;  // [l0, l1, l2]
+  double finalResidual = 0.0;
+  double residualReduction = 0.0;  // final / rhs-norm proxy
+  bool validated = false;
+  WorkCounters counters;  // of the l0 solve
+  double totalSeconds = 0.0;
+};
+
+/// Runs three FMG solves natively at edge sizes nFine, nFine/2, nFine/4.
+HpgmgResult runNative(int nFine);
+
+/// Projects the paper configuration onto a machine model + platform
+/// character (platformEfficiency, per-launch overhead).  Counters come
+/// from a real calibration solve at `calibrationEdge`.
+HpgmgResult runModeled(const HpgmgConfig& config,
+                       const MachineModel& machine,
+                       double platformEfficiency,
+                       double launchOverheadSeconds,
+                       int calibrationEdge = 32,
+                       const std::string& noiseSalt = {});
+
+/// Renders the benchmark stdout (framework-parsable).
+std::string formatOutput(const HpgmgResult& result);
+
+}  // namespace rebench::hpgmg

@@ -1,0 +1,52 @@
+// Finite-volume kernels: operator application, red-black Gauss-Seidel
+// smoothing, residual, restriction and interpolation.
+//
+// Boundary condition: homogeneous Dirichlet at the cube faces realised
+// through the standard cell-centred ghost value u_ghost = -u_cell, which
+// keeps the discrete operator symmetric positive definite and second-order
+// at the boundary.
+#pragma once
+
+#include <span>
+
+#include "hpgmg/level.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rebench::hpgmg {
+
+// Every kernel takes an optional thread pool: null runs the loops
+// serially; a pool shares the k-planes across workers (GSRB is safe to
+// thread per colour — that is what red-black ordering buys).  The
+// counters are identical either way.
+
+/// out = A u  (7-point variable-coefficient FV Laplacian).
+void applyOperator(const Level& level, std::span<const double> u,
+                   std::span<double> out, WorkCounters& counters,
+                   ThreadPool* pool = nullptr);
+
+/// level.r = level.f - A level.u; returns ||r||_2.
+double computeResidual(Level& level, WorkCounters& counters,
+                       ThreadPool* pool = nullptr);
+
+/// One red-black Gauss-Seidel sweep (both colours) on A u = f.
+void smoothGSRB(Level& level, WorkCounters& counters,
+                ThreadPool* pool = nullptr);
+
+/// coarse.f = restrict(fine.r) by 8-cell averaging.
+void restrictResidual(const Level& fine, Level& coarse,
+                      WorkCounters& counters);
+
+/// fine.u += prolong(coarse.u), piecewise-constant injection (V-cycle
+/// correction transfer).
+void prolongCorrection(const Level& coarse, Level& fine,
+                       WorkCounters& counters);
+
+/// fine.u = interpolate(coarse.u) with trilinear reconstruction — the
+/// higher-order transfer FMG needs to reach discretisation accuracy.
+void interpolateSolution(const Level& coarse, Level& fine,
+                         WorkCounters& counters);
+
+/// Diagonal of A at (i,j,k) — used by the smoother.
+double operatorDiagonal(const Level& level, int i, int j, int k);
+
+}  // namespace rebench::hpgmg

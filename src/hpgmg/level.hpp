@@ -1,0 +1,47 @@
+// HPGMG-FV grid levels.
+//
+// Cell-centred finite-volume discretisation of -div(beta grad u) = f on
+// the unit cube with homogeneous Dirichlet boundaries.  Each level is a
+// full cube of edge n; the hierarchy coarsens by 2 per level down to a
+// small bottom level.  Face coefficient arrays are kept (and streamed by
+// every kernel) to preserve the variable-coefficient code path of real
+// HPGMG-FV even though this reproduction fills them with beta == 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rebench::hpgmg {
+
+struct Level {
+  int n = 0;       // cells per edge
+  double h = 0.0;  // cell width, 1/n
+  std::vector<double> u;     // solution
+  std::vector<double> f;     // right-hand side
+  std::vector<double> r;     // residual scratch
+  // Face coefficients on the low face of each cell in each direction.
+  std::vector<double> bx, by, bz;
+
+  explicit Level(int edge);
+
+  std::size_t cells() const {
+    return static_cast<std::size_t>(n) * n * n;
+  }
+  std::size_t index(int i, int j, int k) const {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(n) *
+               (static_cast<std::size_t>(j) +
+                static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  }
+};
+
+/// Traffic/flop accounting accumulated by every kernel invocation.
+struct WorkCounters {
+  double flops = 0.0;
+  double bytes = 0.0;
+  int smootherSweeps = 0;
+  int vCycles = 0;
+  int kernelLaunches = 0;
+};
+
+}  // namespace rebench::hpgmg

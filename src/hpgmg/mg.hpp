@@ -1,0 +1,63 @@
+// The multigrid hierarchy: V-cycles and the Full Multigrid (FMG) driver
+// HPGMG-FV benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hpgmg/fv.hpp"
+
+namespace rebench::hpgmg {
+
+struct MgOptions {
+  int preSmooth = 2;
+  int postSmooth = 2;
+  int bottomSize = 4;       // coarsest level edge
+  int bottomSweeps = 48;    // GSRB sweeps as the bottom solve
+  int fmgVcyclesPerLevel = 1;
+  /// Threads the smoother/residual/operator kernels (the "8 cpus per
+  /// task" of the appendix geometry); null runs serially.
+  ThreadPool* pool = nullptr;
+};
+
+class MgSolver {
+ public:
+  /// Builds the hierarchy for a fine grid of edge `nFine` (power of two).
+  MgSolver(int nFine, MgOptions options = {});
+
+  Level& fineLevel() { return *levels_.front(); }
+  const Level& fineLevel() const { return *levels_.front(); }
+  int numLevels() const { return static_cast<int>(levels_.size()); }
+
+  /// One V-cycle on level `depth` (0 = finest).
+  void vCycle(int depth);
+
+  /// Full multigrid: restricts f to every level, solves coarsest, then
+  /// interpolate+V-cycle up to the finest.  Returns final ||r||_2 on the
+  /// fine level.
+  double fmgSolve();
+
+  /// Plain V-cycle iteration from the current fine u; returns residuals
+  /// after each cycle.
+  std::vector<double> iterate(int cycles);
+
+  const WorkCounters& counters() const { return counters_; }
+  void resetCounters() { counters_ = {}; }
+
+ private:
+  void restrictRhsToAllLevels();
+  void bottomSolve(Level& level);
+
+  MgOptions options_;
+  std::vector<std::unique_ptr<Level>> levels_;  // [0] finest
+  WorkCounters counters_;
+};
+
+/// Sets f for the manufactured problem u* = prod sin(pi x_d) (beta = 1),
+/// whose exact solution vanishes on the boundary.
+void fillManufacturedRhs(Level& level);
+
+/// Max-norm error of level.u against the manufactured solution.
+double manufacturedError(const Level& level);
+
+}  // namespace rebench::hpgmg

@@ -1,0 +1,47 @@
+#include "hpgmg/testcase.hpp"
+
+namespace rebench::hpgmg {
+
+RegressionTest makeHpgmgTest(const HpgmgTestOptions& options) {
+  RegressionTest test;
+  test.name = "HpgmgFvBenchmark";
+  test.spackSpec = "hpgmg%gcc +fv";
+  test.numTasks = options.numTasks;
+  test.numTasksPerNode = options.numTasksPerNode;
+  test.numCpusPerTask = options.numCpusPerTask;
+  test.executableOpts = {std::to_string(options.log2BoxDim),
+                         std::to_string(options.targetBoxesPerRank)};
+  test.sanityPattern = R"(Validation: PASSED)";
+  test.perfPatterns = {
+      {"l0", R"(l0: .*rate=([0-9]+\.[0-9]+) MDOF/s)", Unit::kMDofPerSec},
+      {"l1", R"(l1: .*rate=([0-9]+\.[0-9]+) MDOF/s)", Unit::kMDofPerSec},
+      {"l2", R"(l2: .*rate=([0-9]+\.[0-9]+) MDOF/s)", Unit::kMDofPerSec},
+  };
+
+  test.run = [options](const RunContext& ctx) -> RunOutput {
+    RunOutput out;
+    const std::string& machineId = ctx.partition->machineModel;
+    if (machineId.empty()) {
+      const HpgmgResult result = runNative(options.nativeFineEdge);
+      out.stdoutText = formatOutput(result);
+      out.elapsedSeconds = result.totalSeconds;
+      return out;
+    }
+    HpgmgConfig config;
+    config.log2BoxDim = options.log2BoxDim;
+    config.targetBoxesPerRank = options.targetBoxesPerRank;
+    config.numRanks = options.numTasks;
+    const MachineModel& machine = builtinMachines().get(machineId);
+    const std::string salt =
+        ctx.repeatIndex > 0 ? ":rep" + std::to_string(ctx.repeatIndex) : "";
+    const HpgmgResult result =
+        runModeled(config, machine, ctx.partition->platformEfficiency,
+                   ctx.partition->launchOverheadSeconds, 32, salt);
+    out.stdoutText = formatOutput(result);
+    out.elapsedSeconds = result.totalSeconds;
+    return out;
+  };
+  return test;
+}
+
+}  // namespace rebench::hpgmg

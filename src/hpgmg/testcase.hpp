@@ -1,0 +1,26 @@
+// Framework test description for HPGMG-FV (§3.3 / Table 4), equivalent to
+// benchmarks/apps/hpgmg in the paper's repository.
+#pragma once
+
+#include "core/framework/regression_test.hpp"
+#include "hpgmg/driver.hpp"
+
+namespace rebench::hpgmg {
+
+struct HpgmgTestOptions {
+  /// Executable arguments, real-HPGMG style ("7 8" in the appendix).
+  int log2BoxDim = 7;
+  int targetBoxesPerRank = 8;
+  /// Appendix A.1.3 job geometry.
+  int numTasks = 8;
+  int numTasksPerNode = 2;
+  int numCpusPerTask = 8;
+  /// Fine-grid edge for native runs.
+  int nativeFineEdge = 32;
+};
+
+/// Spec "hpgmg%gcc +fv"; sanity "Validation: PASSED"; FOMs l0/l1/l2 in
+/// MDOF/s, extracted exactly like ReFrame does from HPGMG's output.
+RegressionTest makeHpgmgTest(const HpgmgTestOptions& options = {});
+
+}  // namespace rebench::hpgmg

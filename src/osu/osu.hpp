@@ -1,0 +1,67 @@
+// OSU-style MPI micro-benchmarks over minimpi: point-to-point latency,
+// point-to-point bandwidth and allreduce latency.
+//
+// These are the fourth benchmark family of the suite (the builtin
+// package repository already carries the osu-micro-benchmarks recipe);
+// they exercise the message-passing substrate directly, and their
+// modelled path uses each system's interconnect character
+// (netLatencySeconds / netBandwidthGBs) instead of the memory roofline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rebench::osu {
+
+enum class OsuBenchmark { kLatency, kBandwidth, kAllreduce };
+
+std::string_view osuBenchmarkName(OsuBenchmark b);
+
+struct SizePoint {
+  std::size_t messageBytes = 0;
+  /// Latency tests report microseconds; bandwidth tests report MB/s.
+  double value = 0.0;
+};
+
+struct OsuResult {
+  OsuBenchmark benchmark = OsuBenchmark::kLatency;
+  int numRanks = 2;
+  std::vector<SizePoint> points;
+  double totalSeconds = 0.0;
+
+  /// Value at the given message size; throws NotFoundError when absent.
+  double at(std::size_t messageBytes) const;
+};
+
+struct OsuConfig {
+  OsuBenchmark benchmark = OsuBenchmark::kLatency;
+  std::size_t minBytes = 8;
+  std::size_t maxBytes = 1 << 20;
+  /// Iterations per message size (halved for large messages, like OSU).
+  int iterations = 200;
+  /// Ranks for the allreduce test (pt2pt tests always use 2).
+  int numRanks = 8;
+};
+
+/// Runs natively on minimpi threads (measures this host's in-process
+/// message passing — a real measurement of the substrate).
+OsuResult runNative(const OsuConfig& config);
+
+/// Interconnect character for modelled runs.
+struct NetworkModel {
+  double latencySeconds = 1.5e-6;
+  double bandwidthGBs = 12.5;
+};
+
+/// Models the benchmark on a network: pt2pt time(s) = latency + s/bw;
+/// allreduce(s) = 2*ceil(log2(ranks)) * (latency + s/bw) (tree).
+/// Deterministic noise keyed on `noiseKey`.
+OsuResult runModeled(const OsuConfig& config, const NetworkModel& network,
+                     const std::string& noiseKey);
+
+/// OSU-style stdout rendering ("# OSU MPI Latency Test" + size/value
+/// table), parseable by the framework regexes.
+std::string formatOutput(const OsuResult& result);
+
+}  // namespace rebench::osu

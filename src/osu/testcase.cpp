@@ -1,0 +1,48 @@
+#include "osu/testcase.hpp"
+
+namespace rebench::osu {
+
+RegressionTest makeOsuTest(const OsuTestOptions& options) {
+  RegressionTest test;
+  test.name = "Osu_" + std::string(osuBenchmarkName(options.benchmark));
+  test.spackSpec = "osu-micro-benchmarks";
+  test.numTasks =
+      options.benchmark == OsuBenchmark::kAllreduce ? options.numRanks : 2;
+  // Pack by default so single-node systems (incl. "local") can host the
+  // job; the modelled path prices the partition's interconnect regardless
+  // of placement, mirroring OSU runs pinned across nodes.
+  test.numTasksPerNode = 0;
+  test.sanityPattern = R"(# complete)";
+  test.perfPatterns = {
+      {"small", R"(\n8\s+([0-9]+\.[0-9]+))", Unit::kNone},
+      {"large", R"(\n1048576\s+([0-9]+\.[0-9]+))", Unit::kNone},
+  };
+
+  test.run = [options](const RunContext& ctx) -> RunOutput {
+    OsuConfig config;
+    config.benchmark = options.benchmark;
+    config.numRanks = options.numRanks;
+
+    RunOutput out;
+    if (ctx.partition->machineModel.empty()) {
+      config.iterations = options.nativeIterations;
+      const OsuResult result = runNative(config);
+      out.stdoutText = formatOutput(result);
+      out.elapsedSeconds = result.totalSeconds;
+      return out;
+    }
+    NetworkModel network;
+    network.latencySeconds = ctx.partition->netLatencySeconds;
+    network.bandwidthGBs = ctx.partition->netBandwidthGBs;
+    const std::string salt =
+        ctx.repeatIndex > 0 ? ":rep" + std::to_string(ctx.repeatIndex) : "";
+    const OsuResult result =
+        runModeled(config, network, ctx.system->name + salt);
+    out.stdoutText = formatOutput(result);
+    out.elapsedSeconds = std::max(result.totalSeconds, 1.0);
+    return out;
+  };
+  return test;
+}
+
+}  // namespace rebench::osu

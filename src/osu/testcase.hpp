@@ -1,0 +1,20 @@
+// Framework test description for the OSU micro-benchmarks.
+#pragma once
+
+#include "core/framework/regression_test.hpp"
+#include "osu/osu.hpp"
+
+namespace rebench::osu {
+
+struct OsuTestOptions {
+  OsuBenchmark benchmark = OsuBenchmark::kLatency;
+  int numRanks = 8;  // allreduce only; pt2pt uses 2
+  /// Lighter iteration counts for native runs on a laptop-class host.
+  int nativeIterations = 50;
+};
+
+/// Spec "osu-micro-benchmarks"; sanity "# complete"; FOMs are the 8 B and
+/// 1 MiB points ("small" in us or MB/s, "large" likewise).
+RegressionTest makeOsuTest(const OsuTestOptions& options);
+
+}  // namespace rebench::osu

@@ -1,0 +1,212 @@
+#include "parallel/minimpi.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "core/util/error.hpp"
+
+namespace rebench::minimpi {
+
+namespace detail {
+
+World::World(int size) : size_(size), scratch_(size, 0.0) {
+  REBENCH_REQUIRE(size > 0);
+}
+
+void World::post(int src, int dst, int tag, std::vector<std::byte> data) {
+  {
+    std::lock_guard lock(mutex_);
+    mailboxes_[{dst, src, tag}].push_back(Message{std::move(data)});
+  }
+  arrived_.notify_all();
+}
+
+std::vector<std::byte> World::await(int src, int dst, int tag) {
+  std::unique_lock lock(mutex_);
+  const auto key = std::make_tuple(dst, src, tag);
+  arrived_.wait(lock, [&] {
+    auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  auto& queue = mailboxes_.at(key);
+  std::vector<std::byte> data = std::move(queue.front().data);
+  queue.erase(queue.begin());
+  return data;
+}
+
+void World::barrier() {
+  std::unique_lock lock(barrierMutex_);
+  const bool mySense = barrierSense_;
+  if (++barrierCount_ == size_) {
+    barrierCount_ = 0;
+    barrierSense_ = !barrierSense_;
+    barrierCv_.notify_all();
+  } else {
+    barrierCv_.wait(lock, [&] { return barrierSense_ != mySense; });
+  }
+}
+
+}  // namespace detail
+
+void Comm::sendBytes(int dest, int tag, std::span<const std::byte> data) {
+  REBENCH_REQUIRE(dest >= 0 && dest < size());
+  world_->post(rank_, dest, tag,
+               std::vector<std::byte>(data.begin(), data.end()));
+}
+
+std::vector<std::byte> Comm::recvBytes(int src, int tag) {
+  REBENCH_REQUIRE(src >= 0 && src < size());
+  return world_->await(src, rank_, tag);
+}
+
+void Comm::barrier() { world_->barrier(); }
+
+double Comm::allreduce(double value, Op op) {
+  std::vector<double>& scratch = world_->scratch();
+  scratch[rank_] = value;
+  world_->barrier();  // everyone has written
+  double result = scratch[0];
+  for (int r = 1; r < size(); ++r) {
+    switch (op) {
+      case Op::kSum: result += scratch[r]; break;
+      case Op::kMin: result = std::min(result, scratch[r]); break;
+      case Op::kMax: result = std::max(result, scratch[r]); break;
+    }
+  }
+  world_->barrier();  // everyone has read; scratch reusable
+  return result;
+}
+
+std::vector<double> Comm::allgather(double value) {
+  std::vector<double>& scratch = world_->scratch();
+  scratch[rank_] = value;
+  world_->barrier();
+  std::vector<double> out(scratch.begin(), scratch.begin() + size());
+  world_->barrier();
+  return out;
+}
+
+void Comm::broadcast(std::span<double> data, int root) {
+  constexpr int kBcastTag = -7;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send<double>(r, kBcastTag, data);
+    }
+  } else {
+    recv<double>(root, kBcastTag, data);
+  }
+}
+
+void Comm::wait(Request& request) {
+  REBENCH_REQUIRE(request.valid() && request.comm_ == this);
+  const std::vector<std::byte> bytes =
+      recvBytes(request.src_, request.tag_);
+  if (bytes.size() != request.bytes_) {
+    throw std::runtime_error("minimpi: message size mismatch in wait()");
+  }
+  std::memcpy(request.data_, bytes.data(), bytes.size());
+  request.comm_ = nullptr;  // consumed
+}
+
+void Comm::waitall(std::span<Request> requests) {
+  for (Request& request : requests) {
+    if (request.valid()) wait(request);
+  }
+}
+
+double Comm::reduce(double value, Op op, int root) {
+  const double result = allreduce(value, op);
+  return rank_ == root ? result : 0.0;
+}
+
+std::vector<double> Comm::gather(double value, int root) {
+  std::vector<double> all = allgather(value);
+  if (rank_ != root) return {};
+  return all;
+}
+
+double Comm::exscan(double value) {
+  const std::vector<double> all = allgather(value);
+  double sum = 0.0;
+  for (int r = 0; r < rank_; ++r) sum += all[r];
+  return sum;
+}
+
+void run(int numRanks, const std::function<void(Comm&)>& body) {
+  REBENCH_REQUIRE(numRanks > 0);
+  auto world = std::make_shared<detail::World>(numRanks);
+  std::vector<std::thread> threads;
+  threads.reserve(numRanks);
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+  for (int r = 0; r < numRanks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+std::array<int, 3> dimsCreate3D(int numRanks) {
+  REBENCH_REQUIRE(numRanks > 0);
+  // Choose the factorisation dx*dy*dz == numRanks minimising surface area
+  // (most cubic decomposition), matching MPI_Dims_create's intent.
+  std::array<int, 3> best = {numRanks, 1, 1};
+  long long bestScore = -1;
+  for (int dx = 1; dx <= numRanks; ++dx) {
+    if (numRanks % dx != 0) continue;
+    const int rem = numRanks / dx;
+    for (int dy = 1; dy <= rem; ++dy) {
+      if (rem % dy != 0) continue;
+      const int dz = rem / dy;
+      const long long score = static_cast<long long>(dx) * dy +
+                              static_cast<long long>(dy) * dz +
+                              static_cast<long long>(dx) * dz;
+      if (bestScore < 0 || score < bestScore) {
+        bestScore = score;
+        best = {dx, dy, dz};
+      }
+    }
+  }
+  std::sort(best.begin(), best.end(), std::greater<>());
+  return best;
+}
+
+Cart3D::Cart3D(Comm& comm, std::array<int, 3> dims) : dims_(dims) {
+  REBENCH_REQUIRE(dims[0] * dims[1] * dims[2] == comm.size());
+  coords_ = rankToCoords(comm.rank(), dims_);
+}
+
+std::array<int, 3> Cart3D::rankToCoords(int rank,
+                                        const std::array<int, 3>& dims) {
+  std::array<int, 3> coords;
+  coords[2] = rank % dims[2];
+  coords[1] = (rank / dims[2]) % dims[1];
+  coords[0] = rank / (dims[1] * dims[2]);
+  return coords;
+}
+
+int Cart3D::coordsToRank(const std::array<int, 3>& coords,
+                         const std::array<int, 3>& dims) {
+  return (coords[0] * dims[1] + coords[1]) * dims[2] + coords[2];
+}
+
+int Cart3D::neighbor(int axis, int direction) const {
+  REBENCH_REQUIRE(axis >= 0 && axis < 3 &&
+                  (direction == 1 || direction == -1));
+  std::array<int, 3> c = coords_;
+  c[axis] += direction;
+  if (c[axis] < 0 || c[axis] >= dims_[axis]) return -1;
+  return coordsToRank(c, dims_);
+}
+
+}  // namespace rebench::minimpi

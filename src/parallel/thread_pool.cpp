@@ -1,0 +1,149 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  if (numThreads == 0) {
+    numThreads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(numThreads);
+  for (std::size_t i = 0; i < numThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  taskReady_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    REBENCH_REQUIRE(!shutdown_);
+    tasks_.push(std::move(task));
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      taskReady_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallelForBlocked(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& blockFn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t numBlocks = std::min(n, pool.size());
+  if (numBlocks <= 1) {
+    blockFn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + numBlocks - 1) / numBlocks;
+  for (std::size_t b = 0; b < numBlocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.submit([&blockFn, lo, hi] { blockFn(lo, hi); });
+  }
+  pool.wait();
+}
+
+void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 Schedule schedule, std::size_t grain) {
+  if (begin >= end) return;
+  if (schedule == Schedule::kStatic) {
+    parallelForBlocked(pool, begin, end,
+                       [&fn](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) fn(i);
+                       });
+    return;
+  }
+  // Dynamic: workers pull grain-sized chunks from a shared counter.
+  grain = std::max<std::size_t>(1, grain);
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t numWorkers = std::min(end - begin, pool.size());
+  for (std::size_t w = 0; w < numWorkers; ++w) {
+    pool.submit([next, &fn, end, grain] {
+      while (true) {
+        const std::size_t lo = next->fetch_add(grain);
+        if (lo >= end) return;
+        const std::size_t hi = std::min(end, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+double parallelReduceSumBlocked(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<double(std::size_t, std::size_t)>& partial) {
+  if (begin >= end) return 0.0;
+  const std::size_t n = end - begin;
+  const std::size_t numBlocks = std::min(n, pool.size());
+  if (numBlocks <= 1) return partial(begin, end);
+  std::vector<double> partials(numBlocks, 0.0);
+  const std::size_t chunk = (n + numBlocks - 1) / numBlocks;
+  for (std::size_t b = 0; b < numBlocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.submit([&partial, &partials, b, lo, hi] {
+      partials[b] = partial(lo, hi);
+    });
+  }
+  pool.wait();
+  double sum = 0.0;
+  for (double p : partials) sum += p;
+  return sum;
+}
+
+double parallelReduceSum(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<double(std::size_t)>& fn) {
+  return parallelReduceSumBlocked(
+      pool, begin, end, [&fn](std::size_t lo, std::size_t hi) {
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) sum += fn(i);
+        return sum;
+      });
+}
+
+}  // namespace rebench

@@ -1,0 +1,74 @@
+// A work-sharing thread pool and data-parallel loops — the OpenMP stand-in
+// used by the native BabelStream backends and solver kernels.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rebench {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// `numThreads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t numThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  /// Process-wide pool sized to the host (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Scheduling policy for parallelFor, mirroring OpenMP's schedule clause.
+enum class Schedule { kStatic, kDynamic };
+
+/// Runs fn(i) for i in [begin, end) across the pool.  Static scheduling
+/// gives each worker one contiguous block (streaming-friendly); dynamic
+/// hands out `grain`-sized chunks for irregular work.
+void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 Schedule schedule = Schedule::kStatic,
+                 std::size_t grain = 1024);
+
+/// Block-parallel loop: fn(blockBegin, blockEnd) per worker block.  This is
+/// the fast path used by the stream kernels (no per-index call overhead).
+void parallelForBlocked(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& blockFn);
+
+/// Parallel sum reduction of fn(i) over [begin, end).
+double parallelReduceSum(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<double(std::size_t)>& fn);
+
+/// Blocked variant: partial(blockBegin, blockEnd) -> partial sum.
+double parallelReduceSumBlocked(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<double(std::size_t, std::size_t)>& partial);
+
+}  // namespace rebench

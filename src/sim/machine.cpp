@@ -1,0 +1,136 @@
+#include "sim/machine.hpp"
+
+#include <vector>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+
+void MachineRegistry::add(MachineModel model) {
+  models_.insert_or_assign(model.id, std::move(model));
+}
+
+const MachineModel& MachineRegistry::get(std::string_view id) const {
+  auto it = models_.find(id);
+  if (it == models_.end()) {
+    throw NotFoundError("unknown machine model '" + std::string(id) + "'");
+  }
+  return it->second;
+}
+
+bool MachineRegistry::has(std::string_view id) const {
+  return models_.find(id) != models_.end();
+}
+
+std::vector<std::string> MachineRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [id, model] : models_) out.push_back(id);
+  return out;
+}
+
+const MachineRegistry& builtinMachines() {
+  static const MachineRegistry registry = [] {
+    MachineRegistry reg;
+
+    // Intel Xeon Gold 6230 (Isambard MACS).  Table 1: 2 x 140.784 GB/s.
+    MachineModel clx6230;
+    clx6230.id = "clx-6230";
+    clx6230.displayName = "Intel Cascade Lake (Xeon Gold 6230)";
+    clx6230.vendor = "Intel";
+    clx6230.sockets = 2;
+    clx6230.coresPerSocket = 20;
+    clx6230.clockGhz = 2.1;
+    clx6230.flopsPerCyclePerCore = 32.0;  // AVX-512, 2 FMA units
+    clx6230.peakBandwidthGBs = 281.568;
+    clx6230.streamEfficiency = 0.80;
+    clx6230.llcMegabytes = 2 * 27.5;
+    clx6230.singleCoreBandwidthGBs = 13.0;
+    clx6230.tdpWattsPerSocket = 125.0;
+    clx6230.idleWattsPerSocket = 45.0;
+    reg.add(clx6230);
+
+    // Intel Xeon Platinum 8276 (CSD3).  Same memory subsystem as 6230.
+    MachineModel clx8276 = clx6230;
+    clx8276.id = "clx-8276";
+    clx8276.displayName = "Intel Cascade Lake (Xeon Platinum 8276)";
+    clx8276.coresPerSocket = 28;
+    clx8276.clockGhz = 2.2;
+    clx8276.llcMegabytes = 2 * 38.5;
+    reg.add(clx8276);
+
+    // Marvell ThunderX2 (Isambard XCI).  Table 1: 288 GB/s peak.
+    MachineModel tx2;
+    tx2.id = "thunderx2";
+    tx2.displayName = "Marvell ThunderX2 CN9980";
+    tx2.vendor = "Marvell";
+    tx2.sockets = 2;
+    tx2.coresPerSocket = 32;
+    tx2.clockGhz = 2.5;
+    tx2.flopsPerCyclePerCore = 8.0;  // 2x128-bit NEON FMA
+    tx2.peakBandwidthGBs = 288.0;
+    tx2.streamEfficiency = 0.82;
+    tx2.llcMegabytes = 2 * 32.0;
+    tx2.singleCoreBandwidthGBs = 10.0;
+    tx2.tdpWattsPerSocket = 180.0;
+    tx2.idleWattsPerSocket = 60.0;
+    reg.add(tx2);
+
+    // AMD EPYC 7742 "Rome" (ARCHER2).  8ch DDR4-3200 per socket.
+    MachineModel rome7742;
+    rome7742.id = "rome-7742";
+    rome7742.displayName = "AMD EPYC 7742 (Rome)";
+    rome7742.vendor = "AMD";
+    rome7742.sockets = 2;
+    rome7742.coresPerSocket = 64;
+    rome7742.clockGhz = 2.25;
+    rome7742.flopsPerCyclePerCore = 16.0;  // 2x256-bit FMA
+    rome7742.peakBandwidthGBs = 409.6;
+    rome7742.streamEfficiency = 0.85;
+    rome7742.llcMegabytes = 2 * 256.0;
+    rome7742.singleCoreBandwidthGBs = 14.0;
+    rome7742.tdpWattsPerSocket = 225.0;
+    rome7742.idleWattsPerSocket = 75.0;
+    reg.add(rome7742);
+
+    // AMD EPYC 7H12 "Rome" (COSMA8).
+    MachineModel rome7h12 = rome7742;
+    rome7h12.id = "rome-7h12";
+    rome7h12.displayName = "AMD EPYC 7H12 (Rome)";
+    rome7h12.clockGhz = 2.6;
+    reg.add(rome7h12);
+
+    // AMD EPYC 7763 "Milan" (Noctua2).  Table 1: 2 x 204.8 GB/s.
+    MachineModel milan = rome7742;
+    milan.id = "milan-7763";
+    milan.displayName = "AMD EPYC 7763 (Milan)";
+    milan.clockGhz = 2.45;
+    milan.streamEfficiency = 0.86;
+    milan.singleCoreBandwidthGBs = 16.0;
+    reg.add(milan);
+
+    // NVIDIA V100 PCIe 16 GB (Isambard MACS).  Table 1: 900 GB/s.
+    MachineModel v100;
+    v100.id = "v100";
+    v100.displayName = "NVIDIA Tesla V100 PCIe 16GB";
+    v100.vendor = "NVIDIA";
+    v100.device = DeviceType::kGpu;
+    v100.sockets = 1;
+    v100.coresPerSocket = 80;  // SMs
+    v100.clockGhz = 1.245;
+    v100.flopsPerCyclePerCore = 64.0;  // 32 DP units x FMA per SM
+    v100.peakBandwidthGBs = 900.0;
+    v100.streamEfficiency = 0.93;  // HBM2 sustains close to peak
+    v100.llcMegabytes = 6.0;
+    v100.launchLatency = 8.0e-6;
+    v100.singleCoreBandwidthGBs = 25.0;
+    v100.tdpWattsPerSocket = 250.0;
+    v100.idleWattsPerSocket = 40.0;
+    reg.add(v100);
+
+    return reg;
+  }();
+  return registry;
+}
+
+}  // namespace rebench

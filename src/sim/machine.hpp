@@ -1,0 +1,76 @@
+// Machine models — the hardware substitution layer.
+//
+// The paper measured on seven physical platforms (Tables 1 & 5).  None are
+// available here, so each is described by a roofline-style model: peak
+// memory bandwidth, peak double-precision compute, cache capacity, and
+// kernel-launch latency.  Kernels execute natively for correctness at small
+// sizes; their *timing at paper scale* is supplied by these models, so the
+// efficiency shapes of Figure 2 and Tables 2/4 are reproducible on any
+// host.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rebench {
+
+enum class DeviceType { kCpu, kGpu };
+
+struct MachineModel {
+  std::string id;           // registry key, e.g. "clx-6230"
+  std::string displayName;  // "Intel Cascade Lake (Xeon Gold 6230)"
+  std::string vendor;
+  DeviceType device = DeviceType::kCpu;
+
+  int sockets = 2;
+  int coresPerSocket = 0;   // CUs/SMs for GPUs
+  double clockGhz = 0.0;
+  /// Double-precision flops per cycle per core (FMA width × units × 2).
+  double flopsPerCyclePerCore = 16.0;
+
+  /// Aggregate theoretical peak memory bandwidth, GB/s (Table 1).
+  double peakBandwidthGBs = 0.0;
+  /// Fraction of peak a perfectly-written streaming kernel sustains
+  /// (hardware limit: page misses, refresh, RFO traffic...).
+  double streamEfficiency = 0.88;
+  /// Aggregate last-level cache, MB (decides the 2^25 vs 2^29 array rule).
+  double llcMegabytes = 0.0;
+  /// Per-kernel launch/synchronisation latency, seconds.
+  double launchLatency = 2.0e-6;
+  /// Single-core sustainable memory bandwidth, GB/s (bounds any
+  /// single-threaded programming model, e.g. std-ranges in Fig. 2).
+  double singleCoreBandwidthGBs = 12.0;
+
+  /// Power model (for the paper's future-work energy capture): package
+  /// power at full load and at idle, watts per socket/device.
+  double tdpWattsPerSocket = 200.0;
+  double idleWattsPerSocket = 60.0;
+
+  int totalCores() const { return sockets * coresPerSocket; }
+  /// Aggregate peak double-precision GFlop/s.
+  double peakGFlops() const {
+    return totalCores() * clockGhz * flopsPerCyclePerCore;
+  }
+  double maxPowerWatts() const { return sockets * tdpWattsPerSocket; }
+  double idlePowerWatts() const { return sockets * idleWattsPerSocket; }
+};
+
+/// Registry of the paper's platforms, keyed by model id.
+class MachineRegistry {
+ public:
+  void add(MachineModel model);
+  const MachineModel& get(std::string_view id) const;
+  bool has(std::string_view id) const;
+  std::vector<std::string> ids() const;
+
+ private:
+  std::map<std::string, MachineModel, std::less<>> models_;
+};
+
+/// Models for: clx-6230, clx-8276, rome-7742, rome-7h12, milan-7763,
+/// thunderx2, v100 (peaks taken from the paper's Tables 1 & 5).
+const MachineRegistry& builtinMachines();
+
+}  // namespace rebench

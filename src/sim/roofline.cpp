@@ -1,0 +1,65 @@
+#include "sim/roofline.hpp"
+
+#include <algorithm>
+
+#include "core/util/error.hpp"
+#include "core/util/rng.hpp"
+
+namespace rebench {
+
+SimulatedTime simulateKernel(const MachineModel& machine,
+                             const KernelProfile& profile,
+                             const ExecutionEfficiency& eff,
+                             const std::string& noiseKey,
+                             double noiseSigma) {
+  REBENCH_REQUIRE(machine.peakBandwidthGBs > 0.0);
+
+  // Memory ceiling: stream-achievable bandwidth, derated by the model's
+  // bandwidth fraction, and capped by the cores actually driving memory.
+  double bandwidth =
+      machine.peakBandwidthGBs * machine.streamEfficiency *
+      std::clamp(eff.bandwidthFraction, 0.0, 1.25);
+  if (eff.coresUsed > 0) {
+    // Bandwidth saturates with roughly sqrt-like core scaling; a single
+    // core is bounded by singleCoreBandwidthGBs, and ~1/4 of the cores
+    // already reach saturation on the modelled platforms.
+    const double saturating =
+        std::max(1.0, machine.totalCores() / 4.0);
+    const double scale =
+        std::min(1.0, static_cast<double>(eff.coresUsed) / saturating);
+    const double coreBound = machine.singleCoreBandwidthGBs * eff.coresUsed;
+    bandwidth = std::min({bandwidth * std::max(scale, 1e-9), coreBound,
+                          bandwidth});
+    bandwidth = std::min(bandwidth, coreBound);
+  }
+  bandwidth = std::max(bandwidth, 1e-3);
+
+  // Compute ceiling.
+  double peakFlops = machine.peakGFlops() * 1.0e9 *
+                     std::clamp(eff.computeFraction, 0.0, 1.0);
+  if (eff.coresUsed > 0) {
+    peakFlops *= std::min(
+        1.0, static_cast<double>(eff.coresUsed) / machine.totalCores());
+  }
+  peakFlops = std::max(peakFlops, 1.0);
+
+  const double memTime = profile.totalBytes() / (bandwidth * 1.0e9);
+  const double compTime = profile.flops / peakFlops;
+
+  SimulatedTime out;
+  out.memoryBound = memTime >= compTime;
+  double seconds = std::max(memTime, compTime) + machine.launchLatency +
+                   eff.extraLatency;
+  if (!noiseKey.empty() && noiseSigma > 0.0) {
+    Rng rng = Rng::fromKey(noiseKey);
+    seconds *= rng.noiseFactor(noiseSigma);
+  }
+  out.seconds = seconds;
+  if (seconds > 0.0) {
+    out.achievedBandwidthGBs = profile.totalBytes() / seconds / 1.0e9;
+    out.achievedGFlops = profile.flops / seconds / 1.0e9;
+  }
+  return out;
+}
+
+}  // namespace rebench

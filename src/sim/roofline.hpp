@@ -1,0 +1,58 @@
+// Roofline execution model: predicts kernel time on a MachineModel from
+// the kernel's measured byte/flop footprint.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/machine.hpp"
+
+namespace rebench {
+
+/// Footprint of one kernel invocation (counted by instrumented code, not
+/// guessed): bytes that must cross the memory interface and double-
+/// precision flops executed.
+struct KernelProfile {
+  double bytesRead = 0.0;
+  double bytesWritten = 0.0;
+  double flops = 0.0;
+
+  double totalBytes() const { return bytesRead + bytesWritten; }
+  /// Arithmetic intensity, flops per byte.
+  double intensity() const {
+    const double b = totalBytes();
+    return b > 0.0 ? flops / b : 0.0;
+  }
+};
+
+/// Per-(model, platform) execution efficiency knobs.  The programming-model
+/// maturity data behind Figure 2 is expressed through these.
+struct ExecutionEfficiency {
+  /// Fraction of the machine's *stream-achievable* bandwidth realised.
+  double bandwidthFraction = 1.0;
+  /// Fraction of peak flops realised for compute-bound phases.
+  double computeFraction = 0.6;
+  /// Number of cores actually used (0 = all); single-threaded backends
+  /// (std-ranges in the paper) set this to 1.
+  int coresUsed = 0;
+  /// Extra fixed overhead per kernel launch (runtime abstraction cost).
+  double extraLatency = 0.0;
+};
+
+struct SimulatedTime {
+  double seconds = 0.0;
+  bool memoryBound = true;
+  double achievedBandwidthGBs = 0.0;
+  double achievedGFlops = 0.0;
+};
+
+/// Predicts execution time of `profile` on `machine` under `eff`.
+/// `noiseKey` (when non-empty) applies deterministic run-to-run noise
+/// derived from the key, so repeated experiments replay identically.
+SimulatedTime simulateKernel(const MachineModel& machine,
+                             const KernelProfile& profile,
+                             const ExecutionEfficiency& eff = {},
+                             const std::string& noiseKey = {},
+                             double noiseSigma = 0.015);
+
+}  // namespace rebench

@@ -1,0 +1,40 @@
+#include "suite/builtin_suite.hpp"
+
+#include "babelstream/models.hpp"
+#include "babelstream/testcase.hpp"
+#include "hpcg/testcase.hpp"
+#include "hpgmg/testcase.hpp"
+#include "osu/testcase.hpp"
+
+namespace rebench {
+
+TestSuite builtinSuite() {
+  TestSuite suite;
+  for (const babelstream::ProgrammingModel& model :
+       babelstream::figure2Models()) {
+    babelstream::BabelstreamTestOptions options;
+    options.model = model.id;
+    suite.add(babelstream::makeBabelstreamTest(options),
+              {"babelstream", model.id});
+  }
+  for (hpcg::Variant variant :
+       {hpcg::Variant::kCsr, hpcg::Variant::kCsrOpt,
+        hpcg::Variant::kMatrixFree, hpcg::Variant::kLfric}) {
+    hpcg::HpcgTestOptions options;
+    options.variant = variant;
+    suite.add(hpcg::makeHpcgTest(options),
+              {"hpcg", std::string(hpcg::variantName(variant))});
+  }
+  suite.add(hpgmg::makeHpgmgTest({}), {"hpgmg"});
+  for (osu::OsuBenchmark benchmark :
+       {osu::OsuBenchmark::kLatency, osu::OsuBenchmark::kBandwidth,
+        osu::OsuBenchmark::kAllreduce}) {
+    osu::OsuTestOptions options;
+    options.benchmark = benchmark;
+    suite.add(osu::makeOsuTest(options),
+              {"osu", std::string(osu::osuBenchmarkName(benchmark))});
+  }
+  return suite;
+}
+
+}  // namespace rebench

@@ -1,0 +1,14 @@
+// The benchmark suite shipped with rebench — the analogue of the
+// `benchmarks/apps/` tree of the paper's excalibur-tests repository.
+#pragma once
+
+#include "core/framework/suite.hpp"
+
+namespace rebench {
+
+/// Every BabelStream programming model (tags: "babelstream", the model id,
+/// and "omp"-style per-model tags), the four HPCG variants (tags: "hpcg",
+/// the variant name), and HPGMG-FV (tag: "hpgmg").
+TestSuite builtinSuite();
+
+}  // namespace rebench

@@ -1,0 +1,127 @@
+#include "babelstream/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/util/error.hpp"
+
+namespace rebench::babelstream {
+namespace {
+
+const MachineModel& machine(const char* id) {
+  return builtinMachines().get(id);
+}
+
+TEST(Figure2Models, NineRowsInOrder) {
+  const auto& models = figure2Models();
+  ASSERT_EQ(models.size(), 9u);
+  EXPECT_EQ(models.front().id, "omp");
+  EXPECT_EQ(models.back().id, "std-ranges");
+}
+
+TEST(Figure2Models, LookupById) {
+  EXPECT_EQ(modelById("cuda").displayName, "CUDA");
+  EXPECT_EQ(modelById("serial").id, "serial");
+  EXPECT_THROW(modelById("fortran"), NotFoundError);
+}
+
+TEST(SupportMatrix, OpenMpWorksOnAllDevices) {
+  // §3.1: "OpenMP works on all devices".
+  for (const char* id : {"clx-6230", "thunderx2", "milan-7763", "v100"}) {
+    EXPECT_TRUE(modelById("omp").supportOn(machine(id)).supported) << id;
+  }
+}
+
+TEST(SupportMatrix, CudaOnlyOnNvidiaGpus) {
+  // §3.1: "incompatibilities (CUDA on CPUs)".
+  EXPECT_TRUE(modelById("cuda").supportOn(machine("v100")).supported);
+  for (const char* id : {"clx-6230", "thunderx2", "milan-7763"}) {
+    const ModelSupport s = modelById("cuda").supportOn(machine(id));
+    EXPECT_FALSE(s.supported) << id;
+    EXPECT_FALSE(s.reason.empty());
+  }
+}
+
+TEST(SupportMatrix, TbbNotOnThunderX2) {
+  // §3.1: "incompatibilities (... Intel-TBB on Thunder)".
+  EXPECT_FALSE(modelById("tbb").supportOn(machine("thunderx2")).supported);
+  EXPECT_TRUE(modelById("tbb").supportOn(machine("clx-6230")).supported);
+  EXPECT_TRUE(modelById("tbb").supportOn(machine("milan-7763")).supported);
+}
+
+TEST(SupportMatrix, TbbDisparityBetweenMilanAndCascadeLake) {
+  // §3.1: "evident between paderborn-milan and isambard-macs:cascadelake
+  // TBB execution results".
+  const auto milan = modelById("tbb").supportOn(machine("milan-7763"));
+  const auto clx = modelById("tbb").supportOn(machine("clx-6230"));
+  EXPECT_GT(milan.efficiency.bandwidthFraction,
+            clx.efficiency.bandwidthFraction + 0.1);
+}
+
+TEST(SupportMatrix, StdRangesIsSingleThreaded) {
+  // §3.1: std-ranges "only executes in a single thread".
+  const auto s = modelById("std-ranges").supportOn(machine("clx-6230"));
+  ASSERT_TRUE(s.supported);
+  EXPECT_EQ(s.efficiency.coresUsed, 1);
+}
+
+TEST(SupportMatrix, StdDataSerialWithoutTbbOnArm) {
+  // §3.1: std-data/std-indices degrade on isambard-xci (no TBB backend).
+  const auto arm = modelById("std-data").supportOn(machine("thunderx2"));
+  ASSERT_TRUE(arm.supported);
+  EXPECT_EQ(arm.efficiency.coresUsed, 1);
+  const auto x86 = modelById("std-data").supportOn(machine("clx-6230"));
+  ASSERT_TRUE(x86.supported);
+  EXPECT_EQ(x86.efficiency.coresUsed, 0);  // full machine
+}
+
+TEST(SupportMatrix, VoltaBestWithCudaAndOpenCL) {
+  // §3.1: "The NVIDIA Volta GPU is close to the peak maximum bandwidth
+  // ... when executing benchmarks with OpenCL and CUDA".
+  const auto& v100 = machine("v100");
+  const double cuda =
+      modelById("cuda").supportOn(v100).efficiency.bandwidthFraction;
+  const double ocl =
+      modelById("ocl").supportOn(v100).efficiency.bandwidthFraction;
+  const double omp =
+      modelById("omp").supportOn(v100).efficiency.bandwidthFraction;
+  EXPECT_GT(cuda, 0.95);
+  EXPECT_GT(ocl, 0.95);
+  EXPECT_LT(omp, ocl);
+}
+
+TEST(SupportMatrix, CompilerLabelsPresentWhenSupported) {
+  for (const ProgrammingModel& model : figure2Models()) {
+    for (const char* id : {"clx-6230", "thunderx2", "milan-7763", "v100"}) {
+      const ModelSupport s = model.supportOn(machine(id));
+      if (s.supported) {
+        EXPECT_FALSE(s.compilerLabel.empty()) << model.id << " on " << id;
+      } else {
+        EXPECT_FALSE(s.reason.empty()) << model.id << " on " << id;
+      }
+    }
+  }
+}
+
+TEST(SupportMatrix, EveryModelRunsSomewhere) {
+  for (const ProgrammingModel& model : figure2Models()) {
+    bool anywhere = false;
+    for (const char* id : {"clx-6230", "thunderx2", "milan-7763", "v100"}) {
+      anywhere |= model.supportOn(machine(id)).supported;
+    }
+    EXPECT_TRUE(anywhere) << model.id;
+  }
+}
+
+TEST(SupportMatrix, SomeCellsAreMissing) {
+  // Figure 2 has white boxes: the matrix must not be fully supported.
+  int unsupported = 0;
+  for (const ProgrammingModel& model : figure2Models()) {
+    for (const char* id : {"clx-6230", "thunderx2", "milan-7763", "v100"}) {
+      if (!model.supportOn(machine(id)).supported) ++unsupported;
+    }
+  }
+  EXPECT_GE(unsupported, 5);
+}
+
+}  // namespace
+}  // namespace rebench::babelstream

@@ -1,0 +1,125 @@
+#include "babelstream/run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench::babelstream {
+namespace {
+
+const MachineModel& machine(const char* id) {
+  return builtinMachines().get(id);
+}
+
+TEST(RunNative, SerialValidatesAndTimes) {
+  const StreamResult result = runNative("serial", 1 << 14, 5);
+  EXPECT_TRUE(result.validated);
+  EXPECT_EQ(result.timings.size(), 5u);
+  for (const auto& [kernel, timing] : result.timings) {
+    EXPECT_GT(timing.minSeconds, 0.0);
+    EXPECT_LE(timing.minSeconds, timing.avgSeconds);
+    EXPECT_LE(timing.avgSeconds, timing.maxSeconds);
+    EXPECT_GT(timing.mbytesPerSec, 0.0);
+  }
+  EXPECT_GT(result.triadGBs(), 0.0);
+}
+
+TEST(RunNative, UnknownBackendThrows) {
+  EXPECT_THROW(runNative("cuda", 1024, 2), NotFoundError);
+}
+
+TEST(RunModeled, SupportedComboProducesResult) {
+  const auto result = runModeled("omp", machine("clx-6230"), 1 << 25, 10);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->validated);
+  // Modelled Triad should land between 60% and 100% of Table 1 peak.
+  const double efficiency = result->triadGBs() / 281.568;
+  EXPECT_GT(efficiency, 0.60);
+  EXPECT_LT(efficiency, 1.0);
+}
+
+TEST(RunModeled, UnsupportedComboIsNullopt) {
+  EXPECT_FALSE(runModeled("cuda", machine("clx-6230"), 1 << 25, 10));
+  EXPECT_FALSE(unsupportedReason("cuda", machine("clx-6230")).empty());
+  EXPECT_TRUE(unsupportedReason("cuda", machine("v100")).empty());
+}
+
+TEST(RunModeled, RepeatSaltVariesResults) {
+  // Repeats draw fresh (deterministic) noise; the first run's empty salt
+  // matches the unsalted call exactly.
+  const auto base = runModeled("omp", machine("clx-6230"), 1 << 25, 10);
+  const auto rep0 =
+      runModeled("omp", machine("clx-6230"), 1 << 25, 10, 4096, "");
+  const auto rep1 =
+      runModeled("omp", machine("clx-6230"), 1 << 25, 10, 4096, ":rep1");
+  ASSERT_TRUE(base && rep0 && rep1);
+  EXPECT_DOUBLE_EQ(base->triadGBs(), rep0->triadGBs());
+  EXPECT_NE(base->triadGBs(), rep1->triadGBs());
+  EXPECT_NEAR(rep1->triadGBs() / base->triadGBs(), 1.0, 0.1);
+}
+
+TEST(RunModeled, DeterministicAcrossCalls) {
+  const auto a = runModeled("omp", machine("milan-7763"), 1 << 29, 5);
+  const auto b = runModeled("omp", machine("milan-7763"), 1 << 29, 5);
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->triadGBs(), b->triadGBs());
+}
+
+TEST(RunModeled, V100BeatsCpusOnTriad) {
+  const auto gpu = runModeled("omp", machine("v100"), 1 << 25, 5);
+  const auto cpu = runModeled("omp", machine("clx-6230"), 1 << 25, 5);
+  ASSERT_TRUE(gpu && cpu);
+  EXPECT_GT(gpu->triadGBs(), 2.0 * cpu->triadGBs());
+}
+
+TEST(RunModeled, StdRangesFarBelowOmp) {
+  // Figure 2: std-ranges is single-threaded and lands near the bottom.
+  const auto ranges =
+      runModeled("std-ranges", machine("clx-6230"), 1 << 25, 5);
+  const auto omp = runModeled("omp", machine("clx-6230"), 1 << 25, 5);
+  ASSERT_TRUE(ranges && omp);
+  EXPECT_LT(ranges->triadGBs(), 0.2 * omp->triadGBs());
+}
+
+TEST(PaperArraySize, MilanGetsTwoPow29OthersTwoPow25) {
+  // §3.1's sizing rule.
+  EXPECT_EQ(paperArraySize(machine("milan-7763")), std::size_t{1} << 29);
+  EXPECT_EQ(paperArraySize(machine("rome-7742")), std::size_t{1} << 29);
+  EXPECT_EQ(paperArraySize(machine("clx-6230")), std::size_t{1} << 25);
+  EXPECT_EQ(paperArraySize(machine("thunderx2")), std::size_t{1} << 25);
+  EXPECT_EQ(paperArraySize(machine("v100")), std::size_t{1} << 25);
+}
+
+TEST(FormatOutput, MatchesBabelstreamShape) {
+  const auto result = runModeled("omp", machine("milan-7763"),
+                                 std::size_t{1} << 29, 10);
+  ASSERT_TRUE(result.has_value());
+  const std::string out = formatOutput(*result);
+  EXPECT_TRUE(str::contains(out, "BabelStream"));
+  // The 2^29 sizes quoted in §3.1 verbatim:
+  EXPECT_TRUE(str::contains(out, "Array size: 4295.0 MB (=4.3 GB)"));
+  EXPECT_TRUE(str::contains(out, "Total size: 12884.9 MB (=12.9 GB)"));
+  EXPECT_TRUE(str::contains(out, "Validation: PASSED"));
+  // The framework's Triad regex must match.
+  const std::regex triad(R"(Triad\s+([0-9]+\.[0-9]+))");
+  std::smatch match;
+  ASSERT_TRUE(std::regex_search(out, match, triad));
+  const double mbs = std::stod(match[1].str());
+  EXPECT_NEAR(mbs / 1000.0, result->triadGBs(), 0.01);
+}
+
+TEST(FormatOutput, FailedValidationVisible) {
+  StreamResult result;
+  result.model = "omp";
+  result.arraySize = 1024;
+  result.ntimes = 1;
+  result.validated = false;
+  for (Kernel k : kAllKernels) result.timings[k] = KernelTiming{1, 1, 1, 1};
+  EXPECT_TRUE(str::contains(formatOutput(result), "Validation: FAILED"));
+}
+
+}  // namespace
+}  // namespace rebench::babelstream

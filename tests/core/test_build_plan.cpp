@@ -1,0 +1,121 @@
+#include "core/pkg/build_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/concretizer/concretizer.hpp"
+#include "core/sysconfig/system_config.hpp"
+
+namespace rebench {
+namespace {
+
+class BuildPlanFixture : public ::testing::Test {
+ protected:
+  BuildPlanFixture()
+      : repo_(builtinRepository()), systems_(builtinSystems()) {}
+
+  std::shared_ptr<const ConcreteSpec> concretize(std::string_view system,
+                                                 std::string_view spec) {
+    Concretizer c(repo_, systems_.get(system).environment);
+    return c.concretize(Spec::parse(spec)).root;
+  }
+
+  PackageRepository repo_;
+  SystemRegistry systems_;
+};
+
+TEST_F(BuildPlanFixture, DependenciesComeFirst) {
+  const auto root = concretize("archer2", "hpgmg%gcc");
+  const BuildPlan plan = makeBuildPlan(*root);
+  ASSERT_GE(plan.steps.size(), 3u);  // mpi, python, hpgmg at least
+  // The root is always the final step.
+  EXPECT_EQ(plan.steps.back().packageName, "hpgmg");
+  // Every dependency index precedes the root index.
+  for (std::size_t i = 0; i + 1 < plan.steps.size(); ++i) {
+    EXPECT_NE(plan.steps[i].packageName, "hpgmg");
+  }
+}
+
+TEST_F(BuildPlanFixture, ExternalsRenderAsModuleLoads) {
+  const auto root = concretize("archer2", "hpgmg%gcc");
+  const BuildPlan plan = makeBuildPlan(*root);
+  bool sawModuleLoad = false;
+  for (const BuildStep& step : plan.steps) {
+    if (step.external) {
+      EXPECT_TRUE(step.command.starts_with("module load "));
+      sawModuleLoad = true;
+    } else {
+      EXPECT_TRUE(step.command.starts_with("spack install "));
+    }
+  }
+  EXPECT_TRUE(sawModuleLoad);
+}
+
+TEST_F(BuildPlanFixture, PlanHashStableAndSpecSensitive) {
+  const auto a = concretize("archer2", "hpgmg%gcc");
+  const auto b = concretize("archer2", "hpgmg%gcc");
+  EXPECT_EQ(makeBuildPlan(*a).planHash(), makeBuildPlan(*b).planHash());
+
+  const auto c = concretize("csd3", "hpgmg%gcc");
+  EXPECT_NE(makeBuildPlan(*a).planHash(), makeBuildPlan(*c).planHash());
+}
+
+TEST_F(BuildPlanFixture, ScriptMentionsEveryStep) {
+  const auto root = concretize("csd3", "hpgmg%gcc");
+  const BuildPlan plan = makeBuildPlan(*root);
+  const std::string script = plan.renderScript();
+  for (const BuildStep& step : plan.steps) {
+    EXPECT_NE(script.find(step.command), std::string::npos);
+  }
+  EXPECT_NE(script.find(plan.rootHash), std::string::npos);
+}
+
+TEST_F(BuildPlanFixture, RebuildEveryRunExecutesEveryStep) {
+  const auto root = concretize("archer2", "babelstream +omp");
+  const BuildPlan plan = makeBuildPlan(*root);
+  Builder builder(/*rebuildEveryRun=*/true);
+  const BuildRecord first = builder.build(plan);
+  const BuildRecord second = builder.build(plan);
+  EXPECT_EQ(first.stepsExecuted, static_cast<int>(plan.steps.size()));
+  EXPECT_EQ(second.stepsExecuted, static_cast<int>(plan.steps.size()));
+  // Principle 3 guarantees reproducibility: same plan, same binary.
+  EXPECT_EQ(first.binaryId, second.binaryId);
+  EXPECT_GT(first.buildSeconds, 0.0);
+}
+
+TEST_F(BuildPlanFixture, CachedBuilderSkipsSecondBuild) {
+  const auto root = concretize("archer2", "babelstream +omp");
+  const BuildPlan plan = makeBuildPlan(*root);
+  Builder builder(/*rebuildEveryRun=*/false);
+  const BuildRecord first = builder.build(plan);
+  const BuildRecord second = builder.build(plan);
+  EXPECT_GT(first.stepsExecuted, 0);
+  EXPECT_EQ(second.stepsExecuted, 0);
+  EXPECT_EQ(second.stepsReusedFromCache,
+            static_cast<int>(plan.steps.size()));
+  EXPECT_EQ(first.binaryId, second.binaryId);
+}
+
+TEST_F(BuildPlanFixture, DifferentSpecsDifferentBinaries) {
+  Builder builder;
+  const auto omp = concretize("archer2", "babelstream model=omp");
+  const auto tbbSpec = concretize("noctua2", "babelstream model=tbb");
+  const BuildRecord a = builder.build(makeBuildPlan(*omp));
+  const BuildRecord b = builder.build(makeBuildPlan(*tbbSpec));
+  EXPECT_NE(a.binaryId, b.binaryId);
+}
+
+TEST(SimulatedBuildCost, DeterministicAndBounded) {
+  BuildStep step;
+  step.specHash = "abcdefg";
+  step.external = false;
+  const double a = simulatedBuildCost(step);
+  const double b = simulatedBuildCost(step);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 10.0);
+  EXPECT_LE(a, 130.0);
+  step.external = true;
+  EXPECT_LT(simulatedBuildCost(step), 1.0);
+}
+
+}  // namespace
+}  // namespace rebench

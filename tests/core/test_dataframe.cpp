@@ -1,0 +1,203 @@
+#include "core/postproc/dataframe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+DataFrame sampleFrame() {
+  DataFrame frame;
+  frame.addStrings("system", {"archer2", "archer2", "csd3", "csd3"});
+  frame.addStrings("fom", {"l0", "l1", "l0", "l1"});
+  frame.addNumeric("value", {95.36, 83.43, 126.10, 94.39});
+  return frame;
+}
+
+TEST(DataFrame, BasicShape) {
+  const DataFrame frame = sampleFrame();
+  EXPECT_EQ(frame.rowCount(), 4u);
+  EXPECT_EQ(frame.columnCount(), 3u);
+  EXPECT_TRUE(frame.hasColumn("system"));
+  EXPECT_FALSE(frame.hasColumn("nope"));
+  EXPECT_TRUE(frame.isNumeric("value"));
+  EXPECT_FALSE(frame.isNumeric("system"));
+}
+
+TEST(DataFrame, MismatchedColumnLengthThrows) {
+  DataFrame frame;
+  frame.addStrings("a", {"x", "y"});
+  EXPECT_THROW(frame.addNumeric("b", {1.0}), Error);
+}
+
+TEST(DataFrame, TypedAccessChecks) {
+  const DataFrame frame = sampleFrame();
+  EXPECT_THROW(frame.numeric("system"), Error);
+  EXPECT_THROW(frame.strings("value"), Error);
+  EXPECT_THROW(frame.numeric("missing"), NotFoundError);
+}
+
+TEST(DataFrame, FilterEquals) {
+  const DataFrame filtered = sampleFrame().filterEquals("system", "csd3");
+  EXPECT_EQ(filtered.rowCount(), 2u);
+  EXPECT_DOUBLE_EQ(filtered.numeric("value")[0], 126.10);
+}
+
+TEST(DataFrame, FilterPredicate) {
+  const DataFrame frame = sampleFrame();
+  const auto& values = frame.numeric("value");
+  const DataFrame big =
+      frame.filter([&](std::size_t i) { return values[i] > 90.0; });
+  EXPECT_EQ(big.rowCount(), 3u);
+}
+
+TEST(DataFrame, FilterThenFilterComposes) {
+  // Property: filter(p) then filter(q) == filter(p && q).
+  const DataFrame frame = sampleFrame();
+  const auto& values = frame.numeric("value");
+  const DataFrame chained =
+      frame.filterEquals("system", "archer2")
+          .filter([](std::size_t) { return true; })
+          .filterEquals("fom", "l0");
+  const DataFrame direct = frame.filter([&](std::size_t i) {
+    return frame.strings("system")[i] == "archer2" &&
+           frame.strings("fom")[i] == "l0";
+  });
+  ASSERT_EQ(chained.rowCount(), direct.rowCount());
+  EXPECT_DOUBLE_EQ(chained.numeric("value")[0], direct.numeric("value")[0]);
+  (void)values;
+}
+
+TEST(DataFrame, SelectColumns) {
+  const std::array<std::string, 2> wanted{"fom", "value"};
+  const DataFrame projected = sampleFrame().selectColumns(wanted);
+  EXPECT_EQ(projected.columnCount(), 2u);
+  EXPECT_EQ(projected.rowCount(), 4u);
+  EXPECT_FALSE(projected.hasColumn("system"));
+}
+
+TEST(DataFrame, SortByNumericDescending) {
+  const DataFrame sorted = sampleFrame().sortBy("value", false);
+  const auto& values = sorted.numeric("value");
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_GE(values[i - 1], values[i]);
+  }
+}
+
+TEST(DataFrame, SortIsStableOnStrings) {
+  const DataFrame sorted = sampleFrame().sortBy("system", true);
+  const auto& foms = sorted.strings("fom");
+  // Within archer2 rows, original l0-then-l1 order preserved.
+  EXPECT_EQ(foms[0], "l0");
+  EXPECT_EQ(foms[1], "l1");
+}
+
+TEST(DataFrame, ConcatMergesRows) {
+  const DataFrame a = sampleFrame();
+  const DataFrame b = sampleFrame();
+  const std::array<DataFrame, 2> frames{a, b};
+  const DataFrame merged = DataFrame::concat(frames);
+  EXPECT_EQ(merged.rowCount(), 8u);
+  EXPECT_EQ(merged.columnCount(), 3u);
+}
+
+TEST(DataFrame, ConcatRejectsSchemaMismatch) {
+  DataFrame other;
+  other.addStrings("different", {"x"});
+  const std::array<DataFrame, 2> frames{sampleFrame(), other};
+  EXPECT_THROW(DataFrame::concat(frames), Error);
+}
+
+TEST(DataFrame, ConcatEmptyListIsEmptyFrame) {
+  EXPECT_TRUE(DataFrame::concat({}).empty());
+}
+
+TEST(DataFrame, GroupByMean) {
+  const std::array<std::string, 1> keys{"system"};
+  const DataFrame grouped = sampleFrame().groupBy(keys, "value", Agg::kMean);
+  EXPECT_EQ(grouped.rowCount(), 2u);
+  EXPECT_EQ(grouped.strings("system")[0], "archer2");
+  EXPECT_NEAR(grouped.numeric("value")[0], (95.36 + 83.43) / 2, 1e-9);
+  EXPECT_NEAR(grouped.numeric("value")[1], (126.10 + 94.39) / 2, 1e-9);
+}
+
+TEST(DataFrame, GroupByAggregations) {
+  const std::array<std::string, 1> keys{"system"};
+  const DataFrame frame = sampleFrame();
+  EXPECT_NEAR(frame.groupBy(keys, "value", Agg::kMin).numeric("value")[0],
+              83.43, 1e-9);
+  EXPECT_NEAR(frame.groupBy(keys, "value", Agg::kMax).numeric("value")[0],
+              95.36, 1e-9);
+  EXPECT_NEAR(frame.groupBy(keys, "value", Agg::kSum).numeric("value")[0],
+              95.36 + 83.43, 1e-9);
+  EXPECT_NEAR(frame.groupBy(keys, "value", Agg::kCount).numeric("value")[0],
+              2.0, 1e-9);
+  EXPECT_NEAR(frame.groupBy(keys, "value", Agg::kFirst).numeric("value")[0],
+              95.36, 1e-9);
+}
+
+TEST(DataFrame, GroupBySumEqualsTotalAcrossGroups) {
+  // Property: group sums partition the overall sum.
+  const DataFrame frame = sampleFrame();
+  const std::array<std::string, 1> keys{"system"};
+  const DataFrame grouped = frame.groupBy(keys, "value", Agg::kSum);
+  double total = 0.0;
+  for (double v : frame.numeric("value")) total += v;
+  double groupTotal = 0.0;
+  for (double v : grouped.numeric("value")) groupTotal += v;
+  EXPECT_NEAR(total, groupTotal, 1e-9);
+}
+
+TEST(DataFrame, PivotShapesMatrix) {
+  const PivotTable table = sampleFrame().pivot("fom", "system", "value");
+  ASSERT_EQ(table.rowLabels.size(), 2u);
+  ASSERT_EQ(table.colLabels.size(), 2u);
+  ASSERT_TRUE(table.cells[0][0].has_value());
+  EXPECT_NEAR(*table.cells[0][0], 95.36, 1e-9);   // l0 x archer2
+  EXPECT_NEAR(*table.cells[1][1], 94.39, 1e-9);   // l1 x csd3
+}
+
+TEST(DataFrame, PivotLeavesHolesForMissingCombos) {
+  DataFrame frame;
+  frame.addStrings("model", {"omp", "cuda"});
+  frame.addStrings("platform", {"clx", "v100"});
+  frame.addNumeric("value", {0.7, 0.9});
+  const PivotTable table = frame.pivot("model", "platform", "value");
+  EXPECT_TRUE(table.cells[0][0].has_value());   // omp x clx
+  EXPECT_FALSE(table.cells[0][1].has_value());  // omp x v100: no data
+  EXPECT_FALSE(table.cells[1][0].has_value());  // cuda x clx: no data
+}
+
+TEST(DataFrame, CsvRoundTrip) {
+  const DataFrame frame = sampleFrame();
+  const DataFrame reparsed = DataFrame::fromCsv(frame.toCsv());
+  EXPECT_EQ(reparsed.rowCount(), frame.rowCount());
+  EXPECT_EQ(reparsed.columnNames(), frame.columnNames());
+  EXPECT_TRUE(reparsed.isNumeric("value"));
+  EXPECT_NEAR(reparsed.numeric("value")[2], 126.10, 1e-6);
+  EXPECT_EQ(reparsed.strings("system")[3], "csd3");
+}
+
+TEST(DataFrame, CsvQuotingHandlesCommas) {
+  DataFrame frame;
+  frame.addStrings("launch", {"srun --ntasks=8, --exact", "plain"});
+  frame.addNumeric("v", {1.0, 2.0});
+  const DataFrame reparsed = DataFrame::fromCsv(frame.toCsv());
+  EXPECT_EQ(reparsed.strings("launch")[0], "srun --ntasks=8, --exact");
+}
+
+TEST(DataFrame, CsvRaggedRowThrows) {
+  EXPECT_THROW(DataFrame::fromCsv("a,b\n1\n"), ParseError);
+}
+
+TEST(DataFrame, CellText) {
+  const DataFrame frame = sampleFrame();
+  EXPECT_EQ(frame.cellText("system", 0), "archer2");
+  EXPECT_EQ(frame.cellText("value", 0).substr(0, 5), "95.36");
+}
+
+}  // namespace
+}  // namespace rebench

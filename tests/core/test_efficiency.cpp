@@ -1,0 +1,82 @@
+#include "core/postproc/efficiency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(Efficiency, Architectural) {
+  // Figure 2's cell semantics: achieved Triad / Table-1 peak.
+  EXPECT_NEAR(architecturalEfficiency(240.0, 282.0), 0.851, 1e-3);
+  EXPECT_THROW(architecturalEfficiency(1.0, 0.0), Error);
+}
+
+TEST(Efficiency, Equation1FromTable2) {
+  // E_I = Intel-avx2 / Original = 39.0 / 24.0 = 1.625.
+  EXPECT_NEAR(applicationEfficiency(39.0, 24.0), 1.625, 1e-9);
+  // E_A = Matrix-free / Original = 51.0 / 24.0 = 2.125.
+  EXPECT_NEAR(applicationEfficiency(51.0, 24.0), 2.125, 1e-9);
+  // AMD Rome: E_A = 124.2 / 39.2 = 3.168...
+  EXPECT_NEAR(applicationEfficiency(124.2, 39.2), 3.168, 1e-3);
+  EXPECT_THROW(applicationEfficiency(1.0, 0.0), Error);
+}
+
+TEST(PerformancePortability, HarmonicMean) {
+  const std::array<std::optional<double>, 2> effs{0.5, 1.0};
+  // Harmonic mean of {0.5, 1.0} = 2/(2+1) = 0.666...
+  EXPECT_NEAR(performancePortability(effs), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PerformancePortability, SinglePlatformIsItsEfficiency) {
+  const std::array<std::optional<double>, 1> effs{0.8};
+  EXPECT_NEAR(performancePortability(effs), 0.8, 1e-12);
+}
+
+TEST(PerformancePortability, UnsupportedPlatformZeroesMetric) {
+  const std::array<std::optional<double>, 3> effs{0.9, std::nullopt, 0.8};
+  EXPECT_DOUBLE_EQ(performancePortability(effs), 0.0);
+}
+
+TEST(PerformancePortability, EmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(performancePortability({}), 0.0);
+}
+
+TEST(PerformancePortability, BoundedByMinAndMax) {
+  const std::array<std::optional<double>, 3> effs{0.3, 0.6, 0.9};
+  const double pp = performancePortability(effs);
+  EXPECT_GE(pp, 0.3);
+  EXPECT_LE(pp, 0.9);
+  // Harmonic mean <= arithmetic mean.
+  EXPECT_LE(pp, (0.3 + 0.6 + 0.9) / 3.0);
+}
+
+TEST(AnalyzePortability, FullReport) {
+  const std::array<EfficiencyObservation, 3> obs{
+      EfficiencyObservation{"clx", 0.75},
+      EfficiencyObservation{"tx2", std::nullopt},
+      EfficiencyObservation{"v100", 0.95},
+  };
+  const PortabilityReport report = analyzePortability(obs);
+  EXPECT_EQ(report.totalPlatforms, 3u);
+  EXPECT_EQ(report.supportedPlatforms, 2u);
+  EXPECT_DOUBLE_EQ(report.pp, 0.0);  // one unsupported platform
+  EXPECT_DOUBLE_EQ(report.minEfficiency, 0.75);
+  EXPECT_DOUBLE_EQ(report.maxEfficiency, 0.95);
+}
+
+TEST(AnalyzePortability, AllSupported) {
+  const std::array<EfficiencyObservation, 2> obs{
+      EfficiencyObservation{"a", 0.5},
+      EfficiencyObservation{"b", 1.0},
+  };
+  const PortabilityReport report = analyzePortability(obs);
+  EXPECT_NEAR(report.pp, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(report.supportedPlatforms, 2u);
+}
+
+}  // namespace
+}  // namespace rebench

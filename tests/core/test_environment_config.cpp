@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/concretizer/concretizer.hpp"
+#include "core/concretizer/environment.hpp"
+#include "core/sysconfig/system_config.hpp"
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(EnvironmentConfig, RoundTripEveryBuiltinSystem) {
+  const SystemRegistry systems = builtinSystems();
+  for (const std::string& name : systems.systemNames()) {
+    const SystemEnvironment& original = systems.get(name).environment;
+    const SystemEnvironment parsed =
+        parseEnvironmentConfig(original.renderConfig());
+
+    EXPECT_EQ(parsed.systemName, original.systemName);
+    EXPECT_EQ(parsed.defaultCompiler, original.defaultCompiler);
+    ASSERT_EQ(parsed.compilers.size(), original.compilers.size()) << name;
+    for (std::size_t i = 0; i < parsed.compilers.size(); ++i) {
+      EXPECT_EQ(parsed.compilers[i].name, original.compilers[i].name);
+      EXPECT_EQ(parsed.compilers[i].version, original.compilers[i].version);
+      EXPECT_EQ(parsed.compilers[i].modules, original.compilers[i].modules);
+    }
+    ASSERT_EQ(parsed.externals.size(), original.externals.size()) << name;
+    for (std::size_t i = 0; i < parsed.externals.size(); ++i) {
+      EXPECT_EQ(parsed.externals[i].name, original.externals[i].name);
+      EXPECT_EQ(parsed.externals[i].version, original.externals[i].version);
+      EXPECT_EQ(parsed.externals[i].origin, original.externals[i].origin);
+      EXPECT_EQ(parsed.externals[i].compilerName,
+                original.externals[i].compilerName);
+    }
+    EXPECT_EQ(parsed.preferredProviders, original.preferredProviders);
+  }
+}
+
+TEST(EnvironmentConfig, ParsedEnvironmentDrivesConcretizer) {
+  // The Table 3 ARCHER2 result must be reachable from a parsed config —
+  // a user-authored file is a first-class system definition.
+  const SystemRegistry systems = builtinSystems();
+  const SystemEnvironment parsed = parseEnvironmentConfig(
+      systems.get("archer2").environment.renderConfig());
+  const PackageRepository repo = builtinRepository();
+  Concretizer concretizer(repo, parsed);
+  const auto result = concretizer.concretize(Spec::parse("hpgmg%gcc"));
+  EXPECT_EQ(result.root->compilerVersion.toString(), "11.2.0");
+  const ConcreteSpec* mpi = result.root->find("cray-mpich");
+  ASSERT_NE(mpi, nullptr);
+  EXPECT_EQ(mpi->version.toString(), "8.1.23");
+}
+
+TEST(EnvironmentConfig, HandAuthoredMinimalConfig) {
+  const std::string config = R"(# my new testbed
+system: mybox
+default_compiler: gcc
+compilers:
+  - gcc@13.1.0    # module: gcc/13
+externals:
+  - spec: openmpi@4.1.4%gcc@13.1.0
+    origin: openmpi/4.1.4
+preferred_providers:
+  mpi: [openmpi]
+)";
+  const SystemEnvironment env = parseEnvironmentConfig(config);
+  EXPECT_EQ(env.systemName, "mybox");
+  ASSERT_EQ(env.compilers.size(), 1u);
+  EXPECT_EQ(env.compilers[0].modules, "gcc/13");
+  ASSERT_EQ(env.externals.size(), 1u);
+  EXPECT_EQ(env.externals[0].compilerName, "gcc");
+  EXPECT_EQ(env.externals[0].origin, "openmpi/4.1.4");
+  ASSERT_TRUE(env.preferredProviders.contains("mpi"));
+  EXPECT_EQ(env.preferredProviders.at("mpi"),
+            (std::vector<std::string>{"openmpi"}));
+}
+
+TEST(EnvironmentConfig, MalformedInputsRejected) {
+  EXPECT_THROW(parseEnvironmentConfig("compilers:\n  - gcc\n"), ParseError);
+  EXPECT_THROW(parseEnvironmentConfig("externals:\n  - gcc@1.0\n"),
+               ParseError);
+  EXPECT_THROW(parseEnvironmentConfig("  - orphan@1.0\n"), ParseError);
+  EXPECT_THROW(parseEnvironmentConfig("origin: nowhere\n"), ParseError);
+  EXPECT_THROW(
+      parseEnvironmentConfig("preferred_providers:\n  mpi: openmpi\n"),
+      ParseError);
+  EXPECT_THROW(parseEnvironmentConfig("what is this\n"), ParseError);
+}
+
+TEST(EnvironmentConfig, EmptyDocumentIsEmptyEnvironment) {
+  const SystemEnvironment env = parseEnvironmentConfig("# nothing\n\n");
+  EXPECT_TRUE(env.compilers.empty());
+  EXPECT_TRUE(env.externals.empty());
+}
+
+}  // namespace
+}  // namespace rebench

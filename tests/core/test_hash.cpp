@@ -1,0 +1,65 @@
+#include "core/util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace rebench {
+namespace {
+
+TEST(Hasher, DeterministicAcrossInstances) {
+  Hasher a, b;
+  a.update("babelstream").update(std::uint64_t{42});
+  b.update("babelstream").update(std::uint64_t{42});
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(Hasher, OrderMatters) {
+  Hasher ab, ba;
+  ab.update("a").update("b");
+  ba.update("b").update("a");
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(Hasher, ConcatenationAmbiguityAvoided) {
+  Hasher split, joined;
+  split.update("ab").update("c");
+  joined.update("a").update("bc");
+  EXPECT_NE(split.digest(), joined.digest());
+}
+
+TEST(Hasher, HexIsSixteenLowercaseChars) {
+  const std::string hex = Hasher{}.update("x").hex();
+  EXPECT_EQ(hex.size(), 16u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(Hasher, ShortHashIsSevenBase32Chars) {
+  const std::string h = Hasher{}.update("hpgmg").shortHash();
+  EXPECT_EQ(h.size(), 7u);
+  for (char c : h) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << c;
+  }
+}
+
+TEST(Hasher, DoubleUpdatesDistinguishBitPatterns) {
+  Hasher a, b;
+  a.update(1.0);
+  b.update(-1.0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Fnv1a, FewCollisionsOnSmallKeySet) {
+  std::set<std::uint64_t> digests;
+  for (int i = 0; i < 1000; ++i) {
+    digests.insert(fnv1a("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(digests.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace rebench

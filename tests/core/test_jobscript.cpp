@@ -1,0 +1,95 @@
+// Job-script rendering (the Principle-5 artefact) and DataFrame::describe.
+#include <gtest/gtest.h>
+
+#include "core/sched/launcher.hpp"
+#include "core/postproc/dataframe.hpp"
+#include "core/sysconfig/system_config.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench {
+namespace {
+
+JobScriptRequest hpgmgRequest() {
+  JobScriptRequest request;
+  request.jobName = "HpgmgFvBenchmark";
+  request.numTasks = 8;
+  request.tasksPerNode = 2;
+  request.cpusPerTask = 8;
+  request.timeLimitSeconds = 3600.0;
+  request.account = "ec999";
+  request.moduleLoads = {"cray-mpich/8.1.23", "cray-python/3.10.12"};
+  request.launchCommand =
+      "srun --ntasks=8 --ntasks-per-node=2 --cpus-per-task=8 hpgmg-fv 7 8";
+  return request;
+}
+
+TEST(JobScript, SlurmHeadersComplete) {
+  const SystemRegistry systems = builtinSystems();
+  const PartitionConfig& part = *systems.resolve("archer2").second;
+  const std::string script = renderJobScript(part, hpgmgRequest());
+  EXPECT_TRUE(str::startsWith(script, "#!/bin/bash\n"));
+  EXPECT_TRUE(str::contains(script, "#SBATCH --nodes=4"));
+  EXPECT_TRUE(str::contains(script, "#SBATCH --ntasks=8"));
+  EXPECT_TRUE(str::contains(script, "#SBATCH --ntasks-per-node=2"));
+  EXPECT_TRUE(str::contains(script, "#SBATCH --cpus-per-task=8"));
+  EXPECT_TRUE(str::contains(script, "#SBATCH --time=01:00:00"));
+  EXPECT_TRUE(str::contains(script, "#SBATCH --account=ec999"));
+  EXPECT_TRUE(str::contains(script, "#SBATCH --qos=standard"));
+  EXPECT_TRUE(str::contains(script, "module load cray-mpich/8.1.23"));
+  EXPECT_TRUE(str::contains(script, "srun --ntasks=8"));
+}
+
+TEST(JobScript, PbsHeadersComplete) {
+  const SystemRegistry systems = builtinSystems();
+  const PartitionConfig& part =
+      *systems.resolve("isambard-macs:cascadelake").second;
+  JobScriptRequest request = hpgmgRequest();
+  request.account.clear();
+  const std::string script = renderJobScript(part, request);
+  EXPECT_TRUE(str::contains(script, "#PBS -N HpgmgFvBenchmark"));
+  EXPECT_TRUE(
+      str::contains(script, "#PBS -l select=4:mpiprocs=2:ncpus=16"));
+  EXPECT_TRUE(str::contains(script, "#PBS -l walltime=01:00:00"));
+  EXPECT_FALSE(str::contains(script, "#PBS -A"));
+}
+
+TEST(JobScript, LocalHasNoSchedulerHeaders) {
+  const SystemRegistry systems = builtinSystems();
+  const PartitionConfig& part = *systems.resolve("local").second;
+  const std::string script = renderJobScript(part, hpgmgRequest());
+  EXPECT_FALSE(str::contains(script, "#SBATCH"));
+  EXPECT_FALSE(str::contains(script, "#PBS"));
+  EXPECT_TRUE(str::contains(script, "srun --ntasks=8"));  // launch preserved
+}
+
+TEST(JobScript, WalltimeFormatting) {
+  const SystemRegistry systems = builtinSystems();
+  const PartitionConfig& part = *systems.resolve("csd3").second;
+  JobScriptRequest request = hpgmgRequest();
+  request.timeLimitSeconds = 2.0 * 3600 + 34 * 60 + 56;
+  EXPECT_TRUE(str::contains(renderJobScript(part, request),
+                            "--time=02:34:56"));
+}
+
+TEST(DataFrameDescribe, SummarizesNumericColumnsOnly) {
+  DataFrame frame;
+  frame.addStrings("system", {"a", "b", "c", "d"});
+  frame.addNumeric("value", {1.0, 2.0, 3.0, 4.0});
+  frame.addNumeric("other", {10.0, 10.0, 10.0, 10.0});
+  const DataFrame described = frame.describe();
+  ASSERT_EQ(described.rowCount(), 2u);  // two numeric columns
+  EXPECT_EQ(described.strings("column")[0], "value");
+  EXPECT_DOUBLE_EQ(described.numeric("count")[0], 4.0);
+  EXPECT_DOUBLE_EQ(described.numeric("mean")[0], 2.5);
+  EXPECT_DOUBLE_EQ(described.numeric("min")[0], 1.0);
+  EXPECT_DOUBLE_EQ(described.numeric("max")[0], 4.0);
+  EXPECT_DOUBLE_EQ(described.numeric("median")[0], 2.5);
+  EXPECT_DOUBLE_EQ(described.numeric("std")[1], 0.0);  // constant column
+}
+
+TEST(DataFrameDescribe, EmptyFrameYieldsEmptyDescription) {
+  EXPECT_EQ(DataFrame{}.describe().rowCount(), 0u);
+}
+
+}  // namespace
+}  // namespace rebench

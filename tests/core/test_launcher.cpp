@@ -1,0 +1,76 @@
+#include "core/sched/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rebench {
+namespace {
+
+Allocation makeAlloc(int tasks, int perNode, int cpus,
+                     std::vector<int> nodes) {
+  Allocation alloc;
+  alloc.numTasks = tasks;
+  alloc.tasksPerNode = perNode;
+  alloc.cpusPerTask = cpus;
+  alloc.nodeIds = std::move(nodes);
+  return alloc;
+}
+
+TEST(RankLayout, BlockDistribution) {
+  const auto layout = computeRankLayout(makeAlloc(8, 2, 8, {0, 1, 2, 3}));
+  ASSERT_EQ(layout.size(), 8u);
+  EXPECT_EQ(layout[0].nodeId, 0);
+  EXPECT_EQ(layout[1].nodeId, 0);
+  EXPECT_EQ(layout[2].nodeId, 1);
+  EXPECT_EQ(layout[7].nodeId, 3);
+  // Second rank on a node starts after the first rank's cpus.
+  EXPECT_EQ(layout[0].firstCpu, 0);
+  EXPECT_EQ(layout[1].firstCpu, 8);
+  EXPECT_EQ(layout[1].numCpus, 8);
+}
+
+TEST(RankLayout, RanksAreSequential) {
+  const auto layout = computeRankLayout(makeAlloc(5, 2, 1, {0, 1, 2}));
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(layout[r].rank, r);
+}
+
+TEST(LaunchCommand, SrunMatchesReFrameStyle) {
+  const std::string cmd = renderLaunchCommand(
+      LauncherKind::kSrun, makeAlloc(8, 2, 8, {0, 1, 2, 3}), "hpgmg-fv",
+      {"7", "8"});
+  EXPECT_EQ(cmd,
+            "srun --ntasks=8 --ntasks-per-node=2 --cpus-per-task=8 "
+            "hpgmg-fv 7 8");
+}
+
+TEST(LaunchCommand, MpirunUsesMapBy) {
+  const std::string cmd = renderLaunchCommand(
+      LauncherKind::kMpirun, makeAlloc(40, 40, 1, {0}), "xhpcg", {});
+  EXPECT_NE(cmd.find("mpirun -np 40"), std::string::npos);
+  EXPECT_NE(cmd.find("ppr:40:node"), std::string::npos);
+}
+
+TEST(LaunchCommand, AprunForPbs) {
+  const std::string cmd = renderLaunchCommand(
+      LauncherKind::kAprun, makeAlloc(64, 64, 1, {0}), "babelstream", {});
+  EXPECT_NE(cmd.find("aprun -n 64 -N 64"), std::string::npos);
+}
+
+TEST(LaunchCommand, LocalIsBareExecutable) {
+  const std::string cmd = renderLaunchCommand(
+      LauncherKind::kLocal, makeAlloc(1, 1, 1, {0}), "quickstart",
+      {"--n", "1000"});
+  EXPECT_EQ(cmd, "quickstart --n 1000");
+}
+
+TEST(LauncherNames, AllKindsNamed) {
+  EXPECT_EQ(launcherName(LauncherKind::kSrun), "srun");
+  EXPECT_EQ(launcherName(LauncherKind::kMpirun), "mpirun");
+  EXPECT_EQ(launcherName(LauncherKind::kAprun), "aprun");
+  EXPECT_EQ(launcherName(LauncherKind::kLocal), "local");
+  EXPECT_EQ(schedulerName(SchedulerKind::kSlurm), "slurm");
+  EXPECT_EQ(schedulerName(SchedulerKind::kPbs), "pbs");
+  EXPECT_EQ(schedulerName(SchedulerKind::kLocal), "local");
+}
+
+}  // namespace
+}  // namespace rebench

@@ -1,0 +1,416 @@
+// Property-based test sweeps: randomised inputs driven through invariants,
+// parameterised over seeds (TEST_P) so each seed is an independent case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <functional>
+
+#include "core/concretizer/concretizer.hpp"
+#include "core/spec/spec.hpp"
+#include "core/util/error.hpp"
+#include "core/framework/perflog.hpp"
+#include "core/postproc/dataframe.hpp"
+#include "core/sched/scheduler.hpp"
+#include "core/sysconfig/system_config.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/version.hpp"
+
+namespace rebench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Version ordering is a strict total order consistent with prefixes.
+// ---------------------------------------------------------------------------
+
+class VersionOrderProperty : public ::testing::TestWithParam<int> {};
+
+Version randomVersion(Rng& rng) {
+  std::string text = std::to_string(rng.below(20));
+  const std::uint64_t components = rng.below(3);
+  for (std::uint64_t i = 0; i < components; ++i) {
+    text += "." + std::to_string(rng.below(30));
+  }
+  if (rng.uniform() < 0.15) text += "rc" + std::to_string(rng.below(3));
+  return Version::parse(text);
+}
+
+TEST_P(VersionOrderProperty, TotalOrderAxioms) {
+  Rng rng(GetParam());
+  std::vector<Version> versions;
+  for (int i = 0; i < 24; ++i) versions.push_back(randomVersion(rng));
+
+  for (const Version& a : versions) {
+    EXPECT_FALSE(a < a);  // irreflexive
+    for (const Version& b : versions) {
+      // Trichotomy: exactly one of <, ==, > holds.
+      const int relations = (a < b) + (a == b) + (b < a);
+      EXPECT_EQ(relations, 1) << a.toString() << " vs " << b.toString();
+      for (const Version& c : versions) {
+        if (a < b && b < c) {
+          EXPECT_LT(a, c);  // transitivity
+        }
+      }
+    }
+  }
+}
+
+TEST_P(VersionOrderProperty, SortThenCheckMonotone) {
+  Rng rng(GetParam() + 1000);
+  std::vector<Version> versions;
+  for (int i = 0; i < 50; ++i) versions.push_back(randomVersion(rng));
+  std::sort(versions.begin(), versions.end());
+  for (std::size_t i = 1; i < versions.size(); ++i) {
+    EXPECT_FALSE(versions[i] < versions[i - 1]);
+  }
+}
+
+TEST_P(VersionOrderProperty, PrefixImpliesRangeMembership) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 30; ++i) {
+    const Version v = randomVersion(rng);
+    // Any version satisfies the exact-constraint of its own text.
+    EXPECT_TRUE(
+        VersionConstraint::parse(v.toString()).satisfiedBy(v));
+    // And the unbounded ranges on either side of itself.
+    EXPECT_TRUE(
+        VersionConstraint::parse(v.toString() + ":").satisfiedBy(v));
+    EXPECT_TRUE(
+        VersionConstraint::parse(":" + v.toString()).satisfiedBy(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionOrderProperty,
+                         ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// Scheduler invariants under random job streams.
+// ---------------------------------------------------------------------------
+
+class SchedulerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerProperty, RandomStreamInvariants) {
+  Rng rng(GetParam() * 7919);
+  ClusterOptions cluster;
+  cluster.numNodes = 3 + static_cast<int>(rng.below(4));
+  cluster.coresPerNode = 8;
+  SchedulerSim sim(cluster);
+
+  std::vector<JobId> jobs;
+  const int jobCount = 25;
+  for (int i = 0; i < jobCount; ++i) {
+    JobRequest request;
+    request.name = "job" + std::to_string(i);
+    request.numTasks = 1 + static_cast<int>(rng.below(4));
+    request.numTasksPerNode = 1;
+    request.numCpusPerTask = 1 + static_cast<int>(rng.below(4));
+    const double runtime = 1.0 + rng.uniform(0.0, 30.0);
+    request.timeLimit = 25.0;  // some jobs will exceed this
+    request.payload = [runtime](const Allocation&) {
+      return JobOutcome{true, runtime, "done\n"};
+    };
+    try {
+      jobs.push_back(sim.submit(std::move(request)));
+    } catch (const SchedulerError&) {
+      // Oversized for this random cluster: a legitimate rejection.
+    }
+  }
+  sim.drain();
+
+  int running = 0;
+  for (JobId id : jobs) {
+    const JobInfo& job = sim.query(id);
+    // 1. Every accepted job reaches a terminal state.
+    EXPECT_NE(job.state, JobState::kPending);
+    running += job.state == JobState::kRunning;
+    // 2. Causality: submit <= start <= end.
+    if (job.startTime >= 0.0) {
+      EXPECT_GE(job.startTime, job.submitTime);
+      EXPECT_GE(job.endTime, job.startTime);
+      // 3. Timeout jobs ran exactly their limit.
+      if (job.state == JobState::kTimeout) {
+        EXPECT_NEAR(job.endTime - job.startTime, 25.0, 1e-9);
+      }
+      // 4. Allocation within cluster bounds.
+      EXPECT_LE(static_cast<int>(job.allocation.nodeIds.size()),
+                cluster.numNodes);
+      for (int node : job.allocation.nodeIds) {
+        EXPECT_GE(node, 0);
+        EXPECT_LT(node, cluster.numNodes);
+      }
+    }
+  }
+  EXPECT_EQ(running, 0);
+  // 5. Conservation: all cores free after drain.
+  EXPECT_EQ(sim.idleCores(), sim.totalCores());
+}
+
+TEST_P(SchedulerProperty, NoOverlappingAllocationsOverTime) {
+  // Advance in small steps and verify the core accounting never goes
+  // negative or above capacity.
+  Rng rng(GetParam() * 104729);
+  SchedulerSim sim({.numNodes = 2, .coresPerNode = 4});
+  for (int i = 0; i < 12; ++i) {
+    JobRequest request;
+    request.name = "j" + std::to_string(i);
+    request.numTasks = 1;
+    request.numTasksPerNode = 1;
+    request.numCpusPerTask = 1 + static_cast<int>(rng.below(4));
+    const double runtime = rng.uniform(0.5, 8.0);
+    request.payload = [runtime](const Allocation&) {
+      return JobOutcome{true, runtime, ""};
+    };
+    sim.submit(std::move(request));
+  }
+  for (int step = 0; step < 200; ++step) {
+    sim.advance(0.5);
+    EXPECT_GE(sim.idleCores(), 0);
+    EXPECT_LE(sim.idleCores(), sim.totalCores());
+  }
+  sim.drain();
+  EXPECT_EQ(sim.idleCores(), sim.totalCores());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// DataFrame algebra on random frames.
+// ---------------------------------------------------------------------------
+
+class DataFrameProperty : public ::testing::TestWithParam<int> {};
+
+DataFrame randomFrame(Rng& rng, std::size_t rows) {
+  DataFrame::StringColumn group, label;
+  DataFrame::NumericColumn value;
+  for (std::size_t i = 0; i < rows; ++i) {
+    group.push_back("g" + std::to_string(rng.below(4)));
+    label.push_back("l" + std::to_string(rng.below(3)));
+    value.push_back(rng.uniform(-100.0, 100.0));
+  }
+  DataFrame frame;
+  frame.addStrings("group", std::move(group));
+  frame.addStrings("label", std::move(label));
+  frame.addNumeric("value", std::move(value));
+  return frame;
+}
+
+TEST_P(DataFrameProperty, CsvRoundTripPreservesEverything) {
+  Rng rng(GetParam() * 31);
+  const DataFrame frame = randomFrame(rng, 40);
+  const DataFrame reparsed = DataFrame::fromCsv(frame.toCsv());
+  ASSERT_EQ(reparsed.rowCount(), frame.rowCount());
+  ASSERT_EQ(reparsed.columnNames(), frame.columnNames());
+  for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+    EXPECT_EQ(reparsed.strings("group")[i], frame.strings("group")[i]);
+    EXPECT_NEAR(reparsed.numeric("value")[i], frame.numeric("value")[i],
+                1e-5);
+  }
+}
+
+TEST_P(DataFrameProperty, GroupSumsPartitionTotal) {
+  Rng rng(GetParam() * 37);
+  const DataFrame frame = randomFrame(rng, 60);
+  double total = 0.0;
+  for (double v : frame.numeric("value")) total += v;
+  const std::array<std::string, 1> keys{"group"};
+  const DataFrame grouped = frame.groupBy(keys, "value", Agg::kSum);
+  double groupedTotal = 0.0;
+  for (double v : grouped.numeric("value")) groupedTotal += v;
+  EXPECT_NEAR(total, groupedTotal, 1e-9);
+}
+
+TEST_P(DataFrameProperty, PivotCellsCoverEveryObservedPair) {
+  Rng rng(GetParam() * 41);
+  const DataFrame frame = randomFrame(rng, 50);
+  const PivotTable pivot = frame.pivot("group", "label", "value");
+  // Every row of the frame must land in a non-empty pivot cell.
+  for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+    const auto& rows = pivot.rowLabels;
+    const auto& cols = pivot.colLabels;
+    const auto r = std::find(rows.begin(), rows.end(),
+                             frame.strings("group")[i]) -
+                   rows.begin();
+    const auto c = std::find(cols.begin(), cols.end(),
+                             frame.strings("label")[i]) -
+                   cols.begin();
+    ASSERT_LT(static_cast<std::size_t>(r), rows.size());
+    ASSERT_LT(static_cast<std::size_t>(c), cols.size());
+    EXPECT_TRUE(pivot.cells[r][c].has_value());
+  }
+}
+
+TEST_P(DataFrameProperty, FilterPartitionsRows) {
+  Rng rng(GetParam() * 43);
+  const DataFrame frame = randomFrame(rng, 50);
+  const auto& values = frame.numeric("value");
+  const DataFrame pos =
+      frame.filter([&](std::size_t i) { return values[i] >= 0.0; });
+  const DataFrame neg =
+      frame.filter([&](std::size_t i) { return values[i] < 0.0; });
+  EXPECT_EQ(pos.rowCount() + neg.rowCount(), frame.rowCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataFrameProperty, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Perflog serialization is injective and total over nasty strings.
+// ---------------------------------------------------------------------------
+
+class PerflogProperty : public ::testing::TestWithParam<int> {};
+
+std::string randomNasty(Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "abc|=%\n\t ,\"'\\0123<>&^~+@:$";
+  std::string out;
+  const std::uint64_t length = rng.below(24);
+  for (std::uint64_t i = 0; i < length; ++i) {
+    out += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+TEST_P(PerflogProperty, RoundTripArbitraryContent) {
+  Rng rng(GetParam() * 53);
+  for (int i = 0; i < 20; ++i) {
+    PerfLogEntry entry;
+    entry.timestamp = randomNasty(rng);
+    entry.system = randomNasty(rng);
+    entry.partition = randomNasty(rng);
+    entry.testName = randomNasty(rng);
+    entry.spec = randomNasty(rng);
+    entry.fomName = randomNasty(rng);
+    entry.value = rng.uniform(-1e6, 1e6);
+    entry.unit = Unit::kGBperSec;
+    entry.result = "pass";
+    entry.extras[ "k" + std::to_string(i)] = randomNasty(rng);
+
+    const std::string line = entry.serialize();
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const PerfLogEntry parsed = PerfLogEntry::parse(line);
+    EXPECT_EQ(parsed.system, entry.system);
+    EXPECT_EQ(parsed.testName, entry.testName);
+    EXPECT_EQ(parsed.spec, entry.spec);
+    EXPECT_EQ(parsed.extras, entry.extras);
+    EXPECT_NEAR(parsed.value, entry.value, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerflogProperty, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Spec grammar: parse/print round-trips on randomly generated specs.
+// ---------------------------------------------------------------------------
+
+class SpecRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+Spec randomSpec(Rng& rng) {
+  static constexpr const char* kNames[] = {"hpgmg", "babelstream", "hpcg",
+                                           "openmpi", "kokkos", "python"};
+  Spec spec(kNames[rng.below(std::size(kNames))]);
+  if (rng.uniform() < 0.6) {
+    spec.setVersions(VersionConstraint::parse(
+        std::to_string(rng.below(10)) + "." + std::to_string(rng.below(10))));
+  }
+  if (rng.uniform() < 0.5) {
+    CompilerSpec comp;
+    comp.name = rng.uniform() < 0.5 ? "gcc" : "oneapi";
+    if (rng.uniform() < 0.5) {
+      comp.versions = VersionConstraint::parse(
+          std::to_string(rng.below(13)) + ":");
+    }
+    spec.setCompiler(comp);
+  }
+  if (rng.uniform() < 0.5) spec.setVariant("omp", rng.uniform() < 0.5);
+  if (rng.uniform() < 0.3) {
+    spec.setVariant("model", std::string(rng.uniform() < 0.5 ? "omp"
+                                                             : "cuda"));
+  }
+  const std::uint64_t deps = rng.below(3);
+  for (std::uint64_t i = 0; i < deps; ++i) {
+    Spec dep(kNames[rng.below(std::size(kNames))]);
+    if (rng.uniform() < 0.5) {
+      dep.setVersions(VersionConstraint::parse(
+          std::to_string(rng.below(9)) + ":"));
+    }
+    spec.addDependency(std::move(dep));
+  }
+  return spec;
+}
+
+TEST_P(SpecRoundTripProperty, ToStringParsesBackIdentically) {
+  Rng rng(GetParam() * 61);
+  for (int i = 0; i < 40; ++i) {
+    const Spec spec = randomSpec(rng);
+    const std::string text = spec.toString();
+    const Spec reparsed = Spec::parse(text);
+    // Fixed point after one round: print(parse(print(s))) == print(s).
+    EXPECT_EQ(reparsed.toString(), text) << text;
+    EXPECT_EQ(reparsed.name(), spec.name());
+    EXPECT_EQ(reparsed.variants(), spec.variants());
+    EXPECT_EQ(reparsed.dependencies().size(), spec.dependencies().size());
+  }
+}
+
+TEST_P(SpecRoundTripProperty, EverySpecSatisfiesItself) {
+  Rng rng(GetParam() * 67);
+  for (int i = 0; i < 40; ++i) {
+    const Spec spec = randomSpec(rng);
+    EXPECT_TRUE(spec.satisfies(Spec::parse(spec.name()))) << spec.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecRoundTripProperty,
+                         ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Concretizer: determinism and soundness across every system.
+// ---------------------------------------------------------------------------
+
+class ConcretizerProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConcretizerProperty, SoundAndDeterministicEverywhere) {
+  const PackageRepository repo = builtinRepository();
+  const SystemRegistry systems = builtinSystems();
+  const SystemConfig& sys = systems.get(GetParam());
+
+  for (const char* specText :
+       {"hpgmg%gcc", "babelstream model=omp", "hpcg operator=matrix-free",
+        "osu-micro-benchmarks", "stream"}) {
+    const Spec abstract = Spec::parse(specText);
+    Concretizer concretizer(repo, sys.environment);
+    const auto first = concretizer.concretize(abstract);
+    const auto second = concretizer.concretize(abstract);
+
+    // Determinism: identical DAG hashes.
+    EXPECT_EQ(first.root->dagHash(), second.root->dagHash()) << specText;
+    // Soundness: the concrete root satisfies the abstract request.
+    EXPECT_TRUE(first.root->satisfiesNode(abstract)) << specText;
+    // Completeness: every node has a pinned version, and non-external
+    // nodes have a compiler.
+    std::function<void(const ConcreteSpec&)> walk =
+        [&](const ConcreteSpec& node) {
+          EXPECT_FALSE(node.version.toString().empty()) << node.name;
+          if (!node.external) {
+            EXPECT_FALSE(node.compilerName.empty()) << node.name;
+          }
+          for (const auto& [name, dep] : node.dependencies) walk(*dep);
+        };
+    walk(*first.root);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ConcretizerProperty,
+                         ::testing::Values("archer2", "cosma8", "csd3",
+                                           "isambard", "isambard-macs",
+                                           "noctua2", "local"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rebench

@@ -1,0 +1,135 @@
+#include "core/pkg/recipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(PackageRecipe, VersionsSortedDescending) {
+  PackageRecipe p("demo");
+  p.version("1.0").version("3.0").version("2.0");
+  ASSERT_EQ(p.versions().size(), 3u);
+  EXPECT_EQ(p.versions()[0].toString(), "3.0");
+  EXPECT_EQ(p.versions()[2].toString(), "1.0");
+}
+
+TEST(PackageRecipe, BestVersionHonoursConstraint) {
+  PackageRecipe p("demo");
+  p.version("9.2.0").version("10.3.0").version("11.2.0");
+  EXPECT_EQ(p.bestVersion(VersionConstraint::any())->toString(), "11.2.0");
+  EXPECT_EQ(p.bestVersion(VersionConstraint::parse(":10"))->toString(),
+            "10.3.0");
+  EXPECT_EQ(p.bestVersion(VersionConstraint::parse("9.2"))->toString(),
+            "9.2.0");
+  EXPECT_FALSE(p.bestVersion(VersionConstraint::parse("12:")).has_value());
+}
+
+TEST(PackageRecipe, FindVariant) {
+  PackageRecipe p("demo");
+  p.variant({"model", std::string("omp"), {"omp", "cuda"}, ""});
+  EXPECT_NE(p.findVariant("model"), nullptr);
+  EXPECT_EQ(p.findVariant("nope"), nullptr);
+}
+
+TEST(PackageRepository, GetAndHas) {
+  PackageRepository repo;
+  PackageRecipe p("demo");
+  p.version("1.0");
+  repo.add(std::move(p));
+  EXPECT_TRUE(repo.has("demo"));
+  EXPECT_FALSE(repo.has("other"));
+  EXPECT_EQ(repo.get("demo").name(), "demo");
+  EXPECT_THROW(repo.get("other"), NotFoundError);
+}
+
+TEST(PackageRepository, VirtualProviders) {
+  PackageRepository repo;
+  PackageRecipe a("openmpi");
+  a.provides("mpi");
+  PackageRecipe b("mpich");
+  b.provides("mpi");
+  repo.add(std::move(a));
+  repo.add(std::move(b));
+  EXPECT_TRUE(repo.isVirtual("mpi"));
+  EXPECT_FALSE(repo.isVirtual("openmpi"));
+  const auto providers = repo.providersOf("mpi");
+  ASSERT_EQ(providers.size(), 2u);
+  EXPECT_EQ(providers[0], "openmpi");
+}
+
+TEST(BuiltinRepository, ContainsPaperPackages) {
+  const PackageRepository repo = builtinRepository();
+  for (const char* name : {"gcc", "python", "openmpi", "cray-mpich",
+                           "mvapich", "babelstream", "hpcg", "hpgmg"}) {
+    EXPECT_TRUE(repo.has(name)) << name;
+  }
+  EXPECT_TRUE(repo.isVirtual("mpi"));
+}
+
+TEST(BuiltinRepository, VersionsCoverTable3) {
+  const PackageRepository repo = builtinRepository();
+  // Table 3 reports these concrete dependency versions.
+  EXPECT_TRUE(repo.get("gcc").bestVersion(VersionConstraint::parse("11.2.0")));
+  EXPECT_TRUE(repo.get("gcc").bestVersion(VersionConstraint::parse("11.1.0")));
+  EXPECT_TRUE(repo.get("gcc").bestVersion(VersionConstraint::parse("9.2.0")));
+  EXPECT_TRUE(
+      repo.get("python").bestVersion(VersionConstraint::parse("3.10.12")));
+  EXPECT_TRUE(
+      repo.get("python").bestVersion(VersionConstraint::parse("2.7.15")));
+  EXPECT_TRUE(repo.get("cray-mpich")
+                  .bestVersion(VersionConstraint::parse("8.1.23")));
+  EXPECT_TRUE(
+      repo.get("mvapich").bestVersion(VersionConstraint::parse("2.3.6")));
+  EXPECT_TRUE(
+      repo.get("openmpi").bestVersion(VersionConstraint::parse("4.0.4")));
+  EXPECT_TRUE(
+      repo.get("openmpi").bestVersion(VersionConstraint::parse("4.0.3")));
+}
+
+TEST(BuiltinRepository, HpgmgDependsOnMpiAndPython) {
+  const PackageRepository repo = builtinRepository();
+  const PackageRecipe& hpgmg = repo.get("hpgmg");
+  const auto& deps = hpgmg.dependencies();
+  const bool hasMpi = std::any_of(
+      deps.begin(), deps.end(),
+      [](const DependencyDef& d) { return d.spec.name() == "mpi"; });
+  const bool hasPython = std::any_of(
+      deps.begin(), deps.end(), [](const DependencyDef& d) {
+        return d.spec.name() == "python" && d.kind == DepKind::kBuild;
+      });
+  EXPECT_TRUE(hasMpi);
+  EXPECT_TRUE(hasPython);
+}
+
+TEST(BuiltinRepository, BabelstreamModelsMatchFigure2Rows) {
+  const PackageRepository repo = builtinRepository();
+  const VariantDef* model = repo.get("babelstream").findVariant("model");
+  ASSERT_NE(model, nullptr);
+  for (const char* m : {"omp", "kokkos", "cuda", "ocl", "sycl", "tbb",
+                        "std-data", "std-indices", "std-ranges"}) {
+    EXPECT_TRUE(std::find(model->allowedValues.begin(),
+                          model->allowedValues.end(),
+                          m) != model->allowedValues.end())
+        << m;
+  }
+}
+
+TEST(BuiltinRepository, ConditionalDependencies) {
+  const PackageRepository repo = builtinRepository();
+  const auto& deps = repo.get("babelstream").dependencies();
+  // The cuda dependency only applies when model=cuda.
+  const auto it = std::find_if(
+      deps.begin(), deps.end(),
+      [](const DependencyDef& d) { return d.spec.name() == "cuda"; });
+  ASSERT_NE(it, deps.end());
+  ASSERT_TRUE(it->when.has_value());
+  EXPECT_EQ(it->when->first, "model");
+  EXPECT_EQ(std::get<std::string>(it->when->second), "cuda");
+}
+
+}  // namespace
+}  // namespace rebench

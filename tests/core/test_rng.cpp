@@ -1,0 +1,81 @@
+#include "core/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rebench {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, FromKeyIsDeterministic) {
+  Rng a = Rng::fromKey("fig2:omp:clx-6230:iter0");
+  Rng b = Rng::fromKey("fig2:omp:clx-6230:iter0");
+  EXPECT_EQ(a.next(), b.next());
+  Rng c = Rng::fromKey("fig2:omp:clx-6230:iter1");
+  Rng d = Rng::fromKey("fig2:omp:clx-6230:iter0");
+  EXPECT_NE(c.next(), d.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumSq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, NoiseFactorNearOneAndPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double f = rng.noiseFactor(0.02);
+    EXPECT_GT(f, 0.0);
+    EXPECT_NEAR(f, 1.0, 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace rebench

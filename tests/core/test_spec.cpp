@@ -1,0 +1,176 @@
+#include "core/spec/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(SpecParse, NameOnly) {
+  const Spec s = Spec::parse("hpgmg");
+  EXPECT_EQ(s.name(), "hpgmg");
+  EXPECT_TRUE(s.versions().isAny());
+  EXPECT_FALSE(s.compiler().has_value());
+  EXPECT_TRUE(s.variants().empty());
+}
+
+TEST(SpecParse, PaperBabelstreamSpec) {
+  // Appendix A.1.1: babelstream%gcc@9.2.0 +omp
+  const Spec s = Spec::parse("babelstream%gcc@9.2.0 +omp");
+  EXPECT_EQ(s.name(), "babelstream");
+  ASSERT_TRUE(s.compiler().has_value());
+  EXPECT_EQ(s.compiler()->name, "gcc");
+  EXPECT_TRUE(
+      s.compiler()->versions.satisfiedBy(Version::parse("9.2.0")));
+  ASSERT_TRUE(s.variants().contains("omp"));
+  EXPECT_EQ(std::get<bool>(s.variants().at("omp")), true);
+}
+
+TEST(SpecParse, PaperHpgmgSpec) {
+  // Appendix A.1.3: hpgmg%gcc
+  const Spec s = Spec::parse("hpgmg%gcc");
+  EXPECT_EQ(s.name(), "hpgmg");
+  ASSERT_TRUE(s.compiler().has_value());
+  EXPECT_EQ(s.compiler()->name, "gcc");
+  EXPECT_TRUE(s.compiler()->versions.isAny());
+}
+
+TEST(SpecParse, VersionConstraint) {
+  const Spec s = Spec::parse("openmpi@4.0:4.9");
+  EXPECT_TRUE(s.versions().satisfiedBy(Version::parse("4.0.4")));
+  EXPECT_FALSE(s.versions().satisfiedBy(Version::parse("3.1.6")));
+}
+
+TEST(SpecParse, NegativeVariantAndStringVariant) {
+  const Spec s = Spec::parse("hpcg~csr operator=matrix-free");
+  EXPECT_EQ(std::get<bool>(s.variants().at("csr")), false);
+  EXPECT_EQ(std::get<std::string>(s.variants().at("operator")),
+            "matrix-free");
+}
+
+TEST(SpecParse, Dependencies) {
+  const Spec s = Spec::parse("hpgmg%gcc ^openmpi@4.0.4 ^python@3.8:");
+  ASSERT_EQ(s.dependencies().size(), 2u);
+  EXPECT_EQ(s.dependencies()[0].name(), "openmpi");
+  EXPECT_TRUE(s.dependencies()[0].versions().satisfiedBy(
+      Version::parse("4.0.4")));
+  EXPECT_EQ(s.dependencies()[1].name(), "python");
+}
+
+TEST(SpecParse, DependencyWithVariants) {
+  const Spec s = Spec::parse("babelstream ^kokkos@3.6: backend=openmp");
+  ASSERT_EQ(s.dependencies().size(), 1u);
+  const Spec& dep = s.dependencies()[0];
+  EXPECT_EQ(dep.name(), "kokkos");
+  EXPECT_EQ(std::get<std::string>(dep.variants().at("backend")), "openmp");
+}
+
+TEST(SpecParse, Errors) {
+  EXPECT_THROW(Spec::parse(""), ParseError);
+  EXPECT_THROW(Spec::parse("   "), ParseError);
+  EXPECT_THROW(Spec::parse("pkg ^"), ParseError);
+  EXPECT_THROW(Spec::parse("pkg +"), ParseError);
+  EXPECT_THROW(Spec::parse("pkg foo"), ParseError);  // bare word, no '='
+}
+
+TEST(SpecToString, RoundTrips) {
+  for (const char* text :
+       {"babelstream@4.0%gcc@9.2.0 +omp", "hpgmg%gcc ^openmpi@4.0.4",
+        "hpcg operator=lfric ^mpi"}) {
+    const Spec s = Spec::parse(text);
+    const Spec reparsed = Spec::parse(s.toString());
+    EXPECT_EQ(reparsed.toString(), s.toString()) << text;
+  }
+}
+
+TEST(SpecSatisfies, NameAndVariant) {
+  const Spec tight = Spec::parse("babelstream@4.0%gcc +omp");
+  EXPECT_TRUE(tight.satisfies(Spec::parse("babelstream")));
+  EXPECT_TRUE(tight.satisfies(Spec::parse("babelstream +omp")));
+  EXPECT_FALSE(tight.satisfies(Spec::parse("babelstream ~omp")));
+  EXPECT_FALSE(tight.satisfies(Spec::parse("hpcg")));
+  EXPECT_FALSE(Spec::parse("babelstream")
+                   .satisfies(Spec::parse("babelstream@4.0")));
+}
+
+TEST(SpecConstrain, MergesAndDetectsConflicts) {
+  Spec s = Spec::parse("hpcg@3.1");
+  s.constrain(Spec::parse("hpcg +mg"));
+  EXPECT_EQ(std::get<bool>(s.variants().at("mg")), true);
+  EXPECT_THROW(s.constrain(Spec::parse("hpcg ~mg")), ConcretizationError);
+  EXPECT_THROW(s.constrain(Spec::parse("hpgmg")), ConcretizationError);
+}
+
+TEST(SpecConstrain, CompilerConflict) {
+  Spec s = Spec::parse("hpcg%gcc");
+  EXPECT_THROW(s.constrain(Spec::parse("hpcg%oneapi")), ConcretizationError);
+}
+
+TEST(ConcreteSpec, DagHashStableAndSensitive) {
+  ConcreteSpec a;
+  a.name = "hpgmg";
+  a.version = Version::parse("0.4");
+  a.compilerName = "gcc";
+  a.compilerVersion = Version::parse("11.2.0");
+
+  ConcreteSpec b = a;
+  EXPECT_EQ(a.dagHash(), b.dagHash());
+
+  b.version = Version::parse("0.3");
+  EXPECT_NE(a.dagHash(), b.dagHash());
+
+  ConcreteSpec c = a;
+  auto dep = std::make_shared<ConcreteSpec>();
+  dep->name = "openmpi";
+  dep->version = Version::parse("4.0.4");
+  c.dependencies["openmpi"] = dep;
+  EXPECT_NE(a.dagHash(), c.dagHash());
+}
+
+TEST(ConcreteSpec, SatisfiesNode) {
+  ConcreteSpec node;
+  node.name = "openmpi";
+  node.version = Version::parse("4.0.4");
+  node.compilerName = "gcc";
+  node.compilerVersion = Version::parse("11.2.0");
+  EXPECT_TRUE(node.satisfiesNode(Spec::parse("openmpi@4.0:")));
+  EXPECT_TRUE(node.satisfiesNode(Spec::parse("openmpi%gcc@11:")));
+  EXPECT_FALSE(node.satisfiesNode(Spec::parse("openmpi@4.1:")));
+  EXPECT_FALSE(node.satisfiesNode(Spec::parse("openmpi%oneapi")));
+}
+
+TEST(ConcreteSpec, FindSearchesTransitively) {
+  auto mpi = std::make_shared<ConcreteSpec>();
+  mpi->name = "cray-mpich";
+  mpi->version = Version::parse("8.1.23");
+  ConcreteSpec root;
+  root.name = "hpgmg";
+  root.version = Version::parse("0.4");
+  root.dependencies["cray-mpich"] = mpi;
+  ASSERT_NE(root.find("cray-mpich"), nullptr);
+  EXPECT_EQ(root.find("cray-mpich")->version.toString(), "8.1.23");
+  EXPECT_EQ(root.find("nothere"), nullptr);
+  EXPECT_EQ(root.find("hpgmg"), &root);
+}
+
+TEST(ConcreteSpec, TreeRendering) {
+  auto dep = std::make_shared<ConcreteSpec>();
+  dep->name = "python";
+  dep->version = Version::parse("3.10.12");
+  dep->external = true;
+  dep->externalOrigin = "cray-python/3.10.12";
+  ConcreteSpec root;
+  root.name = "hpgmg";
+  root.version = Version::parse("0.4");
+  root.compilerName = "gcc";
+  root.compilerVersion = Version::parse("11.2.0");
+  root.dependencies["python"] = dep;
+  const std::string tree = root.tree();
+  EXPECT_NE(tree.find("hpgmg@0.4%gcc@11.2.0"), std::string::npos);
+  EXPECT_NE(tree.find("^python@3.10.12"), std::string::npos);
+  EXPECT_NE(tree.find("[external: cray-python/3.10.12]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rebench

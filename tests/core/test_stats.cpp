@@ -1,0 +1,120 @@
+#include "core/postproc/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/util/error.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(summarize({}), Error);
+}
+
+TEST(Stats, SingleSample) {
+  const std::array<double, 1> one{7.0};
+  const SummaryStats stats = summarize(one);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.median, 7.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci95, 0.0);
+  EXPECT_TRUE(str::contains(renderStats(stats), "NOT statistically"));
+}
+
+TEST(Stats, KnownSmallSample) {
+  // 1..5: mean 3, median 3, sample stddev sqrt(2.5).
+  const std::array<double, 5> samples{1, 2, 3, 4, 5};
+  const SummaryStats stats = summarize(samples);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(2.5), 1e-12);
+  // CI95 = t(4)=2.776 * stddev/sqrt(5).
+  EXPECT_NEAR(stats.ci95, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+  EXPECT_DOUBLE_EQ(stats.q1, 2.0);
+  EXPECT_DOUBLE_EQ(stats.q3, 4.0);
+}
+
+TEST(Stats, OrderInvariant) {
+  const std::array<double, 5> a{5, 1, 4, 2, 3};
+  const std::array<double, 5> b{1, 2, 3, 4, 5};
+  const SummaryStats sa = summarize(a);
+  const SummaryStats sb = summarize(b);
+  EXPECT_DOUBLE_EQ(sa.median, sb.median);
+  EXPECT_DOUBLE_EQ(sa.stddev, sb.stddev);
+}
+
+TEST(Stats, MedianRobustToOutlier) {
+  // H&B's point: one slow run skews the mean, not the median.
+  const std::array<double, 5> clean{10, 10, 10, 10, 10};
+  const std::array<double, 5> outlier{10, 10, 10, 10, 100};
+  EXPECT_DOUBLE_EQ(summarize(clean).median, summarize(outlier).median);
+  EXPECT_GT(summarize(outlier).mean, summarize(clean).mean + 10.0);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::array<double, 4> samples{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 50), 2.5);
+  EXPECT_THROW(percentile({}, 50.0), Error);
+}
+
+TEST(Stats, CiShrinksWithMoreSamples) {
+  Rng rng(99);
+  std::vector<double> few, many;
+  for (int i = 0; i < 5; ++i) few.push_back(100.0 * rng.noiseFactor(0.05));
+  for (int i = 0; i < 100; ++i) {
+    many.push_back(100.0 * rng.noiseFactor(0.05));
+  }
+  EXPECT_LT(summarize(many).ci95, summarize(few).ci95);
+}
+
+TEST(Stats, CiCoversTrueMeanUsually) {
+  // Draw many samples of n=10 around mean 50; the 95% CI should cover 50
+  // in the vast majority of trials.
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(1000 + t);
+    std::vector<double> samples;
+    for (int i = 0; i < 10; ++i) {
+      samples.push_back(50.0 + 5.0 * rng.normal());
+    }
+    const SummaryStats stats = summarize(samples);
+    if (std::abs(stats.mean - 50.0) <= stats.ci95) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.88);
+  EXPECT_LE(covered, trials);
+}
+
+TEST(Stats, Reportability) {
+  std::vector<double> quiet(10, 100.0);
+  quiet[0] = 101.0;
+  EXPECT_TRUE(isReportable(summarize(quiet)));
+  // Too few runs.
+  const std::array<double, 2> few{100, 101};
+  EXPECT_FALSE(isReportable(summarize(few)));
+  // Too noisy.
+  const std::array<double, 8> noisy{50, 150, 60, 140, 70, 130, 80, 120};
+  EXPECT_FALSE(isReportable(summarize(noisy)));
+}
+
+TEST(Stats, RenderContainsEverything) {
+  const std::array<double, 5> samples{1, 2, 3, 4, 5};
+  const std::string text = renderStats(summarize(samples));
+  EXPECT_TRUE(str::contains(text, "median 3.00"));
+  EXPECT_TRUE(str::contains(text, "95% CI"));
+  EXPECT_TRUE(str::contains(text, "n=5"));
+  EXPECT_TRUE(str::contains(text, "CV"));
+}
+
+}  // namespace
+}  // namespace rebench

@@ -1,0 +1,70 @@
+#include "core/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rebench::str {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  EXPECT_EQ(split("a||b", '|'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  EXPECT_EQ(splitWhitespace("  foo \t bar\nbaz "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+  EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::vector<std::string> parts{"one", "two", "three"};
+  EXPECT_EQ(join(parts, ","), "one,two,three");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(toLower("GCc@9.2.0"), "gcc@9.2.0");
+}
+
+TEST(StartsEndsContains, Basics) {
+  EXPECT_TRUE(startsWith("archer2:compute", "archer2"));
+  EXPECT_FALSE(startsWith("ar", "archer2"));
+  EXPECT_TRUE(endsWith("perflog.log", ".log"));
+  EXPECT_FALSE(endsWith("log", "perflog"));
+  EXPECT_TRUE(contains("a|b|c", "|b|"));
+  EXPECT_FALSE(contains("abc", "z"));
+}
+
+TEST(ReplaceAll, NonOverlapping) {
+  EXPECT_EQ(replaceAll("a%b%c", "%", "%25"), "a%25b%25c");
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replaceAll("x", "", "y"), "x");
+}
+
+TEST(Fixed, StableWidth) {
+  EXPECT_EQ(fixed(24.0, 1), "24.0");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.5, 0), "-2");  // round-half-away for printf
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(padLeft("7", 3), "  7");
+  EXPECT_EQ(padRight("7", 3), "7  ");
+  EXPECT_EQ(padLeft("1234", 3), "1234");  // never truncates
+}
+
+}  // namespace
+}  // namespace rebench::str

@@ -1,0 +1,90 @@
+#include "suite/builtin_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/framework/pipeline.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(TestSuiteClass, AddAndSelectAll) {
+  TestSuite suite;
+  RegressionTest a;
+  a.name = "TestA";
+  RegressionTest b;
+  b.name = "TestB";
+  suite.add(a, {"x"});
+  suite.add(b, {"y"});
+  EXPECT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite.select().size(), 2u);
+}
+
+TEST(TestSuiteClass, TagFilter) {
+  TestSuite suite;
+  RegressionTest a;
+  a.name = "TestA";
+  suite.add(a, {"omp", "babelstream"});
+  RegressionTest b;
+  b.name = "TestB";
+  suite.add(b, {"cuda", "babelstream"});
+  EXPECT_EQ(suite.select("omp").size(), 1u);
+  EXPECT_EQ(suite.select("babelstream").size(), 2u);
+  EXPECT_TRUE(suite.select("mpi").empty());
+}
+
+TEST(TestSuiteClass, PaperStyleNameSelection) {
+  // Appendix A.1.2: reframe ... -n HPCG_ -x HPCG_Intel.
+  TestSuite suite;
+  for (const char* name :
+       {"HPCG_Original", "HPCG_Intel", "HPCG_MatrixFree", "OtherTest"}) {
+    RegressionTest test;
+    test.name = name;
+    suite.add(test);
+  }
+  const auto selected = suite.select("", "HPCG_", "HPCG_Intel");
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].name, "HPCG_Original");
+  EXPECT_EQ(selected[1].name, "HPCG_MatrixFree");
+}
+
+TEST(BuiltinSuite, CoversAllThreeCaseStudies) {
+  const TestSuite suite = builtinSuite();
+  EXPECT_EQ(suite.select("babelstream").size(), 9u);  // Fig. 2 rows
+  EXPECT_EQ(suite.select("hpcg").size(), 4u);         // Table 2 rows
+  EXPECT_EQ(suite.select("hpgmg").size(), 1u);        // Table 4
+  EXPECT_EQ(suite.select("osu").size(), 3u);          // MPI micro-benchmarks
+  EXPECT_EQ(suite.size(), 17u);
+}
+
+TEST(BuiltinSuite, PerModelTags) {
+  const TestSuite suite = builtinSuite();
+  EXPECT_EQ(suite.select("omp").size(), 1u);
+  EXPECT_EQ(suite.select("std-ranges").size(), 1u);
+  EXPECT_EQ(suite.select("matrix-free").size(), 1u);
+}
+
+TEST(BuiltinSuite, NamesAreUnique) {
+  const auto names = builtinSuite().testNames();
+  auto sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(BuiltinSuite, TagSelectionRunsThroughPipeline) {
+  // The paper's §3.1 invocation shape: select by tag, run on one system.
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+  const auto tests = builtinSuite().select("omp");
+  ASSERT_EQ(tests.size(), 1u);
+  const std::vector<std::string> targets{"noctua2"};
+  const auto results = pipeline.runAll(tests, targets);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].passed) << results[0].failureDetail;
+}
+
+}  // namespace
+}  // namespace rebench

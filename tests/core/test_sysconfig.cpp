@@ -1,0 +1,134 @@
+#include "core/sysconfig/system_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(SystemRegistry, ContainsPaperSystems) {
+  const SystemRegistry reg = builtinSystems();
+  for (const char* name : {"archer2", "cosma8", "csd3", "isambard",
+                           "isambard-macs", "noctua2", "local"}) {
+    EXPECT_TRUE(reg.has(name)) << name;
+  }
+  EXPECT_FALSE(reg.has("summit"));
+  EXPECT_THROW(reg.get("summit"), NotFoundError);
+}
+
+TEST(SystemRegistry, ResolveSystemColonPartition) {
+  const SystemRegistry reg = builtinSystems();
+  const auto [sys, part] = reg.resolve("isambard-macs:cascadelake");
+  EXPECT_EQ(sys->name, "isambard-macs");
+  EXPECT_EQ(part->name, "cascadelake");
+  const auto [sys2, part2] = reg.resolve("isambard-macs:volta");
+  EXPECT_EQ(part2->name, "volta");
+  EXPECT_TRUE(part2->processor.isGpu);
+}
+
+TEST(SystemRegistry, ResolveDefaultsToFirstPartition) {
+  const SystemRegistry reg = builtinSystems();
+  const auto [sys, part] = reg.resolve("archer2");
+  EXPECT_EQ(part->name, "compute");
+}
+
+TEST(SystemRegistry, ResolveUnknownPartitionThrows) {
+  const SystemRegistry reg = builtinSystems();
+  EXPECT_THROW(reg.resolve("archer2:gpu"), NotFoundError);
+}
+
+TEST(BuiltinSystems, ProcessorDetailsMatchTable5) {
+  const SystemRegistry reg = builtinSystems();
+
+  const auto& archer2 = reg.resolve("archer2").second->processor;
+  EXPECT_EQ(archer2.coresPerSocket, 64);
+  EXPECT_EQ(archer2.sockets, 2);
+  EXPECT_DOUBLE_EQ(archer2.baseClockGhz, 2.25);
+
+  const auto& tx2 = reg.resolve("isambard:xci").second->processor;
+  EXPECT_EQ(tx2.coresPerSocket, 32);
+  EXPECT_DOUBLE_EQ(tx2.baseClockGhz, 2.5);
+
+  const auto& clx = reg.resolve("isambard-macs:cascadelake").second->processor;
+  EXPECT_EQ(clx.coresPerSocket, 20);
+  EXPECT_DOUBLE_EQ(clx.baseClockGhz, 2.1);
+
+  const auto& csd3 = reg.resolve("csd3").second->processor;
+  EXPECT_EQ(csd3.coresPerSocket, 28);
+
+  const auto& milan = reg.resolve("noctua2").second->processor;
+  EXPECT_EQ(milan.coresPerSocket, 64);
+  EXPECT_DOUBLE_EQ(milan.baseClockGhz, 2.45);
+}
+
+TEST(BuiltinSystems, TotalCores) {
+  const SystemRegistry reg = builtinSystems();
+  EXPECT_EQ(reg.resolve("archer2").second->processor.totalCores(), 128);
+  EXPECT_EQ(reg.resolve("isambard-macs:cascadelake")
+                .second->processor.totalCores(),
+            40);
+}
+
+TEST(BuiltinSystems, SchedulersAndLaunchersConfigured) {
+  const SystemRegistry reg = builtinSystems();
+  EXPECT_EQ(reg.resolve("archer2").second->scheduler, SchedulerKind::kSlurm);
+  EXPECT_EQ(reg.resolve("archer2").second->launcher, LauncherKind::kSrun);
+  EXPECT_EQ(reg.resolve("isambard").second->scheduler, SchedulerKind::kPbs);
+  EXPECT_EQ(reg.resolve("local").second->scheduler, SchedulerKind::kLocal);
+}
+
+TEST(BuiltinSystems, Archer2RequiresAccount) {
+  const SystemRegistry reg = builtinSystems();
+  EXPECT_TRUE(reg.resolve("archer2").second->requiresAccount);
+  EXPECT_FALSE(reg.resolve("local").second->requiresAccount);
+}
+
+TEST(BuiltinSystems, IsambardMacsOnlyHasGcc920) {
+  // §3.1: "GCC compiler version used for Isambard-MACS:Volta is 9.2.0
+  // since the build system has conflicts with newer versions".
+  const SystemRegistry reg = builtinSystems();
+  const auto& env = reg.get("isambard-macs").environment;
+  auto best = env.bestCompiler("gcc", VersionConstraint::any());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->version.toString(), "9.2.0");
+}
+
+TEST(BuiltinSystems, MachineModelsAssigned) {
+  const SystemRegistry reg = builtinSystems();
+  EXPECT_EQ(reg.resolve("archer2").second->machineModel, "rome-7742");
+  EXPECT_EQ(reg.resolve("noctua2").second->machineModel, "milan-7763");
+  EXPECT_EQ(reg.resolve("isambard-macs:volta").second->machineModel, "v100");
+  EXPECT_TRUE(reg.resolve("local").second->machineModel.empty());
+}
+
+TEST(SystemEnvironment, BestCompilerPicksHighestSatisfying) {
+  const SystemRegistry reg = builtinSystems();
+  const auto& env = reg.get("archer2").environment;
+  auto any = env.bestCompiler("gcc", VersionConstraint::any());
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->version.toString(), "11.2.0");
+  auto old = env.bestCompiler("gcc", VersionConstraint::parse(":10"));
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->version.toString(), "10.3.0");
+  EXPECT_FALSE(env.bestCompiler("gcc", VersionConstraint::parse("13:"))
+                   .has_value());
+  EXPECT_FALSE(env.bestCompiler("icx", VersionConstraint::any()).has_value());
+}
+
+TEST(SystemEnvironment, ExternalsNamedSortedBestFirst) {
+  SystemEnvironment env;
+  ExternalEntry older;
+  older.name = "python";
+  older.version = Version::parse("3.8.2");
+  ExternalEntry newer;
+  newer.name = "python";
+  newer.version = Version::parse("3.10.12");
+  env.externals = {older, newer};
+  const auto found = env.externalsNamed("python");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0]->version.toString(), "3.10.12");
+}
+
+}  // namespace
+}  // namespace rebench

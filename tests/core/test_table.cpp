@@ -1,0 +1,72 @@
+#include "core/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/util/strings.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(AsciiTable, RendersHeaderSeparatorAndRows) {
+  AsciiTable table("Table 2: HPCG variants");
+  table.setHeader({"HPCG Variant", "Intel Cascade Lake", "AMD Rome"});
+  table.addRow({"Original (CSR)", "24.0", "39.2"});
+  table.addRow({"Matrix-free", "51.0", "124.2"});
+  const std::string out = table.render();
+
+  const auto lines = str::split(out, '\n');
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "Table 2: HPCG variants");
+  EXPECT_TRUE(str::contains(lines[1], "HPCG Variant"));
+  EXPECT_TRUE(lines[2].find_first_not_of('-') == std::string::npos);
+  EXPECT_TRUE(str::contains(out, "24.0"));
+  EXPECT_TRUE(str::contains(out, "124.2"));
+}
+
+TEST(AsciiTable, ColumnsAlign) {
+  AsciiTable table;
+  table.setHeader({"name", "value"});
+  table.addRow({"a", "1"});
+  table.addRow({"long-name", "100"});
+  const auto lines = str::split(table.render(), '\n');
+  // All non-separator lines are equally wide after right-padding of the
+  // first column and right-alignment of the rest.
+  EXPECT_EQ(lines[1].size(), lines[3].size());
+}
+
+TEST(AsciiTable, ValueColumnsRightAligned) {
+  AsciiTable table;
+  table.setHeader({"label", "value"});
+  table.addRow({"x", "7"});
+  table.addRow({"y", "1234"});
+  const auto lines = str::split(table.render(), '\n');
+  // "7" should end at the same column as "1234".
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+  EXPECT_EQ(lines[2].back(), '7');
+  EXPECT_EQ(lines[3].back(), '4');
+}
+
+TEST(AsciiTable, MissingCellsRenderEmpty) {
+  AsciiTable table;
+  table.setHeader({"a", "b", "c"});
+  table.addRow({"only"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(AsciiTable, NoHeaderNoSeparator) {
+  AsciiTable table;
+  table.addRow({"x", "y"});
+  const std::string out = table.render();
+  EXPECT_FALSE(str::contains(out, "---"));
+}
+
+TEST(AsciiTable, RowCount) {
+  AsciiTable table;
+  EXPECT_EQ(table.rowCount(), 0u);
+  table.addRow({"x"});
+  table.addRow({"y"});
+  EXPECT_EQ(table.rowCount(), 2u);
+}
+
+}  // namespace
+}  // namespace rebench

@@ -1,0 +1,46 @@
+#include "core/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(Units, NamesRoundTrip) {
+  for (Unit u : {Unit::kNone, Unit::kSeconds, Unit::kGBperSec,
+                 Unit::kMBperSec, Unit::kGFlopPerSec, Unit::kMDofPerSec,
+                 Unit::kCount, Unit::kJoules, Unit::kWatts}) {
+    EXPECT_EQ(unitFromName(unitName(u)), u);
+  }
+}
+
+TEST(Units, UnknownNameThrows) {
+  EXPECT_THROW(unitFromName("furlongs/fortnight"), ParseError);
+}
+
+TEST(Units, Direction) {
+  EXPECT_TRUE(higherIsBetter(Unit::kGBperSec));
+  EXPECT_TRUE(higherIsBetter(Unit::kGFlopPerSec));
+  EXPECT_TRUE(higherIsBetter(Unit::kMDofPerSec));
+  EXPECT_FALSE(higherIsBetter(Unit::kSeconds));
+  EXPECT_FALSE(higherIsBetter(Unit::kJoules));
+}
+
+TEST(Units, FormatQuantity) {
+  EXPECT_EQ(formatQuantity(282.0, Unit::kGBperSec), "282.00 GB/s");
+  EXPECT_EQ(formatQuantity(24.0, Unit::kGFlopPerSec), "24.00 GFlop/s");
+  EXPECT_EQ(formatQuantity(3.0, Unit::kCount), "3 count");
+  EXPECT_EQ(formatQuantity(0.5, Unit::kNone), "0.50");
+}
+
+TEST(Units, FormatMegabytesMatchesPaperStyle) {
+  // §3.1: 2^29 doubles = 4295.0 MB per array.
+  const double bytes = 8.0 * (1ull << 29);
+  EXPECT_EQ(formatMegabytes(bytes), "4295.0 MB");
+  // and a total of three arrays = 12884.9 MB.
+  EXPECT_EQ(formatMegabytes(3 * bytes), "12884.9 MB");
+}
+
+}  // namespace
+}  // namespace rebench

@@ -1,0 +1,119 @@
+#include "core/util/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/util/error.hpp"
+
+namespace rebench {
+namespace {
+
+TEST(Version, ParseAndPrintRoundTrip) {
+  for (const char* text : {"1", "1.2", "8.1.23", "2023.1.0", "2.3.6",
+                           "1.2.3rc1", "4.0.01"}) {
+    EXPECT_EQ(Version::parse(text).toString(), text) << text;
+  }
+}
+
+TEST(Version, ParseRejectsGarbage) {
+  EXPECT_THROW(Version::parse(""), ParseError);
+  EXPECT_THROW(Version::parse("abc"), ParseError);
+  EXPECT_THROW(Version::parse("1."), ParseError);
+  EXPECT_THROW(Version::parse("1..2"), ParseError);
+}
+
+TEST(Version, OrderingIsComponentwise) {
+  EXPECT_LT(Version::parse("9.2.0"), Version::parse("10.3.0"));
+  EXPECT_LT(Version::parse("2.7.15"), Version::parse("3.7.5"));
+  EXPECT_LT(Version::parse("4.0.3"), Version::parse("4.0.4"));
+  EXPECT_LT(Version::parse("8.1.15"), Version::parse("8.1.23"));
+  EXPECT_EQ(Version::parse("1.2.3"), Version::parse("1.2.3"));
+}
+
+TEST(Version, ShorterSortsBeforeExtended) {
+  EXPECT_LT(Version::parse("1.2"), Version::parse("1.2.0"));
+}
+
+TEST(Version, PreReleaseSortsBeforeRelease) {
+  EXPECT_LT(Version::parse("1.2rc1"), Version::parse("1.2"));
+}
+
+TEST(Version, PrefixMatching) {
+  EXPECT_TRUE(Version::parse("1.2.3").hasPrefix(Version::parse("1.2")));
+  EXPECT_TRUE(Version::parse("1.2").hasPrefix(Version::parse("1.2")));
+  EXPECT_FALSE(Version::parse("1.20").hasPrefix(Version::parse("1.2")));
+  EXPECT_FALSE(Version::parse("1").hasPrefix(Version::parse("1.2")));
+}
+
+TEST(VersionConstraint, AnyAcceptsEverything) {
+  const VersionConstraint any;
+  EXPECT_TRUE(any.isAny());
+  EXPECT_TRUE(any.satisfiedBy(Version::parse("0.1")));
+  EXPECT_TRUE(any.satisfiedBy(Version::parse("99.99")));
+}
+
+TEST(VersionConstraint, ExactUsesPrefixSemantics) {
+  const auto c = VersionConstraint::parse("9.2");
+  EXPECT_TRUE(c.satisfiedBy(Version::parse("9.2")));
+  EXPECT_TRUE(c.satisfiedBy(Version::parse("9.2.0")));
+  EXPECT_FALSE(c.satisfiedBy(Version::parse("9.3")));
+}
+
+TEST(VersionConstraint, StrictExactDisablesPrefix) {
+  const auto c = VersionConstraint::parse("=9.2");
+  EXPECT_TRUE(c.satisfiedBy(Version::parse("9.2")));
+  EXPECT_FALSE(c.satisfiedBy(Version::parse("9.2.0")));
+}
+
+TEST(VersionConstraint, Ranges) {
+  const auto c = VersionConstraint::parse("4.0:4.9");
+  EXPECT_TRUE(c.satisfiedBy(Version::parse("4.0.3")));
+  EXPECT_TRUE(c.satisfiedBy(Version::parse("4.9.9")));  // prefix of high end
+  EXPECT_FALSE(c.satisfiedBy(Version::parse("5.0")));
+  EXPECT_FALSE(c.satisfiedBy(Version::parse("3.9")));
+
+  const auto atLeast = VersionConstraint::parse("10.3:");
+  EXPECT_TRUE(atLeast.satisfiedBy(Version::parse("11.2.0")));
+  EXPECT_FALSE(atLeast.satisfiedBy(Version::parse("9.2.0")));
+
+  const auto atMost = VersionConstraint::parse(":2");
+  EXPECT_TRUE(atMost.satisfiedBy(Version::parse("2.7.15")));
+  EXPECT_FALSE(atMost.satisfiedBy(Version::parse("3.0")));
+}
+
+TEST(VersionConstraint, EmptyRangeRejected) {
+  EXPECT_THROW(VersionConstraint::parse("2.0:1.0"), ParseError);
+}
+
+TEST(VersionConstraint, IntersectRanges) {
+  const auto a = VersionConstraint::parse("1.0:3.0");
+  const auto b = VersionConstraint::parse("2.0:4.0");
+  const auto meet = a.intersect(b);
+  ASSERT_TRUE(meet.has_value());
+  EXPECT_TRUE(meet->satisfiedBy(Version::parse("2.5")));
+  EXPECT_FALSE(meet->satisfiedBy(Version::parse("1.5")));
+  EXPECT_FALSE(meet->satisfiedBy(Version::parse("3.5")));
+}
+
+TEST(VersionConstraint, IntersectDisjointIsEmpty) {
+  const auto a = VersionConstraint::parse("1.0:2.0");
+  const auto b = VersionConstraint::parse("3.0:4.0");
+  EXPECT_FALSE(a.intersect(b).has_value());
+}
+
+TEST(VersionConstraint, IntersectWithExact) {
+  const auto range = VersionConstraint::parse("4.0:");
+  const auto exact = VersionConstraint::parse("4.0.4");
+  const auto meet = range.intersect(exact);
+  ASSERT_TRUE(meet.has_value());
+  EXPECT_TRUE(meet->satisfiedBy(Version::parse("4.0.4")));
+  EXPECT_FALSE(meet->satisfiedBy(Version::parse("4.1")));
+}
+
+TEST(VersionConstraint, ToStringRoundTrip) {
+  for (const char* text : {"1.2", "=1.2", "1.2:", ":1.9", "1.2:1.9", ""}) {
+    EXPECT_EQ(VersionConstraint::parse(text).toString(), text) << text;
+  }
+}
+
+}  // namespace
+}  // namespace rebench

@@ -1,0 +1,166 @@
+#include "hpcg/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "core/util/rng.hpp"
+
+namespace rebench::hpcg {
+namespace {
+
+Geometry cube(int n) {
+  Geometry g;
+  g.nx = g.ny = g.nzLocal = g.nzGlobal = n;
+  return g;
+}
+
+std::vector<double> onesRhs(const Operator& A) {
+  std::vector<double> ones(A.n(), 1.0);
+  std::vector<double> b(A.n());
+  A.apply(ones, HaloView{}, b);
+  return b;
+}
+
+TEST(ConjugateGradient, SolvesToExactSolution) {
+  const auto A = makeOperator(Variant::kCsr, cube(12));
+  const std::vector<double> b = onesRhs(*A);
+  CgOptions options;
+  options.maxIterations = 60;
+  options.tolerance = 1e-10;
+  const CgResult result = conjugateGradient(*A, b, options);
+  EXPECT_TRUE(result.converged);
+  double err = 0.0;
+  for (double xi : result.x) err = std::max(err, std::abs(xi - 1.0));
+  EXPECT_LT(err, 1e-7);
+}
+
+TEST(ConjugateGradient, AllVariantsConverge) {
+  for (Variant v : {Variant::kCsr, Variant::kCsrOpt, Variant::kMatrixFree,
+                    Variant::kLfric}) {
+    SCOPED_TRACE(std::string(variantName(v)));
+    const auto A = makeOperator(v, cube(10));
+    const std::vector<double> b = onesRhs(*A);
+    CgOptions options;
+    options.maxIterations = 50;
+    options.tolerance = 1e-9;
+    const CgResult result = conjugateGradient(*A, b, options);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.finalResidualNorm,
+              1e-8 * result.initialResidualNorm + 1e-12);
+  }
+}
+
+TEST(ConjugateGradient, ResidualHistoryDecreasesOverall) {
+  const auto A = makeOperator(Variant::kCsr, cube(10));
+  const std::vector<double> b = onesRhs(*A);
+  CgOptions options;
+  options.maxIterations = 20;
+  const CgResult result = conjugateGradient(*A, b, options);
+  ASSERT_GE(result.residualHistory.size(), 10u);
+  EXPECT_LT(result.residualHistory.back(),
+            0.01 * result.initialResidualNorm);
+}
+
+TEST(ConjugateGradient, PreconditioningCutsIterations) {
+  const auto A = makeOperator(Variant::kCsr, cube(14));
+  const std::vector<double> b = onesRhs(*A);
+  CgOptions precond;
+  precond.maxIterations = 200;
+  precond.tolerance = 1e-8;
+  CgOptions plain = precond;
+  plain.preconditioned = false;
+  const CgResult fast = conjugateGradient(*A, b, precond);
+  const CgResult slow = conjugateGradient(*A, b, plain);
+  EXPECT_TRUE(fast.converged);
+  EXPECT_TRUE(slow.converged);
+  EXPECT_LT(fast.counters.iterations, slow.counters.iterations);
+}
+
+TEST(ConjugateGradient, FixedIterationModeRunsExactlyMaxIterations) {
+  const auto A = makeOperator(Variant::kCsr, cube(8));
+  const std::vector<double> b = onesRhs(*A);
+  CgOptions options;
+  options.maxIterations = 50;  // HPCG style: tolerance 0
+  const CgResult result = conjugateGradient(*A, b, options);
+  EXPECT_EQ(result.counters.iterations, 50);
+}
+
+TEST(ConjugateGradient, CountersAccumulate) {
+  const auto A = makeOperator(Variant::kCsr, cube(8));
+  const std::vector<double> b = onesRhs(*A);
+  CgOptions options;
+  options.maxIterations = 10;
+  const CgResult result = conjugateGradient(*A, b, options);
+  EXPECT_GT(result.counters.flops, 0.0);
+  EXPECT_GT(result.counters.bytes, result.counters.flops);
+  EXPECT_EQ(result.counters.iterations, 10);
+  // Without a communicator nothing is exchanged or reduced.
+  EXPECT_EQ(result.counters.haloExchanges, 0);
+  EXPECT_EQ(result.counters.allreduces, 0);
+}
+
+TEST(ConjugateGradient, DistributedMatchesSingleRank) {
+  // Solve the same 12^3 global problem on 1 and on 3 ranks.  The SYMGS
+  // preconditioner is rank-local (block-Jacobi across ranks, exactly like
+  // real HPCG), so only the *unpreconditioned* trajectory is
+  // decomposition-independent — that is what we compare.
+  const int n = 12;
+  const auto singleA = makeOperator(Variant::kCsr, cube(n));
+  CgOptions options;
+  options.maxIterations = 25;
+  options.preconditioned = false;
+  const CgResult single =
+      conjugateGradient(*singleA, onesRhs(*singleA), options);
+
+  std::vector<double> distResiduals;
+  std::mutex m;
+  minimpi::run(3, [&](minimpi::Comm& comm) {
+    const Geometry g = Geometry::slab(n, comm.rank(), comm.size());
+    const auto A = makeOperator(Variant::kCsr, g);
+    // Build b = A*ones with real halo exchange.
+    HaloExchanger halos(g, &comm);
+    std::vector<double> ones(A->n(), 1.0);
+    std::vector<double> b(A->n());
+    const HaloView halo = halos.exchange(ones, 90);
+    A->apply(ones, halo, b);
+
+    const CgResult result = conjugateGradient(*A, b, options, &comm);
+    double err = 0.0;
+    for (double xi : result.x) err = std::max(err, std::abs(xi - 1.0));
+    EXPECT_LT(err, 1e-6);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(m);
+      distResiduals = result.residualHistory;
+    }
+  });
+  ASSERT_EQ(distResiduals.size(), single.residualHistory.size());
+  for (std::size_t i = 0; i < distResiduals.size(); ++i) {
+    EXPECT_NEAR(distResiduals[i], single.residualHistory[i],
+                1e-8 * (1.0 + single.residualHistory[i]))
+        << "iteration " << i;
+  }
+}
+
+TEST(HaloExchangerTest, ExchangesPlanesBetweenRanks) {
+  const int n = 6;
+  minimpi::run(2, [&](minimpi::Comm& comm) {
+    const Geometry g = Geometry::slab(n, comm.rank(), comm.size());
+    std::vector<double> x(g.localPoints(),
+                          static_cast<double>(comm.rank() + 1));
+    HaloExchanger halos(g, &comm);
+    const HaloView halo = halos.exchange(x, 30);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(halo.lo, nullptr);
+      ASSERT_NE(halo.hi, nullptr);
+      EXPECT_DOUBLE_EQ(halo.hi[0], 2.0);  // rank 1's bottom plane
+    } else {
+      EXPECT_EQ(halo.hi, nullptr);
+      ASSERT_NE(halo.lo, nullptr);
+      EXPECT_DOUBLE_EQ(halo.lo[0], 1.0);  // rank 0's top plane
+    }
+  });
+}
+
+}  // namespace
+}  // namespace rebench::hpcg

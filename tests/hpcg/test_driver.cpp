@@ -1,0 +1,155 @@
+#include "hpcg/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench::hpcg {
+namespace {
+
+const MachineModel& clx() { return builtinMachines().get("clx-6230"); }
+const MachineModel& rome() { return builtinMachines().get("rome-7742"); }
+
+TEST(HpcgNative, SingleRankRunsAndValidates) {
+  HpcgConfig config;
+  config.variant = Variant::kCsr;
+  config.gridSize = 16;
+  config.numRanks = 1;
+  config.iterations = 30;
+  const HpcgResult result = runNative(config);
+  EXPECT_TRUE(result.validated);
+  EXPECT_GT(result.gflops, 0.0);
+  EXPECT_LT(result.solutionError, 0.5);
+  EXPECT_EQ(result.iterations, 30);
+}
+
+TEST(HpcgNative, TwoRankRunValidates) {
+  HpcgConfig config;
+  config.variant = Variant::kMatrixFree;
+  config.gridSize = 12;
+  config.numRanks = 2;
+  config.iterations = 30;
+  const HpcgResult result = runNative(config);
+  EXPECT_TRUE(result.validated);
+}
+
+TEST(HpcgModeled, Table2ShapeOnCascadeLake) {
+  HpcgConfig config;
+  config.gridSize = 104;
+  config.numRanks = 40;  // Table 2: 40 MPI ranks on CLX
+  config.iterations = 50;
+
+  std::map<Variant, double> gflops;
+  for (Variant v : {Variant::kCsr, Variant::kCsrOpt, Variant::kMatrixFree,
+                    Variant::kLfric}) {
+    config.variant = v;
+    gflops[v] = runModeled(config, clx(), /*calibrationGrid=*/16).gflops;
+  }
+  // Paper ordering on Cascade Lake: matrix-free > intel-avx2 > csr > lfric.
+  EXPECT_GT(gflops[Variant::kMatrixFree], gflops[Variant::kCsrOpt]);
+  EXPECT_GT(gflops[Variant::kCsrOpt], gflops[Variant::kCsr]);
+  EXPECT_GT(gflops[Variant::kCsr], gflops[Variant::kLfric]);
+}
+
+TEST(HpcgModeled, Table2ShapeOnRome) {
+  HpcgConfig config;
+  config.gridSize = 104;
+  config.numRanks = 128;  // Table 2: 128 MPI ranks on Rome
+  config.iterations = 50;
+
+  config.variant = Variant::kCsr;
+  const double csr = runModeled(config, rome(), 16).gflops;
+  config.variant = Variant::kMatrixFree;
+  const double mf = runModeled(config, rome(), 16).gflops;
+  config.variant = Variant::kLfric;
+  const double lfric = runModeled(config, rome(), 16).gflops;
+  // Paper ordering on Rome: matrix-free > lfric > csr.
+  EXPECT_GT(mf, lfric);
+  EXPECT_GT(lfric, csr);
+}
+
+TEST(HpcgModeled, VendorVariantUnavailableOnRome) {
+  // Table 2: Intel-avx2 is "N/A" on AMD Rome.
+  EXPECT_FALSE(variantAvailable(Variant::kCsrOpt, rome()));
+  EXPECT_TRUE(variantAvailable(Variant::kCsrOpt, clx()));
+  HpcgConfig config;
+  config.variant = Variant::kCsrOpt;
+  EXPECT_THROW(runModeled(config, rome()), NotFoundError);
+}
+
+TEST(HpcgModeled, Equation1RatiosInPaperBallpark) {
+  HpcgConfig config;
+  config.gridSize = 104;
+  config.numRanks = 40;
+  config.iterations = 50;
+
+  config.variant = Variant::kCsr;
+  const double orig = runModeled(config, clx(), 16).gflops;
+  config.variant = Variant::kCsrOpt;
+  const double intel = runModeled(config, clx(), 16).gflops;
+  config.variant = Variant::kMatrixFree;
+  const double mf = runModeled(config, clx(), 16).gflops;
+
+  const double eI = intel / orig;  // paper: 1.625
+  const double eA = mf / orig;     // paper: 2.125
+  EXPECT_GT(eI, 1.2);
+  EXPECT_LT(eI, 2.2);
+  EXPECT_GT(eA, 1.5);
+  EXPECT_LT(eA, 3.5);
+  // The paper's headline: the algorithmic gain exceeds the
+  // implementation gain.
+  EXPECT_GT(eA, eI);
+}
+
+TEST(HpcgModeled, RomeAlgorithmicGainLargerThanCascadeLake) {
+  // Paper: E_A = matrix-free/csr = 2.125 on CLX but 3.168 on Rome.
+  HpcgConfig config;
+  config.gridSize = 104;
+  config.iterations = 50;
+
+  config.numRanks = 40;
+  config.variant = Variant::kCsr;
+  const double clxCsr = runModeled(config, clx(), 16).gflops;
+  config.variant = Variant::kMatrixFree;
+  const double clxMf = runModeled(config, clx(), 16).gflops;
+
+  config.numRanks = 128;
+  config.variant = Variant::kCsr;
+  const double romeCsr = runModeled(config, rome(), 16).gflops;
+  config.variant = Variant::kMatrixFree;
+  const double romeMf = runModeled(config, rome(), 16).gflops;
+
+  EXPECT_GT(romeMf / romeCsr, clxMf / clxCsr);
+}
+
+TEST(HpcgFormatOutput, RegexableAndComplete) {
+  HpcgConfig config;
+  config.variant = Variant::kCsr;
+  config.gridSize = 16;
+  config.numRanks = 1;
+  config.iterations = 20;
+  const HpcgResult result = runNative(config);
+  const std::string out = formatOutput(result);
+  EXPECT_TRUE(str::contains(out, "Variant: csr"));
+  const std::regex fom(R"(GFLOP/s rating of ([0-9]+\.[0-9]+))");
+  std::smatch match;
+  ASSERT_TRUE(std::regex_search(out, match, fom));
+  EXPECT_NEAR(std::stod(match[1].str()), result.gflops, 0.01);
+  EXPECT_TRUE(str::contains(out, "VALID"));
+}
+
+TEST(HpcgModeled, Deterministic) {
+  HpcgConfig config;
+  config.variant = Variant::kCsr;
+  config.gridSize = 104;
+  config.numRanks = 40;
+  const double a = runModeled(config, clx(), 16).gflops;
+  const double b = runModeled(config, clx(), 16).gflops;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rebench::hpcg

@@ -1,0 +1,163 @@
+#include "hpcg/mg_preconditioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/util/rng.hpp"
+#include "hpcg/cg.hpp"
+
+namespace rebench::hpcg {
+namespace {
+
+Geometry cube(int n) {
+  Geometry g;
+  g.nx = g.ny = g.nzLocal = g.nzGlobal = n;
+  return g;
+}
+
+std::vector<double> onesRhs(const Operator& A) {
+  std::vector<double> ones(A.n(), 1.0);
+  std::vector<double> b(A.n());
+  A.apply(ones, HaloView{}, b);
+  return b;
+}
+
+TEST(MgPreconditioner, HierarchyDepthFollowsGeometry) {
+  // 32 -> 16 -> 8 -> 4 (HPCG's own default depth of 4).
+  EXPECT_EQ(MgPreconditioner(Variant::kCsr, cube(32)).numLevels(), 4);
+  // maxLevels caps the depth.
+  EXPECT_EQ(MgPreconditioner(Variant::kCsr, cube(32), 2).numLevels(), 2);
+  // Odd sizes cannot coarsen at all.
+  EXPECT_EQ(MgPreconditioner(Variant::kCsr, cube(9)).numLevels(), 1);
+}
+
+TEST(MgPreconditioner, ApplyReducesResidual) {
+  const Geometry g = cube(16);
+  for (Variant v : {Variant::kCsr, Variant::kMatrixFree, Variant::kLfric}) {
+    SCOPED_TRACE(std::string(variantName(v)));
+    const auto A = makeOperator(v, g);
+    MgPreconditioner mg(v, g);
+    ASSERT_GE(mg.numLevels(), 2);
+
+    Rng rng(3);
+    std::vector<double> r(A->n());
+    for (double& value : r) value = rng.uniform(-1.0, 1.0);
+    std::vector<double> z(A->n());
+    mg.apply(*A, r, z);
+
+    std::vector<double> Az(A->n());
+    A->apply(z, HaloView{}, Az);
+    double before = 0.0, after = 0.0;
+    for (std::size_t i = 0; i < A->n(); ++i) {
+      before += r[i] * r[i];
+      after += (r[i] - Az[i]) * (r[i] - Az[i]);
+    }
+    EXPECT_LT(after, 0.6 * before);
+  }
+}
+
+TEST(MgPreconditioner, IsSymmetricEnoughForCg) {
+  // <u, M v> == <v, M u> within floating tolerance; CG requires this.
+  const Geometry g = cube(16);
+  const auto A = makeOperator(Variant::kCsr, g);
+  MgPreconditioner mg(Variant::kCsr, g);
+  Rng rng(5);
+  std::vector<double> u(A->n()), v(A->n()), Mu(A->n()), Mv(A->n());
+  for (std::size_t i = 0; i < A->n(); ++i) {
+    u[i] = rng.uniform(-1.0, 1.0);
+    v[i] = rng.uniform(-1.0, 1.0);
+  }
+  mg.apply(*A, u, Mu);
+  mg.apply(*A, v, Mv);
+  double uMv = 0.0, vMu = 0.0;
+  for (std::size_t i = 0; i < A->n(); ++i) {
+    uMv += u[i] * Mv[i];
+    vMu += v[i] * Mu[i];
+  }
+  EXPECT_NEAR(uMv, vMu, 1e-9 * std::abs(uMv));
+}
+
+TEST(MgPreconditioner, CountersAccumulate) {
+  const Geometry g = cube(16);
+  const auto A = makeOperator(Variant::kCsr, g);
+  MgPreconditioner mg(Variant::kCsr, g);
+  std::vector<double> r(A->n(), 1.0), z(A->n());
+  MgCounters counters;
+  mg.apply(*A, r, z, &counters);
+  EXPECT_GT(counters.flops, 0.0);
+  EXPECT_GT(counters.bytes, 0.0);
+  // Two smooths per non-coarsest level + one on the coarsest.
+  EXPECT_EQ(counters.smootherSweeps, 2 * (mg.numLevels() - 1) + 1);
+  EXPECT_GT(mg.applyBytes(), 0.0);
+  EXPECT_GT(mg.applyFlops(), 0.0);
+}
+
+TEST(MgCg, MultigridBeatsSingleLevelSymgs) {
+  // The point of HPCG's MG: fewer CG iterations to a fixed tolerance.
+  const Geometry g = cube(32);
+  const auto A = makeOperator(Variant::kCsr, g);
+  const std::vector<double> b = onesRhs(*A);
+
+  CgOptions symgs;
+  symgs.maxIterations = 200;
+  symgs.tolerance = 1e-9;
+  CgOptions mg = symgs;
+  mg.useMultigrid = true;
+
+  const CgResult symgsResult = conjugateGradient(*A, b, symgs);
+  const CgResult mgResult = conjugateGradient(*A, b, mg);
+  EXPECT_TRUE(symgsResult.converged);
+  EXPECT_TRUE(mgResult.converged);
+  EXPECT_LT(mgResult.counters.iterations, symgsResult.counters.iterations);
+}
+
+TEST(MgCg, SolutionStillExact) {
+  const Geometry g = cube(16);
+  const auto A = makeOperator(Variant::kMatrixFree, g);
+  const std::vector<double> b = onesRhs(*A);
+  CgOptions options;
+  options.maxIterations = 100;
+  options.tolerance = 1e-10;
+  options.useMultigrid = true;
+  const CgResult result = conjugateGradient(*A, b, options);
+  EXPECT_TRUE(result.converged);
+  double err = 0.0;
+  for (double xi : result.x) err = std::max(err, std::abs(xi - 1.0));
+  EXPECT_LT(err, 1e-7);
+}
+
+TEST(MgCg, FallsBackToSymgsOnSmallGrids) {
+  // 10^3 cannot coarsen (odd halves); useMultigrid must not break CG.
+  const Geometry g = cube(10);
+  const auto A = makeOperator(Variant::kCsr, g);
+  const std::vector<double> b = onesRhs(*A);
+  CgOptions options;
+  options.maxIterations = 60;
+  options.tolerance = 1e-9;
+  options.useMultigrid = true;
+  EXPECT_TRUE(conjugateGradient(*A, b, options).converged);
+}
+
+TEST(MgCg, DistributedMultigridConverges) {
+  // Rank-local MG smoothing composes with distributed CG.
+  minimpi::run(2, [](minimpi::Comm& comm) {
+    const Geometry g = Geometry::slab(16, comm.rank(), comm.size());
+    const auto A = makeOperator(Variant::kCsr, g);
+    HaloExchanger halos(g, &comm);
+    std::vector<double> ones(A->n(), 1.0), b(A->n());
+    const HaloView halo = halos.exchange(ones, 70);
+    A->apply(ones, halo, b);
+
+    CgOptions options;
+    options.maxIterations = 100;
+    options.tolerance = 1e-9;
+    options.useMultigrid = true;
+    const CgResult result = conjugateGradient(*A, b, options, &comm);
+    EXPECT_TRUE(result.converged);
+    double err = 0.0;
+    for (double xi : result.x) err = std::max(err, std::abs(xi - 1.0));
+    EXPECT_LT(err, 1e-6);
+  });
+}
+
+}  // namespace
+}  // namespace rebench::hpcg

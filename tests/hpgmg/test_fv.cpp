@@ -1,0 +1,183 @@
+#include "hpgmg/fv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/util/rng.hpp"
+#include "hpgmg/mg.hpp"
+
+namespace rebench::hpgmg {
+namespace {
+
+std::vector<double> randomField(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(LevelStruct, AllocationAndIndexing) {
+  Level level(8);
+  EXPECT_EQ(level.cells(), 512u);
+  EXPECT_DOUBLE_EQ(level.h, 0.125);
+  EXPECT_EQ(level.index(0, 0, 0), 0u);
+  EXPECT_EQ(level.index(7, 7, 7), 511u);
+  EXPECT_EQ(level.index(1, 2, 3), 1u + 8u * (2u + 8u * 3u));
+  EXPECT_EQ(level.bx.size(), level.cells());
+}
+
+TEST(FvOperator, SymmetricPositiveDefinite) {
+  Level level(8);
+  WorkCounters counters;
+  const auto u = randomField(level.cells(), 1);
+  const auto v = randomField(level.cells(), 2);
+  std::vector<double> Au(level.cells()), Av(level.cells());
+  applyOperator(level, u, Au, counters);
+  applyOperator(level, v, Av, counters);
+  double uAv = 0.0, vAu = 0.0, uAu = 0.0;
+  for (std::size_t i = 0; i < level.cells(); ++i) {
+    uAv += u[i] * Av[i];
+    vAu += v[i] * Au[i];
+    uAu += u[i] * Au[i];
+  }
+  EXPECT_NEAR(uAv, vAu, 1e-8 * std::abs(uAv));
+  EXPECT_GT(uAu, 0.0);
+}
+
+TEST(FvOperator, SecondOrderTruncationOnManufacturedSolution) {
+  // || A u* - f || should shrink ~4x per refinement.
+  using std::numbers::pi;
+  double previous = 0.0;
+  for (int n : {8, 16, 32}) {
+    Level level(n);
+    fillManufacturedRhs(level);
+    std::vector<double> uExact(level.cells());
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+          const double x = (i + 0.5) * level.h;
+          const double y = (j + 0.5) * level.h;
+          const double z = (k + 0.5) * level.h;
+          uExact[level.index(i, j, k)] =
+              std::sin(pi * x) * std::sin(pi * y) * std::sin(pi * z);
+        }
+      }
+    }
+    WorkCounters counters;
+    std::vector<double> Au(level.cells());
+    applyOperator(level, uExact, Au, counters);
+    double errInf = 0.0;
+    for (std::size_t i = 0; i < level.cells(); ++i) {
+      errInf = std::max(errInf, std::abs(Au[i] - level.f[i]));
+    }
+    if (previous > 0.0) {
+      EXPECT_GT(previous / errInf, 3.0) << "n=" << n;  // ~4 expected
+    }
+    previous = errInf;
+  }
+}
+
+TEST(FvSmoother, GsrbReducesResidual) {
+  // Gauss-Seidel damps smooth error slowly (that is why multigrid
+  // exists), so use a coarse level where even the smooth modes decay.
+  Level level(8);
+  WorkCounters counters;
+  fillManufacturedRhs(level);
+  const double r0 = computeResidual(level, counters);
+  for (int s = 0; s < 5; ++s) smoothGSRB(level, counters);
+  const double r5 = computeResidual(level, counters);
+  EXPECT_LT(r5, 0.75 * r0);
+  for (int s = 0; s < 45; ++s) smoothGSRB(level, counters);
+  const double r50 = computeResidual(level, counters);
+  EXPECT_LT(r50, 0.05 * r0);
+  EXPECT_EQ(counters.smootherSweeps, 50);
+}
+
+TEST(FvSmoother, FixedPointIsTheSolution) {
+  // If u solves A u = f exactly, a sweep must not change it (GS property).
+  Level level(8);
+  WorkCounters counters;
+  // Build an f consistent with a random u: f = A u.
+  const auto u = randomField(level.cells(), 3);
+  std::vector<double> f(level.cells());
+  applyOperator(level, u, f, counters);
+  level.u.assign(u.begin(), u.end());
+  level.f = f;
+  smoothGSRB(level, counters);
+  for (std::size_t i = 0; i < level.cells(); ++i) {
+    EXPECT_NEAR(level.u[i], u[i], 1e-10);
+  }
+}
+
+TEST(FvRestriction, PreservesConstants) {
+  Level fine(8), coarse(4);
+  WorkCounters counters;
+  std::fill(fine.r.begin(), fine.r.end(), 3.5);
+  restrictResidual(fine, coarse, counters);
+  for (double v : coarse.f) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(FvRestriction, AveragesChildren) {
+  Level fine(4), coarse(2);
+  WorkCounters counters;
+  // Children of coarse cell (0,0,0) are the 8 fine cells in [0,1]^3.
+  for (int dk = 0; dk < 2; ++dk) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int di = 0; di < 2; ++di) {
+        fine.r[fine.index(di, dj, dk)] =
+            static_cast<double>(di + 2 * dj + 4 * dk);
+      }
+    }
+  }
+  restrictResidual(fine, coarse, counters);
+  EXPECT_DOUBLE_EQ(coarse.f[0], (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7) / 8.0);
+}
+
+TEST(FvProlongation, ConstantInjection) {
+  Level fine(8), coarse(4);
+  WorkCounters counters;
+  std::fill(coarse.u.begin(), coarse.u.end(), 2.0);
+  std::fill(fine.u.begin(), fine.u.end(), 1.0);
+  prolongCorrection(coarse, fine, counters);
+  for (double v : fine.u) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(FvInterpolation, ReproducesLinearInteriorFields) {
+  // Trilinear interpolation is exact for linear functions away from the
+  // Dirichlet-ghost boundary treatment.
+  Level fine(16), coarse(8);
+  WorkCounters counters;
+  for (int K = 0; K < coarse.n; ++K) {
+    for (int J = 0; J < coarse.n; ++J) {
+      for (int I = 0; I < coarse.n; ++I) {
+        const double x = (I + 0.5) * coarse.h;
+        coarse.u[coarse.index(I, J, K)] = 2.0 * x;  // linear in x
+      }
+    }
+  }
+  interpolateSolution(coarse, fine, counters);
+  for (int k = 4; k < 12; ++k) {
+    for (int j = 4; j < 12; ++j) {
+      for (int i = 4; i < 12; ++i) {  // interior only
+        const double x = (i + 0.5) * fine.h;
+        EXPECT_NEAR(fine.u[fine.index(i, j, k)], 2.0 * x, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(FvCounters, AccumulateAcrossKernels) {
+  Level level(8);
+  WorkCounters counters;
+  fillManufacturedRhs(level);
+  smoothGSRB(level, counters);
+  computeResidual(level, counters);
+  EXPECT_GT(counters.flops, 0.0);
+  EXPECT_GT(counters.bytes, counters.flops);
+  EXPECT_EQ(counters.kernelLaunches, 3);  // 2 GSRB colours + residual
+}
+
+}  // namespace
+}  // namespace rebench::hpgmg

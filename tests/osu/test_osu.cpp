@@ -1,0 +1,154 @@
+#include "osu/osu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework/pipeline.hpp"
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+#include "osu/testcase.hpp"
+
+namespace rebench::osu {
+namespace {
+
+OsuConfig smallConfig(OsuBenchmark benchmark) {
+  OsuConfig config;
+  config.benchmark = benchmark;
+  config.minBytes = 8;
+  config.maxBytes = 1 << 14;
+  config.iterations = 20;
+  config.numRanks = 4;
+  return config;
+}
+
+TEST(OsuNative, LatencyProducesPositiveMonotoneSizes) {
+  const OsuResult result = runNative(smallConfig(OsuBenchmark::kLatency));
+  ASSERT_GE(result.points.size(), 3u);
+  for (const SizePoint& point : result.points) {
+    EXPECT_GT(point.value, 0.0) << point.messageBytes;
+  }
+  // Message sizes strictly increase and end at the requested maximum.
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_GT(result.points[i].messageBytes,
+              result.points[i - 1].messageBytes);
+  }
+  EXPECT_EQ(result.points.back().messageBytes, std::size_t{1} << 14);
+}
+
+TEST(OsuNative, BandwidthPositive) {
+  const OsuResult result = runNative(smallConfig(OsuBenchmark::kBandwidth));
+  for (const SizePoint& point : result.points) {
+    EXPECT_GT(point.value, 0.0);
+  }
+  // Large messages should move more MB/s than tiny ones in-process.
+  EXPECT_GT(result.points.back().value, result.points.front().value);
+}
+
+TEST(OsuNative, AllreduceRunsAcrossRanks) {
+  const OsuResult result = runNative(smallConfig(OsuBenchmark::kAllreduce));
+  EXPECT_EQ(result.numRanks, 4);
+  for (const SizePoint& point : result.points) {
+    EXPECT_GT(point.value, 0.0);
+  }
+}
+
+TEST(OsuResultAccess, AtFindsAndThrows) {
+  OsuResult result;
+  result.points = {{8, 1.5}, {32, 2.0}};
+  EXPECT_DOUBLE_EQ(result.at(8), 1.5);
+  EXPECT_THROW(result.at(64), NotFoundError);
+}
+
+TEST(OsuModeled, LatencyMatchesNetworkModel) {
+  NetworkModel network{2.0e-6, 10.0};
+  OsuConfig config = smallConfig(OsuBenchmark::kLatency);
+  const OsuResult result = runModeled(config, network, "test");
+  // 8-byte one-way latency ~ 2 us (+2% noise).
+  EXPECT_NEAR(result.at(8), 2.0, 0.15);
+  // 16 KiB adds 16384/10e9 s = 1.64 us.
+  EXPECT_NEAR(result.at(1 << 14), 2.0 + 1.64, 0.3);
+}
+
+TEST(OsuModeled, BandwidthApproachesLinkRate) {
+  NetworkModel network{1.5e-6, 12.5};
+  OsuConfig config;
+  config.benchmark = OsuBenchmark::kBandwidth;
+  config.maxBytes = 1 << 20;
+  const OsuResult result = runModeled(config, network, "bw");
+  // 1 MiB transfers should run near 12.5 GB/s = 12500 MB/s.
+  EXPECT_NEAR(result.at(1 << 20), 12500.0, 800.0);
+  // 8-byte messages are latency-bound, far below the link rate.
+  EXPECT_LT(result.at(8), 1000.0);
+}
+
+TEST(OsuModeled, AllreduceScalesLogarithmically) {
+  NetworkModel network{2.0e-6, 12.5};
+  OsuConfig config = smallConfig(OsuBenchmark::kAllreduce);
+  config.numRanks = 8;
+  const double eight = runModeled(config, network, "a").at(8);
+  config.numRanks = 64;
+  const double sixtyFour = runModeled(config, network, "a").at(8);
+  // log2(64)/log2(8) = 2x, not 8x.
+  EXPECT_NEAR(sixtyFour / eight, 2.0, 0.15);
+}
+
+TEST(OsuModeled, Deterministic) {
+  NetworkModel network{1.5e-6, 12.5};
+  const OsuConfig config = smallConfig(OsuBenchmark::kLatency);
+  EXPECT_DOUBLE_EQ(runModeled(config, network, "k").at(8),
+                   runModeled(config, network, "k").at(8));
+}
+
+TEST(OsuOutput, FormatMatchesOsuShape) {
+  NetworkModel network{1.5e-6, 12.5};
+  const OsuResult result =
+      runModeled(smallConfig(OsuBenchmark::kLatency), network, "fmt");
+  const std::string out = formatOutput(result);
+  EXPECT_TRUE(str::contains(out, "# OSU MPI Latency Test"));
+  EXPECT_TRUE(str::contains(out, "# complete"));
+  EXPECT_TRUE(str::contains(out, "\n8 "));
+}
+
+TEST(OsuPipeline, RunsOnModeledSystems) {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+  OsuTestOptions options;
+  options.benchmark = OsuBenchmark::kLatency;
+  const TestRunResult result =
+      pipeline.runOne(makeOsuTest(options), "archer2");
+  EXPECT_TRUE(result.passed) << result.failureStage << " "
+                             << result.failureDetail;
+  // Slingshot-class latency at 8 bytes: a couple of microseconds.
+  EXPECT_GT(result.foms.at("small"), 0.5);
+  EXPECT_LT(result.foms.at("small"), 10.0);
+}
+
+TEST(OsuPipeline, InterconnectsDifferentiateSystems) {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+  OsuTestOptions options;
+  options.benchmark = OsuBenchmark::kBandwidth;
+  const RegressionTest test = makeOsuTest(options);
+  const double cosma =
+      pipeline.runOne(test, "cosma8").foms.at("large");     // HDR200
+  const double isambard =
+      pipeline.runOne(test, "isambard:xci").foms.at("large");  // Aries
+  EXPECT_GT(cosma, 1.5 * isambard);
+}
+
+TEST(OsuPipeline, NativeRunOnLocal) {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  Pipeline pipeline(systems, repo);
+  OsuTestOptions options;
+  options.benchmark = OsuBenchmark::kLatency;
+  options.nativeIterations = 10;
+  const TestRunResult result =
+      pipeline.runOne(makeOsuTest(options), "local");
+  EXPECT_TRUE(result.passed) << result.failureDetail;
+  EXPECT_GT(result.foms.at("small"), 0.0);
+}
+
+}  // namespace
+}  // namespace rebench::osu

@@ -1,0 +1,275 @@
+#include "parallel/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace rebench::minimpi {
+namespace {
+
+TEST(MiniMpi, RanksSeeCorrectRankAndSize) {
+  std::atomic<int> rankSum{0};
+  run(4, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    rankSum.fetch_add(comm.rank());
+  });
+  EXPECT_EQ(rankSum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(MiniMpi, PointToPointRoundTrip) {
+  run(2, [](Comm& comm) {
+    std::vector<double> buf(16);
+    if (comm.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 0.0);
+      comm.send<double>(1, 7, buf);
+    } else {
+      comm.recv<double>(0, 7, buf);
+      for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(buf[i], i);
+    }
+  });
+}
+
+TEST(MiniMpi, MessagesWithDifferentTagsDoNotMix) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> a{1.0}, b{2.0};
+      comm.send<double>(1, /*tag=*/10, a);
+      comm.send<double>(1, /*tag=*/20, b);
+    } else {
+      std::vector<double> b(1), a(1);
+      // Receive in reverse tag order: tags must demultiplex.
+      comm.recv<double>(0, 20, b);
+      comm.recv<double>(0, 10, a);
+      EXPECT_DOUBLE_EQ(a[0], 1.0);
+      EXPECT_DOUBLE_EQ(b[0], 2.0);
+    }
+  });
+}
+
+TEST(MiniMpi, NonOvertakingSameTag) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        const std::vector<double> msg{static_cast<double>(i)};
+        comm.send<double>(1, 5, msg);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        std::vector<double> msg(1);
+        comm.recv<double>(0, 5, msg);
+        EXPECT_DOUBLE_EQ(msg[0], i);
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, SizeMismatchThrows) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       const std::vector<double> msg{1.0, 2.0};
+                       comm.send<double>(1, 1, msg);
+                     } else {
+                       std::vector<double> tooSmall(1);
+                       comm.recv<double>(0, 1, tooSmall);
+                     }
+                   }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, AllreduceSumMinMax) {
+  run(5, [](Comm& comm) {
+    const double mine = comm.rank() + 1.0;  // 1..5
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, Op::kSum), 15.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, Op::kMin), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, Op::kMax), 5.0);
+  });
+}
+
+TEST(MiniMpi, RepeatedAllreducesDoNotInterfere) {
+  run(3, [](Comm& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const double sum =
+          comm.allreduce(static_cast<double>(comm.rank() + iter), Op::kSum);
+      EXPECT_DOUBLE_EQ(sum, 3.0 * iter + 3.0);
+    }
+  });
+}
+
+TEST(MiniMpi, Allgather) {
+  run(4, [](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * 10.0);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(all[r], r * 10.0);
+  });
+}
+
+TEST(MiniMpi, Broadcast) {
+  run(4, [](Comm& comm) {
+    std::vector<double> data(8, 0.0);
+    if (comm.rank() == 2) {
+      std::iota(data.begin(), data.end(), 100.0);
+    }
+    comm.broadcast(data, /*root=*/2);
+    for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(data[i], 100.0 + i);
+  });
+}
+
+TEST(MiniMpi, BarrierSynchronises) {
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violation{false};
+  run(4, [&](Comm& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    if (phase1.load() != 4) violation.store(true);
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(MiniMpi, RankExceptionPropagates) {
+  EXPECT_THROW(run(3,
+                   [](Comm& comm) {
+                     if (comm.rank() == 1) {
+                       throw std::runtime_error("rank 1 died");
+                     }
+                   }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, ReduceDeliversToRootOnly) {
+  run(4, [](Comm& comm) {
+    const double result =
+        comm.reduce(static_cast<double>(comm.rank() + 1), Op::kSum, 2);
+    if (comm.rank() == 2) {
+      EXPECT_DOUBLE_EQ(result, 10.0);
+    } else {
+      EXPECT_DOUBLE_EQ(result, 0.0);
+    }
+  });
+}
+
+TEST(MiniMpi, GatherDeliversToRootOnly) {
+  run(3, [](Comm& comm) {
+    const auto gathered = comm.gather(comm.rank() * 2.0, /*root=*/1);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(gathered.size(), 3u);
+      EXPECT_DOUBLE_EQ(gathered[0], 0.0);
+      EXPECT_DOUBLE_EQ(gathered[2], 4.0);
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST(MiniMpi, ExscanIsExclusivePrefixSum) {
+  run(5, [](Comm& comm) {
+    // values 1,2,3,4,5 -> exscan 0,1,3,6,10
+    const double prefix = comm.exscan(comm.rank() + 1.0);
+    const double expected[] = {0.0, 1.0, 3.0, 6.0, 10.0};
+    EXPECT_DOUBLE_EQ(prefix, expected[comm.rank()]);
+  });
+}
+
+TEST(MiniMpi, IrecvWaitCompletesTransfer) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> buf(4, 0.0);
+      Comm::Request request = comm.irecv<double>(1, 9, buf);
+      EXPECT_TRUE(request.valid());
+      comm.wait(request);
+      EXPECT_FALSE(request.valid());
+      for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(buf[i], i + 1.0);
+    } else {
+      const std::vector<double> msg{1.0, 2.0, 3.0, 4.0};
+      comm.send<double>(0, 9, msg);
+    }
+  });
+}
+
+TEST(MiniMpi, WaitallCompletesMultipleRequests) {
+  // Rank 0 posts receives from every other rank before any arrive.
+  run(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::vector<double>> bufs(3, std::vector<double>(1));
+      std::vector<Comm::Request> requests;
+      for (int src = 1; src < 4; ++src) {
+        requests.push_back(
+            comm.irecv<double>(src, 11, std::span<double>(bufs[src - 1])));
+      }
+      comm.waitall(requests);
+      for (int src = 1; src < 4; ++src) {
+        EXPECT_DOUBLE_EQ(bufs[src - 1][0], src * 10.0);
+      }
+    } else {
+      const std::vector<double> msg{comm.rank() * 10.0};
+      comm.send<double>(0, 11, msg);
+    }
+  });
+}
+
+TEST(DimsCreate, FactorisationsAreBalanced) {
+  EXPECT_EQ(dimsCreate3D(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(dimsCreate3D(64), (std::array<int, 3>{4, 4, 4}));
+  EXPECT_EQ(dimsCreate3D(1), (std::array<int, 3>{1, 1, 1}));
+  const auto d12 = dimsCreate3D(12);
+  EXPECT_EQ(d12[0] * d12[1] * d12[2], 12);
+  EXPECT_EQ(d12, (std::array<int, 3>{3, 2, 2}));
+  const auto d40 = dimsCreate3D(40);  // HPCG CLX geometry
+  EXPECT_EQ(d40[0] * d40[1] * d40[2], 40);
+  const auto d128 = dimsCreate3D(128);  // HPCG Rome geometry
+  EXPECT_EQ(d128[0] * d128[1] * d128[2], 128);
+}
+
+TEST(Cart3D, CoordsRoundTrip) {
+  const std::array<int, 3> dims{2, 3, 4};
+  for (int r = 0; r < 24; ++r) {
+    const auto coords = Cart3D::rankToCoords(r, dims);
+    EXPECT_EQ(Cart3D::coordsToRank(coords, dims), r);
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(coords[a], 0);
+      EXPECT_LT(coords[a], dims[a]);
+    }
+  }
+}
+
+TEST(Cart3D, NeighborsInsideAndOutside) {
+  run(8, [](Comm& comm) {
+    Cart3D cart(comm, {2, 2, 2});
+    const auto coords = cart.coords();
+    for (int axis = 0; axis < 3; ++axis) {
+      const int plus = cart.neighbor(axis, +1);
+      const int minus = cart.neighbor(axis, -1);
+      if (coords[axis] == 0) {
+        EXPECT_EQ(minus, -1);
+        EXPECT_GE(plus, 0);
+      } else {
+        EXPECT_EQ(plus, -1);
+        EXPECT_GE(minus, 0);
+      }
+    }
+  });
+}
+
+TEST(Cart3D, HaloExchangePattern) {
+  // Every rank exchanges its rank id with each face neighbour; the value
+  // received must equal that neighbour's id.
+  run(8, [](Comm& comm) {
+    Cart3D cart(comm, {2, 2, 2});
+    for (int axis = 0; axis < 3; ++axis) {
+      for (int dir : {-1, +1}) {
+        const int nbr = cart.neighbor(axis, dir);
+        if (nbr < 0) continue;
+        const std::vector<double> mine{static_cast<double>(comm.rank())};
+        std::vector<double> theirs(1);
+        const int tag = 100 + axis;
+        comm.send<double>(nbr, tag, mine);
+        comm.recv<double>(nbr, tag, theirs);
+        EXPECT_DOUBLE_EQ(theirs[0], nbr);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace rebench::minimpi

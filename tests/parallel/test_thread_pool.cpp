@@ -1,0 +1,111 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rebench {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, TouchesEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  parallelFor(pool, 0, touched.size(),
+              [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelFor, DynamicScheduleTouchesEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(777);
+  parallelFor(
+      pool, 0, touched.size(),
+      [&](std::size_t i) { touched[i].fetch_add(1); }, Schedule::kDynamic,
+      10);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallelFor(pool, 5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForBlocked, BlocksPartitionRange) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  parallelForBlocked(pool, 0, 100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(m);
+    blocks.emplace_back(lo, hi);
+  });
+  std::sort(blocks.begin(), blocks.end());
+  std::size_t expected = 0;
+  for (const auto& [lo, hi] : blocks) {
+    EXPECT_EQ(lo, expected);
+    EXPECT_GT(hi, lo);
+    expected = hi;
+  }
+  EXPECT_EQ(expected, 100u);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<double> data(n);
+  std::iota(data.begin(), data.end(), 1.0);
+  const double parallel =
+      parallelReduceSum(pool, 0, n, [&](std::size_t i) { return data[i]; });
+  const double serial = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_DOUBLE_EQ(parallel, serial);
+}
+
+TEST(ParallelReduce, BlockedMatchesSerial) {
+  ThreadPool pool(4);
+  const double result = parallelReduceSumBlocked(
+      pool, 0, 1000, [](std::size_t lo, std::size_t hi) {
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) sum += static_cast<double>(i);
+        return sum;
+      });
+  EXPECT_DOUBLE_EQ(result, 999.0 * 1000.0 / 2.0);
+}
+
+TEST(ParallelReduce, EmptyRangeIsZero) {
+  ThreadPool pool(2);
+  EXPECT_DOUBLE_EQ(
+      parallelReduceSum(pool, 10, 10, [](std::size_t) { return 1.0; }), 0.0);
+}
+
+TEST(ThreadPool, GlobalSingletonStable) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace rebench

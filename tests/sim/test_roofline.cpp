@@ -1,0 +1,103 @@
+#include "sim/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rebench {
+namespace {
+
+const MachineModel& clx() { return builtinMachines().get("clx-6230"); }
+const MachineModel& v100() { return builtinMachines().get("v100"); }
+
+KernelProfile triadProfile(std::size_t n) {
+  // Triad: a[i] = b[i] + s*c[i] — 2 reads + 1 write, 2 flops per element.
+  KernelProfile p;
+  p.bytesRead = 2.0 * 8.0 * n;
+  p.bytesWritten = 8.0 * n;
+  p.flops = 2.0 * n;
+  return p;
+}
+
+TEST(KernelProfile, IntensityComputed) {
+  const KernelProfile p = triadProfile(1000);
+  EXPECT_NEAR(p.intensity(), 2.0 / 24.0, 1e-12);
+  EXPECT_NEAR(p.totalBytes(), 24000.0, 1e-9);
+  EXPECT_NEAR(KernelProfile{}.intensity(), 0.0, 1e-12);
+}
+
+TEST(Roofline, StreamingKernelIsMemoryBound) {
+  const auto t = simulateKernel(clx(), triadProfile(1 << 25));
+  EXPECT_TRUE(t.memoryBound);
+  EXPECT_GT(t.seconds, 0.0);
+  // Achieved bandwidth can't exceed peak.
+  EXPECT_LE(t.achievedBandwidthGBs, clx().peakBandwidthGBs);
+  // ... and a full-machine run should land near stream efficiency.
+  EXPECT_GT(t.achievedBandwidthGBs,
+            clx().peakBandwidthGBs * clx().streamEfficiency * 0.9);
+}
+
+TEST(Roofline, ComputeHeavyKernelIsComputeBound) {
+  KernelProfile p;
+  p.bytesRead = 1024;
+  p.flops = 1e12;
+  const auto t = simulateKernel(clx(), p);
+  EXPECT_FALSE(t.memoryBound);
+  EXPECT_LE(t.achievedGFlops, clx().peakGFlops());
+}
+
+TEST(Roofline, DeterministicWithoutNoise) {
+  const auto a = simulateKernel(clx(), triadProfile(1 << 20));
+  const auto b = simulateKernel(clx(), triadProfile(1 << 20));
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(Roofline, NoiseIsDeterministicPerKey) {
+  const auto a = simulateKernel(clx(), triadProfile(1 << 20), {}, "key-1");
+  const auto b = simulateKernel(clx(), triadProfile(1 << 20), {}, "key-1");
+  const auto c = simulateKernel(clx(), triadProfile(1 << 20), {}, "key-2");
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_NE(a.seconds, c.seconds);
+  // Noise is small.
+  EXPECT_NEAR(a.seconds / c.seconds, 1.0, 0.15);
+}
+
+TEST(Roofline, SingleCoreBackendBoundBySingleCoreBandwidth) {
+  // std-ranges in Figure 2: one core cannot saturate the socket.
+  ExecutionEfficiency eff;
+  eff.coresUsed = 1;
+  const auto t = simulateKernel(clx(), triadProfile(1 << 25), eff);
+  EXPECT_LE(t.achievedBandwidthGBs, clx().singleCoreBandwidthGBs * 1.01);
+  const auto full = simulateKernel(clx(), triadProfile(1 << 25));
+  EXPECT_GT(full.achievedBandwidthGBs, 5.0 * t.achievedBandwidthGBs);
+}
+
+TEST(Roofline, BandwidthFractionScalesTime) {
+  ExecutionEfficiency half;
+  half.bandwidthFraction = 0.5;
+  const auto base = simulateKernel(clx(), triadProfile(1 << 25));
+  const auto derated = simulateKernel(clx(), triadProfile(1 << 25), half);
+  EXPECT_NEAR(derated.seconds / base.seconds, 2.0, 0.05);
+}
+
+TEST(Roofline, GpuFasterThanCpuOnStreaming) {
+  const auto cpu = simulateKernel(clx(), triadProfile(1 << 25));
+  const auto gpu = simulateKernel(v100(), triadProfile(1 << 25));
+  // V100 at 900 GB/s vs CLX at 282: roughly 3-4x faster.
+  EXPECT_GT(cpu.seconds / gpu.seconds, 2.5);
+  EXPECT_LT(cpu.seconds / gpu.seconds, 5.0);
+}
+
+TEST(Roofline, LaunchLatencyDominatesTinyKernels) {
+  const auto tiny = simulateKernel(v100(), triadProfile(16));
+  EXPECT_GE(tiny.seconds, v100().launchLatency);
+}
+
+TEST(Roofline, ExtraLatencyAdds) {
+  ExecutionEfficiency eff;
+  eff.extraLatency = 1.0e-3;
+  const auto base = simulateKernel(clx(), triadProfile(1 << 20));
+  const auto delayed = simulateKernel(clx(), triadProfile(1 << 20), eff);
+  EXPECT_NEAR(delayed.seconds - base.seconds, 1.0e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace rebench

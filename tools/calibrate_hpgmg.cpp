@@ -1,0 +1,38 @@
+// Calibration utility (not a deliverable bench): finds the per-system
+// (platformEfficiency, launchOverheadSeconds) pair that reproduces the
+// paper's Table 4 l0/l2 rates under the HPGMG execution model.
+#include <cstdio>
+#include "hpgmg/driver.hpp"
+#include "sim/machine.hpp"
+
+using namespace rebench;
+
+int main() {
+  struct Target { const char* system; const char* machine; double l0, l1, l2; };
+  const Target targets[] = {
+      {"archer2", "rome-7742", 95.36, 83.43, 62.18},
+      {"cosma8", "rome-7h12", 81.67, 72.96, 75.09},
+      {"csd3", "clx-8276", 126.10, 94.39, 49.40},
+      {"isambard-macs", "clx-6230", 30.59, 25.55, 17.55},
+  };
+  hpgmg::HpgmgConfig config;  // paper defaults: 7 8, 8 ranks
+  for (const Target& t : targets) {
+    const MachineModel& m = builtinMachines().get(t.machine);
+    double bestP = 0.1, bestO = 3e-5, bestErr = 1e30;
+    for (double p = 0.02; p <= 0.9; p *= 1.05) {
+      for (double o = 1e-6; o <= 3e-3; o *= 1.15) {
+        const auto r = hpgmg::runModeled(config, m, p, o, 32);
+        const double e0 = r.foms[0].mdofPerSec / t.l0 - 1.0;
+        const double e1 = r.foms[1].mdofPerSec / t.l1 - 1.0;
+        const double e2 = r.foms[2].mdofPerSec / t.l2 - 1.0;
+        const double err = e0*e0 + e1*e1 + e2*e2;
+        if (err < bestErr) { bestErr = err; bestP = p; bestO = o; }
+      }
+    }
+    const auto r = hpgmg::runModeled(config, m, bestP, bestO, 32);
+    std::printf("%s: peff=%.4f oh=%.2e -> l0=%.2f l1=%.2f l2=%.2f (err %.4f)\n",
+                t.system, bestP, bestO, r.foms[0].mdofPerSec,
+                r.foms[1].mdofPerSec, r.foms[2].mdofPerSec, bestErr);
+  }
+  return 0;
+}
