@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buildpath.dir/bench/ablation_buildpath.cpp.o"
+  "CMakeFiles/ablation_buildpath.dir/bench/ablation_buildpath.cpp.o.d"
+  "bench/ablation_buildpath"
+  "bench/ablation_buildpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buildpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

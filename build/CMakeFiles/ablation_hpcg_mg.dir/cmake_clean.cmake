@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hpcg_mg.dir/bench/ablation_hpcg_mg.cpp.o"
+  "CMakeFiles/ablation_hpcg_mg.dir/bench/ablation_hpcg_mg.cpp.o.d"
+  "bench/ablation_hpcg_mg"
+  "bench/ablation_hpcg_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hpcg_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hygiene.dir/bench/ablation_hygiene.cpp.o"
+  "CMakeFiles/ablation_hygiene.dir/bench/ablation_hygiene.cpp.o.d"
+  "bench/ablation_hygiene"
+  "bench/ablation_hygiene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hygiene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_postproc.dir/bench/ablation_postproc.cpp.o"
+  "CMakeFiles/ablation_postproc.dir/bench/ablation_postproc.cpp.o.d"
+  "bench/ablation_postproc"
+  "bench/ablation_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rebuild.dir/bench/ablation_rebuild.cpp.o"
+  "CMakeFiles/ablation_rebuild.dir/bench/ablation_rebuild.cpp.o.d"
+  "bench/ablation_rebuild"
+  "bench/ablation_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

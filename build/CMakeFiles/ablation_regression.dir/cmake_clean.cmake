@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regression.dir/bench/ablation_regression.cpp.o"
+  "CMakeFiles/ablation_regression.dir/bench/ablation_regression.cpp.o.d"
+  "bench/ablation_regression"
+  "bench/ablation_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_babelstream.dir/bench/fig2_babelstream.cpp.o"
+  "CMakeFiles/fig2_babelstream.dir/bench/fig2_babelstream.cpp.o.d"
+  "bench/fig2_babelstream"
+  "bench/fig2_babelstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_babelstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_hpgmg.dir/bench/scaling_hpgmg.cpp.o"
+  "CMakeFiles/scaling_hpgmg.dir/bench/scaling_hpgmg.cpp.o.d"
+  "bench/scaling_hpgmg"
+  "bench/scaling_hpgmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_hpgmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

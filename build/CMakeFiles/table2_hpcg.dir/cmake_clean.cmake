@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hpcg.dir/bench/table2_hpcg.cpp.o"
+  "CMakeFiles/table2_hpcg.dir/bench/table2_hpcg.cpp.o.d"
+  "bench/table2_hpcg"
+  "bench/table2_hpcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

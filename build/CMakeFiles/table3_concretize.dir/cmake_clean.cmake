@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_concretize.dir/bench/table3_concretize.cpp.o"
+  "CMakeFiles/table3_concretize.dir/bench/table3_concretize.cpp.o.d"
+  "bench/table3_concretize"
+  "bench/table3_concretize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_concretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hpgmg.dir/bench/table4_hpgmg.cpp.o"
+  "CMakeFiles/table4_hpgmg.dir/bench/table4_hpgmg.cpp.o.d"
+  "bench/table4_hpgmg"
+  "bench/table4_hpgmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hpgmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

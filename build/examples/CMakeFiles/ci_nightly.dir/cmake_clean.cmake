@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_nightly.dir/ci_nightly.cpp.o"
+  "CMakeFiles/ci_nightly.dir/ci_nightly.cpp.o.d"
+  "ci_nightly"
+  "ci_nightly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_nightly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

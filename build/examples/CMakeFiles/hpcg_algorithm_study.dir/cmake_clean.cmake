@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_algorithm_study.dir/hpcg_algorithm_study.cpp.o"
+  "CMakeFiles/hpcg_algorithm_study.dir/hpcg_algorithm_study.cpp.o.d"
+  "hpcg_algorithm_study"
+  "hpcg_algorithm_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_algorithm_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

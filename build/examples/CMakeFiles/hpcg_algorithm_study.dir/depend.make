@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcg_algorithm_study.
+# This may be replaced when dependencies are built.

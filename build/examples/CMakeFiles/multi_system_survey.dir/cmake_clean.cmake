@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_system_survey.dir/multi_system_survey.cpp.o"
+  "CMakeFiles/multi_system_survey.dir/multi_system_survey.cpp.o.d"
+  "multi_system_survey"
+  "multi_system_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_system_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

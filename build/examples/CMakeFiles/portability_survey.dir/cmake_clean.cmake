@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_survey.dir/portability_survey.cpp.o"
+  "CMakeFiles/portability_survey.dir/portability_survey.cpp.o.d"
+  "portability_survey"
+  "portability_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

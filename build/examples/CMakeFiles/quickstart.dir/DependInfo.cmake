@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rebench_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rebench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/babelstream/CMakeFiles/rebench_babelstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcg/CMakeFiles/rebench_hpcg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpgmg/CMakeFiles/rebench_hpgmg.dir/DependInfo.cmake"
+  "/root/repo/build/src/osu/CMakeFiles/rebench_osu.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/rebench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rebench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/babelstream/backends.cpp" "src/babelstream/CMakeFiles/rebench_babelstream.dir/backends.cpp.o" "gcc" "src/babelstream/CMakeFiles/rebench_babelstream.dir/backends.cpp.o.d"
+  "/root/repo/src/babelstream/models.cpp" "src/babelstream/CMakeFiles/rebench_babelstream.dir/models.cpp.o" "gcc" "src/babelstream/CMakeFiles/rebench_babelstream.dir/models.cpp.o.d"
+  "/root/repo/src/babelstream/run.cpp" "src/babelstream/CMakeFiles/rebench_babelstream.dir/run.cpp.o" "gcc" "src/babelstream/CMakeFiles/rebench_babelstream.dir/run.cpp.o.d"
+  "/root/repo/src/babelstream/stream.cpp" "src/babelstream/CMakeFiles/rebench_babelstream.dir/stream.cpp.o" "gcc" "src/babelstream/CMakeFiles/rebench_babelstream.dir/stream.cpp.o.d"
+  "/root/repo/src/babelstream/testcase.cpp" "src/babelstream/CMakeFiles/rebench_babelstream.dir/testcase.cpp.o" "gcc" "src/babelstream/CMakeFiles/rebench_babelstream.dir/testcase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rebench_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rebench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rebench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_babelstream.dir/backends.cpp.o"
+  "CMakeFiles/rebench_babelstream.dir/backends.cpp.o.d"
+  "CMakeFiles/rebench_babelstream.dir/models.cpp.o"
+  "CMakeFiles/rebench_babelstream.dir/models.cpp.o.d"
+  "CMakeFiles/rebench_babelstream.dir/run.cpp.o"
+  "CMakeFiles/rebench_babelstream.dir/run.cpp.o.d"
+  "CMakeFiles/rebench_babelstream.dir/stream.cpp.o"
+  "CMakeFiles/rebench_babelstream.dir/stream.cpp.o.d"
+  "CMakeFiles/rebench_babelstream.dir/testcase.cpp.o"
+  "CMakeFiles/rebench_babelstream.dir/testcase.cpp.o.d"
+  "librebench_babelstream.a"
+  "librebench_babelstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_babelstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench.dir/main.cpp.o"
+  "CMakeFiles/rebench.dir/main.cpp.o.d"
+  "rebench"
+  "rebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

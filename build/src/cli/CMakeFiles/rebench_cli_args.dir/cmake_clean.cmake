@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_cli_args.dir/args.cpp.o"
+  "CMakeFiles/rebench_cli_args.dir/args.cpp.o.d"
+  "librebench_cli_args.a"
+  "librebench_cli_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

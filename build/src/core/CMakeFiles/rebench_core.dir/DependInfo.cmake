@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/concretizer/concretizer.cpp" "src/core/CMakeFiles/rebench_core.dir/concretizer/concretizer.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/concretizer/concretizer.cpp.o.d"
+  "/root/repo/src/core/concretizer/environment.cpp" "src/core/CMakeFiles/rebench_core.dir/concretizer/environment.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/concretizer/environment.cpp.o.d"
+  "/root/repo/src/core/framework/perflog.cpp" "src/core/CMakeFiles/rebench_core.dir/framework/perflog.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/framework/perflog.cpp.o.d"
+  "/root/repo/src/core/framework/pipeline.cpp" "src/core/CMakeFiles/rebench_core.dir/framework/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/framework/pipeline.cpp.o.d"
+  "/root/repo/src/core/framework/regression_test.cpp" "src/core/CMakeFiles/rebench_core.dir/framework/regression_test.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/framework/regression_test.cpp.o.d"
+  "/root/repo/src/core/framework/suite.cpp" "src/core/CMakeFiles/rebench_core.dir/framework/suite.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/framework/suite.cpp.o.d"
+  "/root/repo/src/core/framework/telemetry.cpp" "src/core/CMakeFiles/rebench_core.dir/framework/telemetry.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/framework/telemetry.cpp.o.d"
+  "/root/repo/src/core/pkg/build_plan.cpp" "src/core/CMakeFiles/rebench_core.dir/pkg/build_plan.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/pkg/build_plan.cpp.o.d"
+  "/root/repo/src/core/pkg/builtin_repo.cpp" "src/core/CMakeFiles/rebench_core.dir/pkg/builtin_repo.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/pkg/builtin_repo.cpp.o.d"
+  "/root/repo/src/core/pkg/recipe.cpp" "src/core/CMakeFiles/rebench_core.dir/pkg/recipe.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/pkg/recipe.cpp.o.d"
+  "/root/repo/src/core/postproc/dataframe.cpp" "src/core/CMakeFiles/rebench_core.dir/postproc/dataframe.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/postproc/dataframe.cpp.o.d"
+  "/root/repo/src/core/postproc/efficiency.cpp" "src/core/CMakeFiles/rebench_core.dir/postproc/efficiency.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/postproc/efficiency.cpp.o.d"
+  "/root/repo/src/core/postproc/hygiene.cpp" "src/core/CMakeFiles/rebench_core.dir/postproc/hygiene.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/postproc/hygiene.cpp.o.d"
+  "/root/repo/src/core/postproc/perflog_reader.cpp" "src/core/CMakeFiles/rebench_core.dir/postproc/perflog_reader.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/postproc/perflog_reader.cpp.o.d"
+  "/root/repo/src/core/postproc/plot.cpp" "src/core/CMakeFiles/rebench_core.dir/postproc/plot.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/postproc/plot.cpp.o.d"
+  "/root/repo/src/core/postproc/regression.cpp" "src/core/CMakeFiles/rebench_core.dir/postproc/regression.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/postproc/regression.cpp.o.d"
+  "/root/repo/src/core/postproc/stats.cpp" "src/core/CMakeFiles/rebench_core.dir/postproc/stats.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/postproc/stats.cpp.o.d"
+  "/root/repo/src/core/sched/launcher.cpp" "src/core/CMakeFiles/rebench_core.dir/sched/launcher.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/sched/launcher.cpp.o.d"
+  "/root/repo/src/core/sched/scheduler.cpp" "src/core/CMakeFiles/rebench_core.dir/sched/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/core/spec/spec.cpp" "src/core/CMakeFiles/rebench_core.dir/spec/spec.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/spec/spec.cpp.o.d"
+  "/root/repo/src/core/sysconfig/builtin_systems.cpp" "src/core/CMakeFiles/rebench_core.dir/sysconfig/builtin_systems.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/sysconfig/builtin_systems.cpp.o.d"
+  "/root/repo/src/core/sysconfig/system_config.cpp" "src/core/CMakeFiles/rebench_core.dir/sysconfig/system_config.cpp.o" "gcc" "src/core/CMakeFiles/rebench_core.dir/sysconfig/system_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rebench_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/util/hash.cpp" "src/core/CMakeFiles/rebench_util.dir/util/hash.cpp.o" "gcc" "src/core/CMakeFiles/rebench_util.dir/util/hash.cpp.o.d"
+  "/root/repo/src/core/util/rng.cpp" "src/core/CMakeFiles/rebench_util.dir/util/rng.cpp.o" "gcc" "src/core/CMakeFiles/rebench_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/core/util/strings.cpp" "src/core/CMakeFiles/rebench_util.dir/util/strings.cpp.o" "gcc" "src/core/CMakeFiles/rebench_util.dir/util/strings.cpp.o.d"
+  "/root/repo/src/core/util/table.cpp" "src/core/CMakeFiles/rebench_util.dir/util/table.cpp.o" "gcc" "src/core/CMakeFiles/rebench_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/core/util/units.cpp" "src/core/CMakeFiles/rebench_util.dir/util/units.cpp.o" "gcc" "src/core/CMakeFiles/rebench_util.dir/util/units.cpp.o.d"
+  "/root/repo/src/core/util/version.cpp" "src/core/CMakeFiles/rebench_util.dir/util/version.cpp.o" "gcc" "src/core/CMakeFiles/rebench_util.dir/util/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

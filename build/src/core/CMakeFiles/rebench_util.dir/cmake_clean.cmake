@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_util.dir/util/hash.cpp.o"
+  "CMakeFiles/rebench_util.dir/util/hash.cpp.o.d"
+  "CMakeFiles/rebench_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rebench_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rebench_util.dir/util/strings.cpp.o"
+  "CMakeFiles/rebench_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/rebench_util.dir/util/table.cpp.o"
+  "CMakeFiles/rebench_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/rebench_util.dir/util/units.cpp.o"
+  "CMakeFiles/rebench_util.dir/util/units.cpp.o.d"
+  "CMakeFiles/rebench_util.dir/util/version.cpp.o"
+  "CMakeFiles/rebench_util.dir/util/version.cpp.o.d"
+  "librebench_util.a"
+  "librebench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpcg/cg.cpp" "src/hpcg/CMakeFiles/rebench_hpcg.dir/cg.cpp.o" "gcc" "src/hpcg/CMakeFiles/rebench_hpcg.dir/cg.cpp.o.d"
+  "/root/repo/src/hpcg/driver.cpp" "src/hpcg/CMakeFiles/rebench_hpcg.dir/driver.cpp.o" "gcc" "src/hpcg/CMakeFiles/rebench_hpcg.dir/driver.cpp.o.d"
+  "/root/repo/src/hpcg/mg_preconditioner.cpp" "src/hpcg/CMakeFiles/rebench_hpcg.dir/mg_preconditioner.cpp.o" "gcc" "src/hpcg/CMakeFiles/rebench_hpcg.dir/mg_preconditioner.cpp.o.d"
+  "/root/repo/src/hpcg/operators.cpp" "src/hpcg/CMakeFiles/rebench_hpcg.dir/operators.cpp.o" "gcc" "src/hpcg/CMakeFiles/rebench_hpcg.dir/operators.cpp.o.d"
+  "/root/repo/src/hpcg/problem.cpp" "src/hpcg/CMakeFiles/rebench_hpcg.dir/problem.cpp.o" "gcc" "src/hpcg/CMakeFiles/rebench_hpcg.dir/problem.cpp.o.d"
+  "/root/repo/src/hpcg/testcase.cpp" "src/hpcg/CMakeFiles/rebench_hpcg.dir/testcase.cpp.o" "gcc" "src/hpcg/CMakeFiles/rebench_hpcg.dir/testcase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rebench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rebench_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rebench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rebench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

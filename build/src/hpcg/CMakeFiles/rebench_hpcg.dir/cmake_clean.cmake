@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_hpcg.dir/cg.cpp.o"
+  "CMakeFiles/rebench_hpcg.dir/cg.cpp.o.d"
+  "CMakeFiles/rebench_hpcg.dir/driver.cpp.o"
+  "CMakeFiles/rebench_hpcg.dir/driver.cpp.o.d"
+  "CMakeFiles/rebench_hpcg.dir/mg_preconditioner.cpp.o"
+  "CMakeFiles/rebench_hpcg.dir/mg_preconditioner.cpp.o.d"
+  "CMakeFiles/rebench_hpcg.dir/operators.cpp.o"
+  "CMakeFiles/rebench_hpcg.dir/operators.cpp.o.d"
+  "CMakeFiles/rebench_hpcg.dir/problem.cpp.o"
+  "CMakeFiles/rebench_hpcg.dir/problem.cpp.o.d"
+  "CMakeFiles/rebench_hpcg.dir/testcase.cpp.o"
+  "CMakeFiles/rebench_hpcg.dir/testcase.cpp.o.d"
+  "librebench_hpcg.a"
+  "librebench_hpcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_hpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

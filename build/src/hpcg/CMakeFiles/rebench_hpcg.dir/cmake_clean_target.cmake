@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librebench_hpcg.a"
+)

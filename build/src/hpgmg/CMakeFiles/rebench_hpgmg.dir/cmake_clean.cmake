@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_hpgmg.dir/driver.cpp.o"
+  "CMakeFiles/rebench_hpgmg.dir/driver.cpp.o.d"
+  "CMakeFiles/rebench_hpgmg.dir/fv.cpp.o"
+  "CMakeFiles/rebench_hpgmg.dir/fv.cpp.o.d"
+  "CMakeFiles/rebench_hpgmg.dir/mg.cpp.o"
+  "CMakeFiles/rebench_hpgmg.dir/mg.cpp.o.d"
+  "CMakeFiles/rebench_hpgmg.dir/testcase.cpp.o"
+  "CMakeFiles/rebench_hpgmg.dir/testcase.cpp.o.d"
+  "librebench_hpgmg.a"
+  "librebench_hpgmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_hpgmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rebench_hpgmg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_osu.dir/osu.cpp.o"
+  "CMakeFiles/rebench_osu.dir/osu.cpp.o.d"
+  "CMakeFiles/rebench_osu.dir/testcase.cpp.o"
+  "CMakeFiles/rebench_osu.dir/testcase.cpp.o.d"
+  "librebench_osu.a"
+  "librebench_osu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

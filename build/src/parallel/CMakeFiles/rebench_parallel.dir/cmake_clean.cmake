@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_parallel.dir/minimpi.cpp.o"
+  "CMakeFiles/rebench_parallel.dir/minimpi.cpp.o.d"
+  "CMakeFiles/rebench_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/rebench_parallel.dir/thread_pool.cpp.o.d"
+  "librebench_parallel.a"
+  "librebench_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_sim.dir/machine.cpp.o"
+  "CMakeFiles/rebench_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/rebench_sim.dir/roofline.cpp.o"
+  "CMakeFiles/rebench_sim.dir/roofline.cpp.o.d"
+  "librebench_sim.a"
+  "librebench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebench_suite.dir/builtin_suite.cpp.o"
+  "CMakeFiles/rebench_suite.dir/builtin_suite.cpp.o.d"
+  "librebench_suite.a"
+  "librebench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

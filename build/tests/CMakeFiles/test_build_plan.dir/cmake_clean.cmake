@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_build_plan.dir/core/test_build_plan.cpp.o"
+  "CMakeFiles/test_build_plan.dir/core/test_build_plan.cpp.o.d"
+  "test_build_plan"
+  "test_build_plan.pdb"
+  "test_build_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_build_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

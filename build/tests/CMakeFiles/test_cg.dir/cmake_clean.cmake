@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cg.dir/hpcg/test_cg.cpp.o"
+  "CMakeFiles/test_cg.dir/hpcg/test_cg.cpp.o.d"
+  "test_cg"
+  "test_cg.pdb"
+  "test_cg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

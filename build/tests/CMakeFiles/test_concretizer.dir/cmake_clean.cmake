@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concretizer.dir/core/test_concretizer.cpp.o"
+  "CMakeFiles/test_concretizer.dir/core/test_concretizer.cpp.o.d"
+  "test_concretizer"
+  "test_concretizer.pdb"
+  "test_concretizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concretizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_environment_config.dir/core/test_environment_config.cpp.o"
+  "CMakeFiles/test_environment_config.dir/core/test_environment_config.cpp.o.d"
+  "test_environment_config"
+  "test_environment_config.pdb"
+  "test_environment_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_environment_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

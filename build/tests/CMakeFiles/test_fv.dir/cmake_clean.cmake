@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fv.dir/hpgmg/test_fv.cpp.o"
+  "CMakeFiles/test_fv.dir/hpgmg/test_fv.cpp.o.d"
+  "test_fv"
+  "test_fv.pdb"
+  "test_fv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

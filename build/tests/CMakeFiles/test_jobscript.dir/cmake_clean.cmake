@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jobscript.dir/core/test_jobscript.cpp.o"
+  "CMakeFiles/test_jobscript.dir/core/test_jobscript.cpp.o.d"
+  "test_jobscript"
+  "test_jobscript.pdb"
+  "test_jobscript[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jobscript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

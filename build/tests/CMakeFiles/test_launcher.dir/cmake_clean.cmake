@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_launcher.dir/core/test_launcher.cpp.o"
+  "CMakeFiles/test_launcher.dir/core/test_launcher.cpp.o.d"
+  "test_launcher"
+  "test_launcher.pdb"
+  "test_launcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_launcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mg_preconditioner.dir/hpcg/test_mg_preconditioner.cpp.o"
+  "CMakeFiles/test_mg_preconditioner.dir/hpcg/test_mg_preconditioner.cpp.o.d"
+  "test_mg_preconditioner"
+  "test_mg_preconditioner.pdb"
+  "test_mg_preconditioner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mg_preconditioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perflog.dir/core/test_perflog.cpp.o"
+  "CMakeFiles/test_perflog.dir/core/test_perflog.cpp.o.d"
+  "test_perflog"
+  "test_perflog.pdb"
+  "test_perflog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perflog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

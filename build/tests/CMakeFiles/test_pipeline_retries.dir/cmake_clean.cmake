@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_retries.dir/core/test_pipeline_retries.cpp.o"
+  "CMakeFiles/test_pipeline_retries.dir/core/test_pipeline_retries.cpp.o.d"
+  "test_pipeline_retries"
+  "test_pipeline_retries.pdb"
+  "test_pipeline_retries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysconfig.dir/core/test_sysconfig.cpp.o"
+  "CMakeFiles/test_sysconfig.dir/core/test_sysconfig.cpp.o.d"
+  "test_sysconfig"
+  "test_sysconfig.pdb"
+  "test_sysconfig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

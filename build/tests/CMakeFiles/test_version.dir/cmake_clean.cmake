@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_version.dir/core/test_version.cpp.o"
+  "CMakeFiles/test_version.dir/core/test_version.cpp.o.d"
+  "test_version"
+  "test_version.pdb"
+  "test_version[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

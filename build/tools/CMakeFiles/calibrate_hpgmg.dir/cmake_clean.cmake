@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_hpgmg.dir/calibrate_hpgmg.cpp.o"
+  "CMakeFiles/calibrate_hpgmg.dir/calibrate_hpgmg.cpp.o.d"
+  "calibrate_hpgmg"
+  "calibrate_hpgmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_hpgmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
