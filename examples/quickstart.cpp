@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/framework/pipeline.hpp"
+#include "core/obs/trace.hpp"
 #include "core/postproc/perflog_reader.hpp"
 #include "core/util/table.hpp"
 
@@ -43,7 +44,14 @@ int main() {
   //    registry, not from the test.
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
-  Pipeline pipeline(systems, repo);
+  // Attach the observability hooks: every stage of both runs below lands
+  // in quickstart_trace.jsonl (deterministic — see `rebench trace-report`).
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  PipelineOptions options;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  Pipeline pipeline(systems, repo, options);
   PerfLog perflog;
 
   for (const char* target : {"archer2", "isambard-macs:cascadelake"}) {
@@ -68,5 +76,10 @@ int main() {
                   frame.strings("result")[i]});
   }
   std::cout << table.render();
+
+  // 4. The trace is the other durable record: spans for every pipeline
+  //    stage plus the run's metrics, ready for `rebench trace-report`.
+  tracer.writeFile("quickstart_trace.jsonl", &metrics);
+  std::cout << "trace written to quickstart_trace.jsonl\n";
   return 0;
 }

@@ -10,6 +10,7 @@
 //   rebench report --perflog perf.log --fom Triad
 //   rebench history --perflog perf.log --detect
 #include <array>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -19,7 +20,10 @@
 #include "cli/args.hpp"
 #include "core/concretizer/concretizer.hpp"
 #include "core/framework/pipeline.hpp"
+#include "core/obs/trace.hpp"
+#include "core/obs/trace_reader.hpp"
 #include "core/postproc/perflog_reader.hpp"
+#include "core/postproc/trace_report.hpp"
 #include "core/postproc/plot.hpp"
 #include "core/postproc/hygiene.hpp"
 #include "core/postproc/regression.hpp"
@@ -45,9 +49,13 @@ int usage() {
       "       [--env-file F] [--trace]       (or a user-authored env file)\n"
       "  run --benchmark B --system S     run a benchmark (babelstream |\n"
       "      [-S key=value]... [--perflog F] [--repeats N] [--account A]\n"
-      "      hpcg | hpgmg) through the pipeline\n"
+      "      [--trace DIR]                  hpcg | hpgmg) through the\n"
+      "                                     pipeline\n"
       "  suite --system S [--tag T]       run the builtin suite, ReFrame\n"
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
+      "        [--trace DIR]\n"
+      "  trace-report <file> [--tree]     per-stage timing + metrics from a\n"
+      "                                     trace JSONL (--trace output)\n"
       "  env --system S                   captured system environment\n"
       "  audit --perflog F [--strict]     Bailey/Hoefler-Belli hygiene audit\n"
       "  report --perflog F [--fom NAME]  tabulate/plot perflog contents\n"
@@ -197,12 +205,39 @@ int audit(const Args& args) {
   return findings.empty() ? 0 : 1;
 }
 
+/// Observability state for one CLI invocation; active when --trace DIR was
+/// given.  One trace.jsonl per invocation lands in DIR.
+struct TraceSession {
+  std::optional<std::string> dir;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
+  explicit TraceSession(const Args& args) : dir(args.option("trace")) {}
+  bool active() const { return dir.has_value(); }
+
+  void attach(PipelineOptions& options) {
+    if (!active()) return;
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+  }
+  void write() {
+    if (!active()) return;
+    std::filesystem::create_directories(*dir);
+    const std::string path =
+        (std::filesystem::path(*dir) / "trace.jsonl").string();
+    tracer.writeFile(path, &metrics);
+    std::cout << "trace written to " << path << "\n";
+  }
+};
+
 int runBenchmark(const Args& args) {
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
   PipelineOptions options;
   options.account = args.optionOr("account", "ec999");
   options.numRepeats = args.intOptionOr("repeats", 1);
+  TraceSession trace(args);
+  trace.attach(options);
   Pipeline pipeline(systems, repo, options);
 
   PerfLog perflog(args.optionOr("perflog", ""));
@@ -242,6 +277,7 @@ int runBenchmark(const Args& args) {
     std::cout << perflog.size() << " perflog entries appended to "
               << *args.option("perflog") << "\n";
   }
+  trace.write();
   return anyFailed ? 1 : 0;
 }
 
@@ -250,13 +286,15 @@ int runSuite(const Args& args) {
   const PackageRepository repo = builtinRepository();
   PipelineOptions options;
   options.account = args.optionOr("account", "ec999");
+  TraceSession trace(args);
+  trace.attach(options);
   Pipeline pipeline(systems, repo, options);
   PerfLog perflog(args.optionOr("perflog", ""));
 
   const TestSuite suite = builtinSuite();
   const std::vector<RegressionTest> selected =
       suite.select(args.optionOr("tag", ""), args.optionOr("n", ""),
-                   args.optionOr("x", ""));
+                   args.optionOr("x", ""), options.tracer, options.metrics);
   if (selected.empty()) {
     std::cerr << "suite: no tests match the selection\n";
     return 2;
@@ -277,7 +315,27 @@ int runSuite(const Args& args) {
   }
   std::cout << results.size() - failed << "/" << results.size()
             << " passed\n";
+  trace.write();
   return failed == 0 ? 0 : 1;
+}
+
+int traceReport(const Args& args) {
+  if (args.positionals().empty()) {
+    std::cerr << "trace-report: missing trace file\n";
+    return 2;
+  }
+  const obs::TraceFile trace =
+      obs::readTraceFile(args.positionals().front());
+  const std::vector<std::string> issues = obs::lintTrace(trace);
+  for (const std::string& issue : issues) {
+    std::cerr << "trace-report: warning: " << issue << "\n";
+  }
+  std::cout << renderStageTable(trace);
+  if (args.hasFlag("tree")) {
+    std::cout << "\n" << renderTraceTree(trace);
+  }
+  std::cout << "\n" << renderMetricsReport(trace);
+  return 0;
 }
 
 int report(const Args& args) {
@@ -429,6 +487,7 @@ int dispatch(const Args& args) {
   if (args.subcommand() == "run") return runBenchmark(args);
   if (args.subcommand() == "suite") return runSuite(args);
   if (args.subcommand() == "report") return report(args);
+  if (args.subcommand() == "trace-report") return traceReport(args);
   if (args.subcommand() == "history") return history(args);
   if (args.subcommand() == "compare") return compare(args);
   return usage();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/obs/trace.hpp"
 #include "core/util/error.hpp"
 
 namespace rebench {
@@ -34,13 +35,27 @@ class Solver {
         auto node = resolve(request, &rootCompilerPin_);
         std::const_pointer_cast<ConcreteSpec>(root)->dependencies[node->name] =
             node;
-        trace_.push_back("attached user dependency ^" + node->shortForm());
+        decide("concretizer.user_deps", "attached user dependency ^" + node->shortForm());
       }
     }
     return ConcretizationResult{root, std::move(trace_)};
   }
 
  private:
+  /// Records one concretizer decision: appended to the rendered trace
+  /// (the compatibility view on TestRunResult) and, when observability is
+  /// attached, emitted as a trace event and counted per decision kind.
+  void decide(std::string_view kindCounter, std::string line) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("concretizer.decisions").inc();
+      options_.metrics->counter(kindCounter).inc();
+    }
+    if (options_.tracer != nullptr) {
+      options_.tracer->event("concretize.decision", {{"decision", line}});
+    }
+    trace_.push_back(std::move(line));
+  }
+
   std::string resolveVirtualName(const std::string& name) const {
     if (!repo_.isVirtual(name)) return name;
     // Preference order: system preference, then (under kPreferExternal)
@@ -119,8 +134,9 @@ class Solver {
       node->externalOrigin = ext->origin;
       node->compilerName = ext->compilerName;
       node->compilerVersion = ext->compilerVersion;
-      trace_.push_back("reused external " + node->shortForm() + " (" +
-                       ext->origin + ")");
+      decide("concretizer.externals_reused", "reused external " +
+                                                 node->shortForm() + " (" +
+                                                 ext->origin + ")");
       return node;
     }
     return nullptr;
@@ -130,8 +146,8 @@ class Solver {
       const Spec& request, const CompilerSpec* inheritedCompiler) {
     const std::string name = resolveVirtualName(request.name());
     if (name != request.name()) {
-      trace_.push_back("virtual '" + request.name() + "' -> provider '" +
-                       name + "'");
+      decide("concretizer.virtual_resolutions",
+             "virtual '" + request.name() + "' -> provider '" + name + "'");
     }
 
     Spec effective = request;
@@ -215,7 +231,7 @@ class Solver {
         }
       }
 
-      trace_.push_back("build " + node->shortForm());
+      decide("concretizer.builds", "build " + node->shortForm());
 
       // Register before descending so children unify with this node.
       resolved_[name] = node;

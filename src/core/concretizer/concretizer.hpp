@@ -23,6 +23,11 @@
 
 namespace rebench {
 
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace obs
+
 enum class ReusePolicy {
   kPreferExternal,  // Spack default on the paper's systems
   kPreferNewest,    // always build the newest satisfying version
@@ -30,6 +35,11 @@ enum class ReusePolicy {
 
 struct ConcretizerOptions {
   ReusePolicy reuse = ReusePolicy::kPreferExternal;
+  /// Optional observability hooks (both nullable): every decision is
+  /// emitted as a `concretize.decision` trace event and counted per kind
+  /// in the registry, in addition to the rendered trace below.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ConcretizationResult {

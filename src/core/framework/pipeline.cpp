@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <regex>
 
+#include "core/obs/trace.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 #include "sim/machine.hpp"
@@ -23,21 +24,52 @@ std::string Pipeline::nextTimestamp() {
 TestRunResult Pipeline::runOne(const RegressionTest& test,
                                std::string_view target, PerfLog* perflog,
                                int repeatIndex) {
-  TestRunResult result = runOnce(test, target, perflog, repeatIndex);
+  obs::ScopedSpan root(options_.tracer, "test_run");
+  root.attr("test", test.name);
+  root.attr("target", target);
+  root.attr("repeat", std::to_string(repeatIndex));
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("pipeline.runs").inc();
+  }
+
+  TestRunResult result = runOnce(test, target, perflog, repeatIndex, 1);
   int attempts = 1;
   while (!result.passed && attempts <= options_.maxRetries &&
          (result.failureStage == "run" || result.failureStage == "sanity" ||
           result.failureStage == "performance")) {
-    result = runOnce(test, target, perflog, repeatIndex);
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("pipeline.retries").inc();
+    }
+    result = runOnce(test, target, perflog, repeatIndex, attempts + 1);
     ++attempts;
   }
   result.attempts = attempts;
+
+  root.attr("attempts", std::to_string(attempts));
+  root.attr("outcome", result.passed ? "pass" : "fail");
+  if (!result.passed) {
+    root.attr("failure_stage", result.failureStage);
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("pipeline.failures").inc();
+    }
+  }
   return result;
 }
 
 TestRunResult Pipeline::runOnce(const RegressionTest& test,
                                 std::string_view target, PerfLog* perflog,
-                                int repeatIndex) {
+                                int repeatIndex, int attempt) {
+  obs::Tracer* tracer = options_.tracer;
+  obs::MetricsRegistry* metrics = options_.metrics;
+  auto stageHistogram = [metrics](std::string_view stage) -> obs::Histogram* {
+    if (metrics == nullptr) return nullptr;
+    return &metrics->histogram("pipeline.stage_seconds/" + std::string(stage),
+                               obs::stageSecondsBounds());
+  };
+
+  obs::ScopedSpan attemptSpan(tracer, "attempt");
+  attemptSpan.attr("attempt", std::to_string(attempt));
+
   TestRunResult result;
   result.testName = test.name;
 
@@ -45,23 +77,38 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   result.system = system->name;
   result.partition = partition->name;
 
-  auto fail = [&result](std::string stage, std::string detail) {
+  auto fail = [&result, &attemptSpan](std::string stage, std::string detail) {
+    attemptSpan.attr("result", "fail");
+    attemptSpan.attr("failure_stage", stage);
     result.failureStage = std::move(stage);
     result.failureDetail = std::move(detail);
     result.passed = false;
     return result;
   };
+  auto appendPerflog = [this, perflog, metrics](const PerfLogEntry& entry) {
+    perflog->append(entry);
+    if (metrics != nullptr) {
+      metrics->counter("pipeline.perflog_lines").inc();
+    }
+  };
 
   // --- Stage 1: concretize (Principle 4) -------------------------------
   std::shared_ptr<const ConcreteSpec> concrete;
-  try {
-    const Spec abstract = Spec::parse(test.spackSpec);
-    Concretizer concretizer(repo_, system->environment, {options_.reuse});
-    ConcretizationResult cres = concretizer.concretize(abstract);
-    concrete = cres.root;
-    result.concretizationTrace = std::move(cres.trace);
-  } catch (const Error& e) {
-    return fail("concretize", e.what());
+  {
+    obs::ScopedSpan span(tracer, "concretize", stageHistogram("concretize"));
+    try {
+      const Spec abstract = Spec::parse(test.spackSpec);
+      Concretizer concretizer(repo_, system->environment,
+                              {options_.reuse, tracer, metrics});
+      ConcretizationResult cres = concretizer.concretize(abstract);
+      concrete = cres.root;
+      result.concretizationTrace = std::move(cres.trace);
+      span.attr("decisions",
+                std::to_string(result.concretizationTrace.size()));
+    } catch (const Error& e) {
+      span.attr("result", "error");
+      return fail("concretize", e.what());
+    }
   }
   result.concreteSpec = concrete;
   result.environ = concrete->compilerName.empty()
@@ -71,8 +118,16 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
 
   // --- Stage 2: build (Principles 2 & 3) --------------------------------
   const BuildPlan plan = makeBuildPlan(*concrete);
-  result.build = builder_.build(plan);
-  result.simulatedPipelineSeconds += result.build.buildSeconds;
+  {
+    obs::ScopedSpan span(tracer, "build", stageHistogram("build"));
+    result.build = builder_.build(plan);
+    result.simulatedPipelineSeconds += result.build.buildSeconds;
+    // Simulated build time flows into the trace clock so the span is as
+    // long as the build it records.
+    if (tracer != nullptr) tracer->clock().advance(result.build.buildSeconds);
+    span.attr("binary_id", result.build.binaryId.substr(0, 16));
+    span.attr("steps", std::to_string(plan.steps.size()));
+  }
 
   // --- Stage 3: run through the scheduler (Principle 5) ------------------
   ClusterOptions cluster;
@@ -81,6 +136,10 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   cluster.requireAccount = partition->requiresAccount;
   cluster.validQos = {"standard"};
   SchedulerSim scheduler(cluster);
+  // The scheduler's own timeline starts at zero; anchor its trace events
+  // at the current trace time.
+  const double schedBase = tracer != nullptr ? tracer->clock().peek() : 0.0;
+  scheduler.setObservability(tracer, metrics, schedBase);
 
   int cpusPerTask = test.numCpusPerTask;
   if (test.useAllCoresPerTask) {
@@ -114,25 +173,41 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   };
 
   JobId jobId = 0;
-  try {
-    jobId = scheduler.submit(request);
-  } catch (const SchedulerError& e) {
-    return fail("submit", e.what());
+  {
+    obs::ScopedSpan span(tracer, "submit", stageHistogram("submit"));
+    try {
+      jobId = scheduler.submit(request);
+    } catch (const SchedulerError& e) {
+      span.attr("result", "error");
+      return fail("submit", e.what());
+    }
+    span.attr("job", std::to_string(jobId));
   }
-  scheduler.drain();
-  const JobInfo& job = scheduler.query(jobId);
-  result.jobId = jobId;
-  result.jobState = job.state;
-  result.stdoutText = output.stdoutText;
-  result.simulatedPipelineSeconds += job.endTime - job.submitTime;
+
+  const JobInfo* job = nullptr;
+  {
+    obs::ScopedSpan span(tracer, "run", stageHistogram("run"));
+    scheduler.drain();
+    job = &scheduler.query(jobId);
+    // Queue wait + execution happened on the scheduler's simulated
+    // timeline; move the trace clock to the job's end.
+    if (tracer != nullptr) {
+      tracer->clock().advanceTo(schedBase + job->endTime);
+    }
+    span.attr("job_state", std::string(jobStateName(job->state)));
+    result.jobId = jobId;
+    result.jobState = job->state;
+    result.stdoutText = output.stdoutText;
+    result.simulatedPipelineSeconds += job->endTime - job->submitTime;
+  }
   result.launchCommand = renderLaunchCommand(
-      partition->launcher, job.allocation, test.name, test.executableOpts);
+      partition->launcher, job->allocation, test.name, test.executableOpts);
   {
     JobScriptRequest script;
     script.jobName = test.name;
-    script.numTasks = job.allocation.numTasks;
-    script.tasksPerNode = job.allocation.tasksPerNode;
-    script.cpusPerTask = job.allocation.cpusPerTask;
+    script.numTasks = job->allocation.numTasks;
+    script.tasksPerNode = job->allocation.tasksPerNode;
+    script.cpusPerTask = job->allocation.cpusPerTask;
     script.timeLimitSeconds = test.timeLimit;
     script.account = request.account;
     for (const BuildStep& step : plan.steps) {
@@ -145,64 +220,86 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     result.jobScript = renderJobScript(*partition, script);
   }
 
+  // Shared provenance for every perflog record of this attempt.
+  auto provenancedEntry = [&]() {
+    PerfLogEntry entry;
+    entry.timestamp = nextTimestamp();
+    entry.system = result.system;
+    entry.partition = result.partition;
+    entry.environ = result.environ;
+    entry.testName = test.name;
+    entry.spec = concrete->shortForm();
+    entry.specHash = concrete->dagHash();
+    entry.binaryId = result.build.binaryId;
+    entry.jobId = std::to_string(jobId);
+    entry.extras["attempt"] = std::to_string(attempt);
+    return entry;
+  };
+  // Failed attempts are data, not gaps: the failure stage, reason and
+  // attempt number all land in the perflog so retries are auditable.
+  auto logFailure = [&](const std::string& stage, const std::string& detail) {
+    if (perflog == nullptr) return;
+    PerfLogEntry entry = provenancedEntry();
+    entry.fomName = stage;
+    entry.value = 0.0;
+    entry.unit = Unit::kNone;
+    entry.result = "error";
+    entry.extras["error"] = detail;
+    appendPerflog(entry);
+  };
+
   // --- Telemetry capture (paper §4 future work) ---------------------------
   if (options_.captureTelemetry && !partition->machineModel.empty() &&
-      job.startTime >= 0.0) {
+      job->startTime >= 0.0) {
+    obs::ScopedSpan span(tracer, "telemetry", stageHistogram("telemetry"));
     const MachineModel& machine =
         builtinMachines().get(partition->machineModel);
     WorkloadProfile profile;
     profile.cpuIntensity =
-        std::min(1.0, static_cast<double>(job.allocation.tasksPerNode *
-                                          job.allocation.cpusPerTask) /
+        std::min(1.0, static_cast<double>(job->allocation.tasksPerNode *
+                                          job->allocation.cpusPerTask) /
                           partition->processor.totalCores());
     profile.memoryIntensity = 0.85;  // the suite is bandwidth-dominated
-    profile.networkMBs = 20.0 * job.allocation.numTasks;
-    const double duration = std::max(job.endTime - job.startTime, 1.0);
+    profile.networkMBs = 20.0 * job->allocation.numTasks;
+    const double duration = std::max(job->endTime - job->startTime, 1.0);
     result.telemetry = sampleTelemetry(
         machine, profile, duration,
         result.testName + ":" + result.system + ":" + result.partition,
         {.intervalSeconds = std::max(duration / 64.0, 0.25)});
     result.contentionFlags = contendedSamples(result.telemetry);
+    span.attr("samples", std::to_string(result.telemetry.samples.size()));
+    span.attr("contended", std::to_string(result.contentionFlags.size()));
   }
 
-  if (job.state != JobState::kCompleted) {
+  if (job->state != JobState::kCompleted) {
     const std::string detail = output.launchFailed
                                    ? output.failureReason
-                                   : std::string(jobStateName(job.state));
+                                   : std::string(jobStateName(job->state));
     // Record the failure in the perflog too: failed combinations are data
     // (the white "*" boxes of Figure 2), not gaps.
-    if (perflog != nullptr) {
-      PerfLogEntry entry;
-      entry.timestamp = nextTimestamp();
-      entry.system = result.system;
-      entry.partition = result.partition;
-      entry.environ = result.environ;
-      entry.testName = test.name;
-      entry.spec = concrete->shortForm();
-      entry.specHash = concrete->dagHash();
-      entry.binaryId = result.build.binaryId;
-      entry.jobId = std::to_string(jobId);
-      entry.fomName = "run";
-      entry.value = 0.0;
-      entry.unit = Unit::kNone;
-      entry.result = "error";
-      entry.extras["error"] = detail;
-      perflog->append(entry);
-    }
+    logFailure("run", detail);
     return fail("run", detail);
   }
 
   // --- Stage 4: sanity ----------------------------------------------------
-  if (!test.sanityPattern.empty()) {
-    const std::regex sanity(test.sanityPattern);
-    if (!std::regex_search(result.stdoutText, sanity)) {
-      return fail("sanity", "pattern '" + test.sanityPattern +
-                                "' not found in output");
+  {
+    obs::ScopedSpan span(tracer, "sanity", stageHistogram("sanity"));
+    if (!test.sanityPattern.empty()) {
+      const std::regex sanity(test.sanityPattern);
+      if (!std::regex_search(result.stdoutText, sanity)) {
+        span.attr("result", "fail");
+        const std::string detail =
+            "pattern '" + test.sanityPattern + "' not found in output";
+        logFailure("sanity", detail);
+        return fail("sanity", detail);
+      }
     }
+    result.sanityPassed = true;
   }
-  result.sanityPassed = true;
 
   // --- Stage 5: performance (Principle 1/6) -------------------------------
+  obs::ScopedSpan perfSpan(tracer, "performance",
+                           stageHistogram("performance"));
   const std::string targetKey = result.system + ":" + result.partition;
   bool allWithinReference = true;
   for (const PerfPattern& pattern : test.perfPatterns) {
@@ -210,17 +307,22 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     std::smatch match;
     if (!std::regex_search(result.stdoutText, match, re) ||
         match.size() < 2) {
-      return fail("performance", "FOM '" + pattern.fomName +
-                                     "' not found via /" + pattern.pattern +
-                                     "/");
+      perfSpan.attr("result", "fail");
+      const std::string detail = "FOM '" + pattern.fomName +
+                                 "' not found via /" + pattern.pattern + "/";
+      logFailure("performance", detail);
+      return fail("performance", detail);
     }
     double value = 0.0;
     try {
       value = std::stod(match[1].str());
     } catch (const std::exception&) {
-      return fail("performance",
-                  "FOM '" + pattern.fomName + "' captured non-numeric '" +
-                      match[1].str() + "'");
+      perfSpan.attr("result", "fail");
+      const std::string detail = "FOM '" + pattern.fomName +
+                                 "' captured non-numeric '" +
+                                 match[1].str() + "'";
+      logFailure("performance", detail);
+      return fail("performance", detail);
     }
     result.foms[pattern.fomName] = value;
 
@@ -242,16 +344,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     result.fomWithinReference[pattern.fomName] = within;
 
     if (perflog != nullptr) {
-      PerfLogEntry entry;
-      entry.timestamp = nextTimestamp();
-      entry.system = result.system;
-      entry.partition = result.partition;
-      entry.environ = result.environ;
-      entry.testName = test.name;
-      entry.spec = concrete->shortForm();
-      entry.specHash = concrete->dagHash();
-      entry.binaryId = result.build.binaryId;
-      entry.jobId = std::to_string(jobId);
+      PerfLogEntry entry = provenancedEntry();
       entry.fomName = pattern.fomName;
       entry.value = value;
       entry.unit = pattern.unit;
@@ -271,14 +364,20 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
         entry.extras["contended_samples"] =
             std::to_string(result.contentionFlags.size());
       }
-      perflog->append(entry);
+      appendPerflog(entry);
     }
   }
+  perfSpan.attr("foms", std::to_string(result.foms.size()));
+  perfSpan.end();
 
   result.passed = allWithinReference;
   if (!allWithinReference) {
     result.failureStage = "reference";
     result.failureDetail = "one or more FOMs outside reference bounds";
+    attemptSpan.attr("result", "fail");
+    attemptSpan.attr("failure_stage", result.failureStage);
+  } else {
+    attemptSpan.attr("result", "pass");
   }
   return result;
 }

@@ -23,6 +23,11 @@
 
 namespace rebench {
 
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace obs
+
 struct PipelineOptions {
   /// Principle 3; disabling reuses cached binaries (ablation only).
   bool rebuildEveryRun = true;
@@ -39,6 +44,14 @@ struct PipelineOptions {
   /// this many extra times, ReFrame's --max-retries.  Concretization and
   /// submission errors are configuration bugs and never retried.
   int maxRetries = 0;
+  /// Optional observability hooks (rebench::obs, both nullable, not
+  /// owned).  With a tracer attached, every runOne emits one `test_run`
+  /// root span with `attempt` children wrapping the
+  /// concretize/build/submit/run/sanity/performance/telemetry stage
+  /// spans; the tracer's clock is advanced by simulated build/queue/run
+  /// seconds so traces of modelled runs are deterministic.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything that happened for one (test, system:partition) execution.
@@ -99,8 +112,10 @@ class Pipeline {
   std::string nextTimestamp();
 
  private:
+  /// `attempt` is 1-based (1 + retries consumed so far); recorded on the
+  /// attempt span and as an `attempt` perflog extra.
   TestRunResult runOnce(const RegressionTest& test, std::string_view target,
-                        PerfLog* perflog, int repeatIndex);
+                        PerfLog* perflog, int repeatIndex, int attempt);
 
   const SystemRegistry& systems_;
   const PackageRepository& repo_;

@@ -1,5 +1,6 @@
 #include "core/framework/suite.hpp"
 
+#include "core/obs/trace.hpp"
 #include "core/util/strings.hpp"
 
 namespace rebench {
@@ -10,24 +11,35 @@ void TestSuite::add(RegressionTest test, std::vector<std::string> tags) {
 
 std::vector<RegressionTest> TestSuite::select(
     std::string_view tag, std::string_view namePattern,
-    std::string_view excludePattern) const {
+    std::string_view excludePattern, obs::Tracer* tracer,
+    obs::MetricsRegistry* metrics) const {
+  obs::ScopedSpan span(tracer, "suite.select");
+  span.attr("tag", tag);
+  span.attr("name_pattern", namePattern);
+  span.attr("exclude_pattern", excludePattern);
+
   std::vector<RegressionTest> out;
   for (const TaggedTest& entry : tests_) {
+    bool keep = true;
     if (!tag.empty()) {
       bool tagged = false;
       for (const std::string& t : entry.tags) tagged |= t == tag;
-      if (!tagged) continue;
+      keep = tagged;
     }
-    if (!namePattern.empty() &&
+    if (keep && !namePattern.empty() &&
         !str::contains(entry.test.name, namePattern)) {
-      continue;
+      keep = false;
     }
-    if (!excludePattern.empty() &&
+    if (keep && !excludePattern.empty() &&
         str::contains(entry.test.name, excludePattern)) {
-      continue;
+      keep = false;
     }
-    out.push_back(entry.test);
+    if (metrics != nullptr) {
+      metrics->counter(keep ? "suite.selected" : "suite.filtered_out").inc();
+    }
+    if (keep) out.push_back(entry.test);
   }
+  span.attr("selected", std::to_string(out.size()));
   return out;
 }
 

@@ -10,6 +10,11 @@
 
 namespace rebench {
 
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace obs
+
 struct TaggedTest {
   RegressionTest test;
   std::vector<std::string> tags;
@@ -24,10 +29,14 @@ class TestSuite {
 
   /// ReFrame-style selection: keep tests carrying `tag` (empty = all),
   /// whose name contains `namePattern` (-n), and whose name does not
-  /// contain `excludePattern` (-x).
+  /// contain `excludePattern` (-x).  When observability hooks are passed
+  /// (both nullable) the selection is wrapped in a `suite.select` span and
+  /// kept/filtered counts land in the registry.
   std::vector<RegressionTest> select(std::string_view tag = {},
                                      std::string_view namePattern = {},
-                                     std::string_view excludePattern = {}) const;
+                                     std::string_view excludePattern = {},
+                                     obs::Tracer* tracer = nullptr,
+                                     obs::MetricsRegistry* metrics = nullptr) const;
 
   std::vector<std::string> testNames() const;
 

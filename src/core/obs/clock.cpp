@@ -1,0 +1,21 @@
+#include "core/obs/clock.hpp"
+
+#include <chrono>
+
+namespace rebench::obs {
+
+namespace {
+
+double steadySeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallClock::WallClock() : epoch_(steadySeconds()) {}
+
+double WallClock::elapsed() const { return steadySeconds() - epoch_; }
+
+}  // namespace rebench::obs

@@ -1,0 +1,91 @@
+// Trace clocks (rebench::obs).
+//
+// Observability must itself be a reproducibility artefact: a trace of a
+// simulated pipeline run has to be byte-identical across repeats.  The
+// tracer therefore reads time through this interface and never touches
+// host clocks in simulated mode.
+//
+//   * SimClock — a deterministic logical clock.  Coarse simulated seconds
+//     are fed in explicitly (build seconds, scheduler queue/run times) via
+//     advance()/advanceTo(); every reading additionally consumes one fixed
+//     micro-tick so that causally-ordered observations get strictly
+//     increasing, reproducible timestamps even when no simulated time
+//     passes between them.
+//   * WallClock — host steady-clock seconds since construction, for native
+//     runs where real durations are the observation of interest.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+namespace rebench::obs {
+
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+
+  /// Returns the current time in seconds and, for logical clocks,
+  /// consumes one micro-tick so consecutive readings differ.
+  virtual double now() = 0;
+
+  /// Current time without side effects.
+  virtual double peek() const = 0;
+
+  /// Adds `seconds` of simulated time (no-op on wall clocks — real time
+  /// flows on its own).
+  virtual void advance(double seconds) = 0;
+
+  /// Moves the clock forward to at least `seconds`; never backwards.
+  virtual void advanceTo(double seconds) = 0;
+
+  /// True when repeated identical runs read identical timestamps.
+  virtual bool deterministic() const = 0;
+
+  /// "sim" or "wall"; recorded in the trace meta line.
+  virtual std::string_view kind() const = 0;
+};
+
+/// Deterministic simulated clock (see file comment).
+class SimClock final : public TraceClock {
+ public:
+  /// `tickSeconds` is the per-reading micro-tick (default 1 microsecond,
+  /// the resolution traces are serialized at).
+  explicit SimClock(double tickSeconds = 1e-6) : tick_(tickSeconds) {}
+
+  double now() override {
+    now_ += tick_;
+    return now_;
+  }
+  double peek() const override { return now_; }
+  void advance(double seconds) override {
+    if (seconds > 0.0) now_ += seconds;
+  }
+  void advanceTo(double seconds) override {
+    if (seconds > now_) now_ = seconds;
+  }
+  bool deterministic() const override { return true; }
+  std::string_view kind() const override { return "sim"; }
+
+ private:
+  double now_ = 0.0;
+  double tick_;
+};
+
+/// Host steady-clock seconds since construction (native runs).
+class WallClock final : public TraceClock {
+ public:
+  WallClock();
+
+  double now() override { return elapsed(); }
+  double peek() const override { return elapsed(); }
+  void advance(double) override {}
+  void advanceTo(double) override {}
+  bool deterministic() const override { return false; }
+  std::string_view kind() const override { return "wall"; }
+
+ private:
+  double elapsed() const;
+  double epoch_;  // steady-clock seconds at construction
+};
+
+}  // namespace rebench::obs

@@ -1,0 +1,53 @@
+#include "core/obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/util/error.hpp"
+
+namespace rebench::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  REBENCH_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::size_t Histogram::bucketFor(double value) const {
+  // First bucket whose inclusive upper bound admits the value.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double value) {
+  ++counts_[bucketFor(value)];
+  ++count_;
+  sum_ += value;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return counters_[std::string(name)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return gauges_[std::string(name)];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      Histogram({bounds.begin(), bounds.end()}))
+             .first;
+  }
+  return it->second;
+}
+
+std::span<const double> stageSecondsBounds() {
+  static constexpr std::array<double, 9> kBounds{
+      0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0};
+  return kBounds;
+}
+
+}  // namespace rebench::obs

@@ -1,0 +1,108 @@
+// Metrics registry (rebench::obs).
+//
+// Counters, gauges and fixed-boundary histograms for the pipeline's
+// internals: stage durations, concretizer decisions, scheduler queue
+// depths and wait times, retry counts, perflog lines written.  All state
+// is plain deterministic arithmetic — a metrics dump from a simulated run
+// is as reproducible as the run itself.
+//
+// Instruments are owned by the registry and handed out by reference;
+// handles stay valid for the registry's lifetime (node-based map storage).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rebench::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time level (queue depth, idle cores); tracks its maximum.
+class Gauge {
+ public:
+  void set(double value) {
+    value_ = value;
+    if (!seen_ || value > max_) max_ = value;
+    seen_ = true;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Fixed-boundary histogram.  `bounds` are inclusive upper bounds of the
+/// first N buckets (Prometheus "le" semantics); one overflow bucket is
+/// implicit, so counts().size() == bounds().size() + 1.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Index of the bucket `value` falls into.
+  std::size_t bucketFor(double value) const;
+
+ private:
+  std::vector<double> bounds_;         // sorted ascending
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 buckets
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Names instruments and owns them.  Iteration order is lexicographic, so
+/// serialized dumps are stable.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies on first creation; later lookups reuse the existing
+  /// instrument (and ignore the boundaries argument).
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Bucket boundaries used for pipeline stage durations and scheduler wait
+/// times (seconds).
+std::span<const double> stageSecondsBounds();
+
+}  // namespace rebench::obs

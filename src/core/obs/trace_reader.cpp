@@ -1,0 +1,167 @@
+#include "core/obs/trace_reader.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/obs/json.hpp"
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench::obs {
+
+namespace {
+
+AttrMap readAttrs(const json::Value& record) {
+  AttrMap attrs;
+  if (!record.contains("attrs")) return attrs;
+  const json::Value& object = record.at("attrs");
+  if (!object.isObject()) throw ParseError("trace: 'attrs' is not an object");
+  for (const auto& [key, value] : object.object) {
+    if (!value.isString()) {
+      throw ParseError("trace: attribute '" + key + "' is not a string");
+    }
+    attrs[key] = value.text;
+  }
+  return attrs;
+}
+
+}  // namespace
+
+TraceFile parseTraceJsonl(const std::string& text) {
+  TraceFile trace;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (str::trim(line).empty()) continue;
+    json::Value record;
+    try {
+      record = json::parse(line);
+    } catch (const ParseError& e) {
+      throw ParseError("trace line " + std::to_string(lineNo) + ": " +
+                       e.what());
+    }
+    if (!record.isObject()) {
+      throw ParseError("trace line " + std::to_string(lineNo) +
+                       ": not a JSON object");
+    }
+    const std::string kind = record.stringOr("kind", "");
+    if (kind == "meta") {
+      trace.schema = record.stringOr("schema", "");
+      trace.clockKind = record.stringOr("clock", "");
+    } else if (kind == "span") {
+      SpanRecord span;
+      span.id = record.at("id").text;
+      span.parent = record.stringOr("parent", "");
+      span.name = record.at("name").text;
+      span.start = record.at("start").number;
+      span.end = record.at("end").number;
+      span.attrs = readAttrs(record);
+      trace.timeline.push_back({"span", span.end});
+      trace.spans.push_back(std::move(span));
+    } else if (kind == "event") {
+      EventRecord event;
+      event.span = record.stringOr("span", "");
+      event.name = record.at("name").text;
+      event.time = record.at("time").number;
+      event.attrs = readAttrs(record);
+      trace.timeline.push_back({"event", event.time});
+      trace.events.push_back(std::move(event));
+    } else if (kind == "counter") {
+      trace.counters[record.at("name").text] =
+          static_cast<std::uint64_t>(record.at("value").number);
+    } else if (kind == "gauge") {
+      trace.gauges[record.at("name").text] = {record.at("value").number,
+                                              record.numberOr("max", 0.0)};
+    } else if (kind == "histogram") {
+      TraceFile::HistogramDump dump;
+      for (const json::Value& bound : record.at("bounds").array) {
+        dump.bounds.push_back(bound.number);
+      }
+      for (const json::Value& count : record.at("counts").array) {
+        dump.counts.push_back(static_cast<std::uint64_t>(count.number));
+      }
+      dump.count = static_cast<std::uint64_t>(record.at("count").number);
+      dump.sum = record.at("sum").number;
+      trace.histograms[record.at("name").text] = std::move(dump);
+    } else {
+      throw ParseError("trace line " + std::to_string(lineNo) +
+                       ": unknown record kind '" + kind + "'");
+    }
+  }
+  return trace;
+}
+
+TraceFile readTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read trace file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseTraceJsonl(text.str());
+}
+
+std::vector<std::string> lintTrace(const TraceFile& trace) {
+  std::vector<std::string> issues;
+
+  if (trace.schema != kTraceSchema) {
+    issues.push_back("unknown or missing schema '" + trace.schema +
+                     "' (expected '" + std::string(kTraceSchema) + "')");
+  }
+  if (trace.clockKind != "sim" && trace.clockKind != "wall") {
+    issues.push_back("meta line missing a valid clock kind");
+  }
+
+  std::set<std::string> ids;
+  for (const SpanRecord& span : trace.spans) {
+    if (!ids.insert(span.id).second) {
+      issues.push_back("duplicate span id '" + span.id + "'");
+    }
+  }
+  std::map<std::string, const SpanRecord*> byId;
+  for (const SpanRecord& span : trace.spans) byId[span.id] = &span;
+
+  for (const SpanRecord& span : trace.spans) {
+    if (span.end < span.start) {
+      issues.push_back("span '" + span.id + "' (" + span.name +
+                       ") ends before it starts");
+    }
+    if (span.parent.empty()) continue;
+    auto it = byId.find(span.parent);
+    if (it == byId.end()) {
+      issues.push_back("span '" + span.id + "' (" + span.name +
+                       ") has unknown parent '" + span.parent + "'");
+      continue;
+    }
+    const SpanRecord& parent = *it->second;
+    if (span.start < parent.start || span.end > parent.end) {
+      issues.push_back("span '" + span.id + "' (" + span.name +
+                       ") is not nested inside its parent '" + span.parent +
+                       "'");
+    }
+  }
+
+  for (const EventRecord& event : trace.events) {
+    if (!event.span.empty() && byId.find(event.span) == byId.end()) {
+      issues.push_back("event '" + event.name + "' references unknown span '" +
+                       event.span + "'");
+    }
+  }
+
+  double previous = 0.0;
+  bool first = true;
+  for (const TraceFile::TimelineEntry& entry : trace.timeline) {
+    if (!first && entry.time < previous) {
+      issues.push_back("non-monotone timestamps: " + entry.kind + " at " +
+                       str::fixed(entry.time, 6) + " after " +
+                       str::fixed(previous, 6));
+    }
+    previous = entry.time;
+    first = false;
+  }
+
+  return issues;
+}
+
+}  // namespace rebench::obs

@@ -1,0 +1,170 @@
+#include "core/postproc/trace_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/util/strings.hpp"
+#include "core/util/table.hpp"
+
+namespace rebench {
+
+DataFrame traceToDataFrame(const obs::TraceFile& trace) {
+  DataFrame::StringColumn ids, parents, names;
+  DataFrame::NumericColumn starts, ends, durations;
+  for (const obs::SpanRecord& span : trace.spans) {
+    ids.push_back(span.id);
+    parents.push_back(span.parent);
+    names.push_back(span.name);
+    starts.push_back(span.start);
+    ends.push_back(span.end);
+    durations.push_back(span.duration());
+  }
+  DataFrame frame;
+  frame.addStrings("id", std::move(ids));
+  frame.addStrings("parent", std::move(parents));
+  frame.addStrings("name", std::move(names));
+  frame.addNumeric("start", std::move(starts));
+  frame.addNumeric("end", std::move(ends));
+  frame.addNumeric("duration", std::move(durations));
+  return frame;
+}
+
+std::string renderStageTable(const obs::TraceFile& trace) {
+  struct StageStats {
+    std::size_t count = 0;
+    double total = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::vector<std::string> order;  // first-appearance order
+  std::map<std::string, StageStats> stats;
+  const DataFrame frame = traceToDataFrame(trace);
+  if (!frame.empty()) {
+    const auto& names = frame.strings("name");
+    const auto& durations = frame.numeric("duration");
+    for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+      auto [it, inserted] = stats.try_emplace(names[i]);
+      if (inserted) {
+        order.push_back(names[i]);
+        it->second.min = durations[i];
+        it->second.max = durations[i];
+      }
+      StageStats& s = it->second;
+      ++s.count;
+      s.total += durations[i];
+      s.min = std::min(s.min, durations[i]);
+      s.max = std::max(s.max, durations[i]);
+    }
+  }
+
+  AsciiTable table("per-stage timing:");
+  table.setHeader({"stage", "spans", "total s", "mean s", "min s", "max s"});
+  for (const std::string& name : order) {
+    const StageStats& s = stats.at(name);
+    table.addRow({name, std::to_string(s.count), str::fixed(s.total, 6),
+                  str::fixed(s.total / static_cast<double>(s.count), 6),
+                  str::fixed(s.min, 6), str::fixed(s.max, 6)});
+  }
+  return table.render();
+}
+
+namespace {
+
+void renderSpanSubtree(
+    const obs::TraceFile& trace,
+    const std::map<std::string, std::vector<std::size_t>>& children,
+    std::size_t index, int depth, double rootDuration, std::string& out) {
+  constexpr int kBarWidth = 24;
+  const obs::SpanRecord& span = trace.spans[index];
+  const double fraction =
+      rootDuration > 0.0
+          ? std::clamp(span.duration() / rootDuration, 0.0, 1.0)
+          : 0.0;
+  const int bar = static_cast<int>(std::lround(fraction * kBarWidth));
+  std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+  label += span.name;
+  out += str::padRight(label, 32);
+  out += str::padLeft(str::fixed(span.duration(), 6), 12) + " s  |";
+  out += std::string(static_cast<std::size_t>(bar), '#');
+  out += std::string(static_cast<std::size_t>(kBarWidth - bar), ' ');
+  out += "|  " + span.id + "\n";
+  if (auto it = children.find(span.id); it != children.end()) {
+    for (std::size_t child : it->second) {
+      renderSpanSubtree(trace, children, child, depth + 1, rootDuration, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string renderTraceTree(const obs::TraceFile& trace) {
+  // Index spans by parent, children ordered by start time.
+  std::map<std::string, std::vector<std::size_t>> children;
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const obs::SpanRecord& span = trace.spans[i];
+    if (span.parent.empty()) {
+      roots.push_back(i);
+    } else {
+      children[span.parent].push_back(i);
+    }
+  }
+  auto byStart = [&trace](std::size_t a, std::size_t b) {
+    return trace.spans[a].start < trace.spans[b].start;
+  };
+  std::sort(roots.begin(), roots.end(), byStart);
+  for (auto& [parent, kids] : children) std::sort(kids.begin(), kids.end(), byStart);
+
+  std::string out = "span tree:\n";
+  for (std::size_t root : roots) {
+    renderSpanSubtree(trace, children, root, 0,
+                      trace.spans[root].duration(), out);
+  }
+  return out;
+}
+
+std::string renderMetricsReport(const obs::TraceFile& trace) {
+  std::string out;
+  if (!trace.counters.empty()) {
+    AsciiTable table("counters:");
+    table.setHeader({"name", "value"});
+    for (const auto& [name, value] : trace.counters) {
+      table.addRow({name, std::to_string(value)});
+    }
+    out += table.render();
+  }
+  if (!trace.gauges.empty()) {
+    AsciiTable table("gauges:");
+    table.setHeader({"name", "value", "max"});
+    for (const auto& [name, gauge] : trace.gauges) {
+      table.addRow({name, str::fixed(gauge.value, 2),
+                    str::fixed(gauge.max, 2)});
+    }
+    out += table.render();
+  }
+  if (!trace.histograms.empty()) {
+    AsciiTable table("histograms:");
+    table.setHeader({"name", "count", "sum", "mean", "buckets"});
+    for (const auto& [name, hist] : trace.histograms) {
+      std::string buckets;
+      for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+        if (hist.counts[i] == 0) continue;
+        if (!buckets.empty()) buckets += " ";
+        buckets += (i < hist.bounds.size()
+                        ? "le" + str::fixed(hist.bounds[i], 3)
+                        : std::string("inf")) +
+                   ":" + std::to_string(hist.counts[i]);
+      }
+      const double mean =
+          hist.count == 0 ? 0.0 : hist.sum / static_cast<double>(hist.count);
+      table.addRow({name, std::to_string(hist.count),
+                    str::fixed(hist.sum, 4), str::fixed(mean, 4), buckets});
+    }
+    out += table.render();
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+}  // namespace rebench

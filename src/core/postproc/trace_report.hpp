@@ -1,0 +1,28 @@
+// Trace post-processing: DataFrame assimilation and ASCII rendering of
+// rebench::obs traces — per-stage timing tables, a flame-style span tree,
+// and the metrics dump.  Fronts `rebench trace-report`.
+#pragma once
+
+#include <string>
+
+#include "core/obs/trace_reader.hpp"
+#include "core/postproc/dataframe.hpp"
+
+namespace rebench {
+
+/// One row per span: id/parent/name (string), start/end/duration
+/// (numeric, seconds) — programmatic assimilation of a trace (P6).
+DataFrame traceToDataFrame(const obs::TraceFile& trace);
+
+/// Per-stage timing table aggregated over spans sharing a name, in order
+/// of first appearance: count, total/mean/min/max seconds.
+std::string renderStageTable(const obs::TraceFile& trace);
+
+/// ASCII flame view: the span tree indented by depth, with a duration bar
+/// scaled to each root span.
+std::string renderTraceTree(const obs::TraceFile& trace);
+
+/// Counters, gauges and histograms recorded in the trace.
+std::string renderMetricsReport(const obs::TraceFile& trace);
+
+}  // namespace rebench

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/obs/trace.hpp"
 #include "core/util/error.hpp"
 
 namespace rebench {
@@ -24,6 +25,21 @@ SchedulerSim::SchedulerSim(ClusterOptions options)
   REBENCH_REQUIRE(options_.numNodes > 0 && options_.coresPerNode > 0);
   nodes_.resize(options_.numNodes);
   for (Node& node : nodes_) node.freeCores = options_.coresPerNode;
+}
+
+void SchedulerSim::setObservability(obs::Tracer* tracer,
+                                    obs::MetricsRegistry* metrics,
+                                    double traceTimeBase) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  traceTimeBase_ = traceTimeBase;
+}
+
+void SchedulerSim::noteQueueDepth() {
+  if (metrics_ != nullptr) {
+    metrics_->gauge("sched.queue_depth")
+        .set(static_cast<double>(pendingQueue_.size()));
+  }
 }
 
 JobId SchedulerSim::submit(JobRequest request) {
@@ -79,6 +95,13 @@ JobId SchedulerSim::submit(JobRequest request) {
   jobs_.push_back(std::move(job));
   requests_.push_back(std::move(request));
   pendingQueue_.push_back(jobs_.back().id);
+  if (metrics_ != nullptr) metrics_->counter("sched.submitted").inc();
+  noteQueueDepth();
+  if (tracer_ != nullptr) {
+    tracer_->eventAt(traceTimeBase_ + now_, "sched.submit",
+                     {{"job", std::to_string(jobs_.back().id)},
+                      {"name", jobs_.back().name}});
+  }
   return jobs_.back().id;
 }
 
@@ -90,11 +113,19 @@ void SchedulerSim::cancel(JobId id) {
         pendingQueue_.end());
     job.state = JobState::kCancelled;
     job.endTime = now_;
+    noteQueueDepth();
   } else if (job.state == JobState::kRunning) {
     releaseNodes(job);
     endEvents_.erase(id);
     job.state = JobState::kCancelled;
     job.endTime = now_;
+  } else {
+    return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->eventAt(traceTimeBase_ + now_, "sched.finish",
+                     {{"job", std::to_string(id)},
+                      {"state", std::string(jobStateName(job.state))}});
   }
 }
 
@@ -120,6 +151,16 @@ bool SchedulerSim::tryStart(JobInfo& job) {
   job.state = JobState::kRunning;
   job.startTime = now_;
   job.reason.clear();
+  if (metrics_ != nullptr) {
+    metrics_->counter("sched.started").inc();
+    metrics_->histogram("sched.wait_seconds", obs::stageSecondsBounds())
+        .observe(job.startTime - job.submitTime);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->eventAt(traceTimeBase_ + now_, "sched.start",
+                     {{"job", std::to_string(job.id)},
+                      {"nodes", std::to_string(job.allocation.nodeIds.size())}});
+  }
 
   const JobRequest& request = requests_[job.id - 1];
   job.outcome = request.payload(job.allocation);
@@ -151,6 +192,17 @@ void SchedulerSim::finish(JobInfo& job, double endTime) {
   } else {
     job.state = job.outcome.success ? JobState::kCompleted : JobState::kFailed;
   }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter(job.state == JobState::kCompleted ? "sched.completed"
+                                                    : "sched.failed")
+        .inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->eventAt(traceTimeBase_ + endTime, "sched.finish",
+                     {{"job", std::to_string(job.id)},
+                      {"state", std::string(jobStateName(job.state))}});
+  }
 }
 
 void SchedulerSim::scheduleLoop() {
@@ -168,6 +220,7 @@ void SchedulerSim::scheduleLoop() {
       }
       if (tryStart(job)) {
         it = pendingQueue_.erase(it);
+        noteQueueDepth();
         progressed = true;
       } else {
         ++it;

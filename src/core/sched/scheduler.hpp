@@ -17,6 +17,11 @@
 
 namespace rebench {
 
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace obs
+
 using JobId = std::uint64_t;
 
 /// Where a started job's tasks were placed.
@@ -87,6 +92,15 @@ class SchedulerSim {
  public:
   explicit SchedulerSim(ClusterOptions options);
 
+  /// Attaches observability hooks (both nullable).  Job lifecycle
+  /// transitions are emitted as `sched.submit`/`sched.start`/
+  /// `sched.finish` trace events stamped `traceTimeBase + now()` (the
+  /// scheduler's timeline starts at zero per instance; the base aligns it
+  /// with the caller's trace clock), and queue depth / wait times are
+  /// recorded in the registry.
+  void setObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,
+                        double traceTimeBase = 0.0);
+
   /// Validates the request (account/qos/size) and enqueues it.
   /// Throws SchedulerError for requests the real scheduler would reject.
   JobId submit(JobRequest request);
@@ -118,6 +132,7 @@ class SchedulerSim {
 
   bool tryStart(JobInfo& job);
   void finish(JobInfo& job, double endTime);
+  void noteQueueDepth();
   void releaseNodes(const JobInfo& job);
   void scheduleLoop();
   std::optional<double> nextEventTime() const;
@@ -130,6 +145,10 @@ class SchedulerSim {
   std::vector<JobId> pendingQueue_;    // FIFO order
   std::map<JobId, double> endEvents_;  // running job -> completion time
   double now_ = 0.0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  double traceTimeBase_ = 0.0;
 };
 
 }  // namespace rebench

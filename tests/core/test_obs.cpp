@@ -1,0 +1,328 @@
+// The observability subsystem: clocks, spans, metrics, JSONL round-trip
+// and the structural lint.
+#include <gtest/gtest.h>
+
+#include "core/obs/json.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
+#include "core/obs/trace_reader.hpp"
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench::obs {
+namespace {
+
+// ---- clocks --------------------------------------------------------------
+
+TEST(SimClock, ReadingsAreStrictlyIncreasing) {
+  SimClock clock;
+  const double a = clock.now();
+  const double b = clock.now();
+  const double c = clock.now();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(SimClock, PeekHasNoSideEffect) {
+  SimClock clock;
+  clock.advance(5.0);
+  EXPECT_DOUBLE_EQ(clock.peek(), 5.0);
+  EXPECT_DOUBLE_EQ(clock.peek(), 5.0);
+}
+
+TEST(SimClock, AdvanceToNeverStepsBackwards) {
+  SimClock clock;
+  clock.advance(10.0);
+  clock.advanceTo(3.0);  // behind: no-op
+  EXPECT_DOUBLE_EQ(clock.peek(), 10.0);
+  clock.advanceTo(12.5);
+  EXPECT_DOUBLE_EQ(clock.peek(), 12.5);
+}
+
+TEST(SimClock, IsDeterministicAndKindSim) {
+  SimClock a, b;
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a.now(), b.now());
+  EXPECT_TRUE(a.deterministic());
+  EXPECT_EQ(a.kind(), "sim");
+}
+
+TEST(WallClock, AdvancesOnItsOwnAndIsNotDeterministic) {
+  WallClock clock;
+  EXPECT_FALSE(clock.deterministic());
+  EXPECT_EQ(clock.kind(), "wall");
+  const double a = clock.now();
+  clock.advance(100.0);  // simulated seconds are ignored
+  EXPECT_LT(clock.peek(), 50.0);
+  EXPECT_GE(clock.now(), a);
+}
+
+// ---- spans ---------------------------------------------------------------
+
+TEST(Tracer, HierarchicalIdsFollowNesting) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.beginSpan("root"), "1");
+  EXPECT_EQ(tracer.beginSpan("childA"), "1.1");
+  tracer.endSpan();
+  EXPECT_EQ(tracer.beginSpan("childB"), "1.2");
+  EXPECT_EQ(tracer.beginSpan("grandchild"), "1.2.1");
+  tracer.endSpan();
+  tracer.endSpan();
+  tracer.endSpan();
+  EXPECT_EQ(tracer.beginSpan("second root"), "2");
+  tracer.endSpan();
+  EXPECT_EQ(tracer.openSpans(), 0u);
+
+  ASSERT_EQ(tracer.spans().size(), 5u);
+  // Spans land in end order; parents carry the hierarchical prefix.
+  EXPECT_EQ(tracer.spans()[0].id, "1.1");
+  EXPECT_EQ(tracer.spans()[0].parent, "1");
+  EXPECT_EQ(tracer.spans()[1].id, "1.2.1");
+  EXPECT_EQ(tracer.spans()[1].parent, "1.2");
+  EXPECT_EQ(tracer.spans()[4].id, "2");
+  EXPECT_EQ(tracer.spans()[4].parent, "");
+}
+
+TEST(Tracer, SpanTimesNestWithinParents) {
+  Tracer tracer;
+  tracer.beginSpan("outer");
+  tracer.beginSpan("inner");
+  tracer.clock().advance(2.0);
+  tracer.endSpan();
+  tracer.endSpan();
+  const SpanRecord& inner = tracer.spans()[0];
+  const SpanRecord& outer = tracer.spans()[1];
+  EXPECT_GE(inner.start, outer.start);
+  EXPECT_LE(inner.end, outer.end);
+  EXPECT_GT(inner.duration(), 2.0 - 1e-9);
+}
+
+TEST(Tracer, SetAttrOnReachesAncestors) {
+  Tracer tracer;
+  tracer.beginSpan("outer");
+  tracer.beginSpan("inner");
+  tracer.setAttrOn("1", "outcome", "fail");
+  tracer.setAttr("local", "yes");
+  tracer.endSpan();
+  tracer.endSpan();
+  EXPECT_EQ(tracer.spans()[0].attrs.at("local"), "yes");
+  EXPECT_EQ(tracer.spans()[1].attrs.at("outcome"), "fail");
+  EXPECT_THROW(tracer.setAttrOn("1", "k", "v"), InternalError);  // closed
+}
+
+TEST(Tracer, EventsAttachToInnermostOpenSpan) {
+  Tracer tracer;
+  tracer.beginSpan("root");
+  tracer.event("first");
+  tracer.beginSpan("child");
+  tracer.event("second", {{"key", "value"}});
+  tracer.endSpan();
+  tracer.endSpan();
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].span, "1");
+  EXPECT_EQ(tracer.events()[1].span, "1.1");
+  EXPECT_EQ(tracer.events()[1].attrs.at("key"), "value");
+}
+
+TEST(Tracer, EventAtBehindClockStaysMonotone) {
+  Tracer tracer;
+  tracer.beginSpan("root");
+  tracer.clock().advance(10.0);
+  tracer.event("late");
+  tracer.eventAt(2.0, "early-by-its-own-timeline");
+  tracer.endSpan();
+  EXPECT_GT(tracer.events()[1].time, tracer.events()[0].time);
+}
+
+TEST(ScopedSpan, RaiiEndsOnScopeExitAndIsNullSafe) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    outer.attr("k", "v");
+    { ScopedSpan inner(&tracer, "inner"); }
+    EXPECT_EQ(tracer.openSpans(), 1u);
+  }
+  EXPECT_EQ(tracer.openSpans(), 0u);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[1].attrs.at("k"), "v");
+
+  // Null tracer: every operation is a no-op.
+  ScopedSpan null(nullptr, "nothing");
+  null.attr("k", "v");
+  null.end();
+  EXPECT_EQ(null.id(), "");
+}
+
+TEST(ScopedSpan, EndIsIdempotentAndObservesHistogram) {
+  Tracer tracer;
+  Histogram hist({1.0, 60.0});
+  {
+    ScopedSpan span(&tracer, "stage", &hist);
+    tracer.clock().advance(5.0);
+    span.end();
+    span.end();  // idempotent
+  }
+  EXPECT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.counts()[1], 1u);  // 5 s lands in (1, 60]
+}
+
+// ---- metrics -------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulates) {
+  Counter counter;
+  counter.inc();
+  counter.inc(4);
+  EXPECT_EQ(counter.value(), 5u);
+}
+
+TEST(Metrics, GaugeTracksMaximum) {
+  Gauge gauge;
+  gauge.set(3.0);
+  gauge.set(7.0);
+  gauge.set(2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 7.0);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  Histogram hist({1.0, 10.0, 100.0});
+  ASSERT_EQ(hist.counts().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(hist.bucketFor(0.5), 0u);
+  EXPECT_EQ(hist.bucketFor(1.0), 0u);  // boundary is inclusive ("le")
+  EXPECT_EQ(hist.bucketFor(1.0000001), 1u);
+  EXPECT_EQ(hist.bucketFor(10.0), 1u);
+  EXPECT_EQ(hist.bucketFor(100.0), 2u);
+  EXPECT_EQ(hist.bucketFor(1e9), 3u);  // overflow bucket
+
+  hist.observe(0.5);
+  hist.observe(1.0);
+  hist.observe(50.0);
+  hist.observe(1000.0);
+  EXPECT_EQ(hist.counts()[0], 2u);
+  EXPECT_EQ(hist.counts()[2], 1u);
+  EXPECT_EQ(hist.counts()[3], 1u);
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 1051.5);
+}
+
+TEST(Metrics, RegistryReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  a.inc();
+  registry.counter("y").inc(10);  // may rebalance the map
+  EXPECT_EQ(&registry.counter("x"), &a);
+  EXPECT_EQ(registry.counter("x").value(), 1u);
+
+  Histogram& h = registry.histogram("h", stageSecondsBounds());
+  // Later lookups reuse the instrument; new bounds are ignored.
+  const double other[] = {42.0};
+  EXPECT_EQ(&registry.histogram("h", other), &h);
+  EXPECT_EQ(h.bounds().size(), stageSecondsBounds().size());
+}
+
+// ---- JSON ----------------------------------------------------------------
+
+TEST(Json, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+  const json::Value parsed = json::parse(json::quote(nasty));
+  ASSERT_TRUE(parsed.isString());
+  EXPECT_EQ(parsed.text, nasty);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW(json::parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(json::parse("{} trailing"), ParseError);
+  EXPECT_THROW(json::parse(""), ParseError);
+}
+
+// ---- JSONL round-trip ----------------------------------------------------
+
+Tracer makeSampleTrace(MetricsRegistry* metrics) {
+  Tracer tracer;
+  {
+    ScopedSpan root(&tracer, "test_run");
+    root.attr("test", "Sample");
+    {
+      ScopedSpan child(&tracer, "build");
+      tracer.clock().advance(30.0);
+      tracer.event("step", {{"cmd", "make -j"}});
+    }
+    metrics->counter("pipeline.runs").inc();
+    metrics->gauge("sched.queue_depth").set(2.0);
+    metrics->histogram("stage", stageSecondsBounds()).observe(30.0);
+  }
+  return tracer;
+}
+
+TEST(TraceJsonl, RoundTripsSpansEventsAndMetrics) {
+  MetricsRegistry metrics;
+  const Tracer tracer = makeSampleTrace(&metrics);
+  const TraceFile trace = parseTraceJsonl(tracer.toJsonl(&metrics));
+
+  EXPECT_EQ(trace.schema, kTraceSchema);
+  EXPECT_EQ(trace.clockKind, "sim");
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[0].name, "build");
+  EXPECT_EQ(trace.spans[0].parent, "1");
+  EXPECT_EQ(trace.spans[1].attrs.at("test"), "Sample");
+  ASSERT_EQ(trace.events.size(), 1u);
+  EXPECT_EQ(trace.events[0].attrs.at("cmd"), "make -j");
+  EXPECT_EQ(trace.counters.at("pipeline.runs"), 1u);
+  EXPECT_DOUBLE_EQ(trace.gauges.at("sched.queue_depth").max, 2.0);
+  EXPECT_EQ(trace.histograms.at("stage").count, 1u);
+  EXPECT_TRUE(lintTrace(trace).empty());
+}
+
+TEST(TraceJsonl, IdenticalOperationsSerializeByteIdentically) {
+  MetricsRegistry m1, m2;
+  const std::string a = makeSampleTrace(&m1).toJsonl(&m1);
+  const std::string b = makeSampleTrace(&m2).toJsonl(&m2);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+// ---- lint ----------------------------------------------------------------
+
+TEST(TraceLint, FlagsStructuralViolations) {
+  TraceFile trace;
+  trace.schema = "rebench.trace/999";  // unknown version
+  trace.clockKind = "sim";
+  SpanRecord span;
+  span.id = "1";
+  span.name = "backwards";
+  span.start = 5.0;
+  span.end = 1.0;  // end before start
+  trace.spans.push_back(span);
+  SpanRecord orphan;
+  orphan.id = "7.1";
+  orphan.parent = "7";  // no such parent
+  orphan.name = "orphan";
+  trace.spans.push_back(orphan);
+  EventRecord event;
+  event.span = "42";  // no such span
+  event.name = "lost";
+  trace.events.push_back(event);
+  trace.timeline = {{"span", 5.0}, {"span", 0.0}};  // not monotone
+
+  const std::vector<std::string> issues = lintTrace(trace);
+  EXPECT_GE(issues.size(), 4u);
+  const std::string all = str::join(issues, "\n");
+  EXPECT_TRUE(str::contains(all, "schema"));
+  EXPECT_TRUE(str::contains(all, "backwards"));
+  EXPECT_TRUE(str::contains(all, "7.1"));
+  EXPECT_TRUE(str::contains(all, "42"));
+}
+
+TEST(TraceLint, CleanTracePasses) {
+  Tracer tracer;
+  {
+    ScopedSpan root(&tracer, "root");
+    ScopedSpan child(&tracer, "child");
+    tracer.event("tick");
+  }
+  const TraceFile trace = parseTraceJsonl(tracer.toJsonl());
+  EXPECT_TRUE(lintTrace(trace).empty());
+}
+
+}  // namespace
+}  // namespace rebench::obs

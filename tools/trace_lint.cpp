@@ -1,0 +1,41 @@
+// trace_lint — validates a rebench trace JSONL file.
+//
+//   $ trace_lint trace.jsonl
+//   trace OK: 9 spans, 4 events, 12 metrics
+//
+// Exit 0 when the trace satisfies every structural invariant the writer
+// guarantees (known schema version, monotone timestamps, parented spans,
+// no orphan events); exit 1 with one message per violation otherwise.
+// ctest runs this over the trace the quickstart example produces.
+#include <iostream>
+
+#include "core/obs/trace_reader.hpp"
+#include "core/util/error.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_lint <trace.jsonl>\n";
+    return 2;
+  }
+  try {
+    const rebench::obs::TraceFile trace =
+        rebench::obs::readTraceFile(argv[1]);
+    const std::vector<std::string> issues = rebench::obs::lintTrace(trace);
+    if (!issues.empty()) {
+      for (const std::string& issue : issues) {
+        std::cerr << "trace_lint: " << issue << "\n";
+      }
+      return 1;
+    }
+    const std::size_t metrics = trace.counters.size() +
+                                trace.gauges.size() +
+                                trace.histograms.size();
+    std::cout << "trace OK: " << trace.spans.size() << " spans, "
+              << trace.events.size() << " events, " << metrics
+              << " metrics\n";
+    return 0;
+  } catch (const rebench::Error& e) {
+    std::cerr << "trace_lint: " << e.what() << "\n";
+    return 1;
+  }
+}
