@@ -98,7 +98,7 @@ void reproduceTable4() {
     const TestRunResult result =
         pipeline.runOne(test, row.target, &perflog);
     if (!result.passed) {
-      table.addRow({row.label, "FAILED: " + result.failureStage, "", ""});
+      table.addRow({row.label, "FAILED: " + result.failure.stage, "", ""});
       continue;
     }
     table.addRow({row.label, str::fixed(result.foms.at("l0"), 2),

@@ -69,4 +69,15 @@ int Args::intOptionOr(std::string_view name, int fallback) const {
   }
 }
 
+double Args::doubleOptionOr(std::string_view name, double fallback) const {
+  auto value = option(name);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    throw ParseError("option --" + std::string(name) +
+                     " expects a number, got '" + *value + "'");
+  }
+}
+
 }  // namespace rebench::cli

@@ -27,6 +27,7 @@ class Args {
   std::string optionOr(std::string_view name,
                        std::string_view fallback) const;
   int intOptionOr(std::string_view name, int fallback) const;
+  double doubleOptionOr(std::string_view name, double fallback) const;
 
   /// All -S key=value settings, in order (ReFrame's -S).
   const std::vector<std::pair<std::string, std::string>>& settings() const {

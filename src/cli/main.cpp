@@ -49,11 +49,18 @@ int usage() {
       "       [--env-file F] [--trace]       (or a user-authored env file)\n"
       "  run --benchmark B --system S     run a benchmark (babelstream |\n"
       "      [-S key=value]... [--perflog F] [--repeats N] [--account A]\n"
-      "      [--trace DIR]                  hpcg | hpgmg) through the\n"
-      "                                     pipeline\n"
+      "      [--trace DIR] [--faults SPEC]  hpcg | hpgmg) through the\n"
+      "      [--retries N] [--backoff-base S] [--backoff-max S] pipeline\n"
       "  suite --system S [--tag T]       run the builtin suite, ReFrame\n"
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
-      "        [--trace DIR]\n"
+      "        [--trace DIR] [--faults FILE|SPEC] [--retries N]\n"
+      "        [--repeats N] [--resume DIR] [--quarantine-after N]\n"
+      "                                     --faults injects deterministic\n"
+      "                                     failures (seed=..,crash=..,\n"
+      "                                     node=..,preempt=..,build=..,\n"
+      "                                     corrupt=..,teldrop=..); --resume\n"
+      "                                     journals completed runs to DIR\n"
+      "                                     and skips them on rerun\n"
       "  trace-report <file> [--tree]     per-stage timing + metrics from a\n"
       "                                     trace JSONL (--trace output)\n"
       "  env --system S                   captured system environment\n"
@@ -199,8 +206,7 @@ int audit(const Args& args) {
   }
   HygieneOptions options;
   options.requireReferences = args.hasFlag("strict");
-  const auto findings =
-      auditPerflog(PerfLog::readFile(*path), options);
+  const auto findings = auditPerflogFile(*path, options);
   std::cout << renderHygieneReport(findings);
   return findings.empty() ? 0 : 1;
 }
@@ -230,12 +236,33 @@ struct TraceSession {
   }
 };
 
+/// Applies the shared resilience flags (--faults / --retries /
+/// --backoff-*) to the pipeline options.
+void applyResilienceFlags(const Args& args, PipelineOptions& options) {
+  options.retry.maxRetries =
+      args.intOptionOr("retries", options.retry.maxRetries);
+  options.retry.backoffBase =
+      args.doubleOptionOr("backoff-base", options.retry.backoffBase);
+  options.retry.backoffMultiplier =
+      args.doubleOptionOr("backoff-mult", options.retry.backoffMultiplier);
+  options.retry.backoffMax =
+      args.doubleOptionOr("backoff-max", options.retry.backoffMax);
+  if (auto faults = args.option("faults")) {
+    options.faults = loadFaultConfig(*faults);
+    // One seed governs both the injected faults and the backoff jitter.
+    options.retry.seed = options.faults.seed;
+  }
+  options.breaker.pairThreshold =
+      args.intOptionOr("quarantine-after", options.breaker.pairThreshold);
+}
+
 int runBenchmark(const Args& args) {
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
   PipelineOptions options;
   options.account = args.optionOr("account", "ec999");
   options.numRepeats = args.intOptionOr("repeats", 1);
+  applyResilienceFlags(args, options);
   TraceSession trace(args);
   trace.attach(options);
   Pipeline pipeline(systems, repo, options);
@@ -256,8 +283,13 @@ int runBenchmark(const Args& args) {
       std::cout << "  launch: " << result.launchCommand << "\n";
     }
     if (!result.passed) {
-      std::cout << "  " << result.failureStage << ": "
-                << result.failureDetail << "\n";
+      std::cout << "  " << result.failure.stage << " ["
+                << failureClassName(result.failure.klass)
+                << "]: " << result.failure.detail;
+      if (result.attempts > 1) {
+        std::cout << " (after " << result.attempts << " attempts)";
+      }
+      std::cout << "\n";
       anyFailed = true;
       continue;
     }
@@ -286,10 +318,21 @@ int runSuite(const Args& args) {
   const PackageRepository repo = builtinRepository();
   PipelineOptions options;
   options.account = args.optionOr("account", "ec999");
+  options.numRepeats = args.intOptionOr("repeats", options.numRepeats);
+  applyResilienceFlags(args, options);
   TraceSession trace(args);
   trace.attach(options);
   Pipeline pipeline(systems, repo, options);
   PerfLog perflog(args.optionOr("perflog", ""));
+
+  std::optional<RunJournal> journal;
+  if (auto resumeDir = args.option("resume")) {
+    journal.emplace(*resumeDir);
+    if (journal->corruptLines() > 0) {
+      std::cerr << "suite: journal had " << journal->corruptLines()
+                << " corrupt line(s), ignored\n";
+    }
+  }
 
   const TestSuite suite = builtinSuite();
   const std::vector<RegressionTest> selected =
@@ -300,23 +343,27 @@ int runSuite(const Args& args) {
     return 2;
   }
   const std::vector<std::string> targets{args.optionOr("system", "local")};
-  const auto results = pipeline.runAll(selected, targets, &perflog);
-  int failed = 0;
+  CampaignReport report;
+  const auto results = pipeline.runAll(selected, targets, &perflog,
+                                       journal ? &*journal : nullptr,
+                                       &report);
   for (const TestRunResult& result : results) {
-    std::cout << "[" << (result.passed ? " OK " : "FAIL") << "] "
-              << result.testName << " @ " << result.system << ":"
-              << result.partition;
+    const char* marker = result.passed       ? " OK "
+                         : result.quarantined ? "QUAR"
+                                              : "FAIL";
+    std::cout << "[" << marker << "] " << result.testName << " @ "
+              << result.system << ":" << result.partition;
     if (!result.passed) {
-      std::cout << "  (" << result.failureStage << ": "
-                << result.failureDetail << ")";
-      ++failed;
+      std::cout << "  (" << result.failure.stage << " ["
+                << failureClassName(result.failure.klass)
+                << "]: " << result.failure.detail << ")";
     }
     std::cout << "\n";
   }
-  std::cout << results.size() - failed << "/" << results.size()
-            << " passed\n";
+  const CampaignSummary summary = summarizeCampaign(results);
+  std::cout << renderCampaignSummary(summary, &report);
   trace.write();
-  return failed == 0 ? 0 : 1;
+  return summary.failed == 0 && summary.quarantined == 0 ? 0 : 1;
 }
 
 int traceReport(const Args& args) {

@@ -1,0 +1,52 @@
+#include "core/fault/failure.hpp"
+
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+std::string_view failureClassName(FailureClass klass) {
+  switch (klass) {
+    case FailureClass::kTransient: return "transient";
+    case FailureClass::kPermanent: return "permanent";
+    case FailureClass::kInfrastructure: return "infrastructure";
+  }
+  return "?";
+}
+
+FailureClass classifyFailure(std::string_view stage, std::string_view detail) {
+  // Configuration bugs: the same inputs will fail the same way forever.
+  if (stage == "concretize" || stage == "submit") {
+    return FailureClass::kPermanent;
+  }
+  // Simulated builds only fail when the injector flakes them; a real
+  // build system would distinguish compiler ICEs (transient) from
+  // compile errors (permanent) here.
+  if (stage == "build") {
+    return str::contains(detail, "injected") ? FailureClass::kTransient
+                                             : FailureClass::kPermanent;
+  }
+  if (stage == "run") {
+    // Scheduler-side failures carry the final job-state name.
+    if (str::contains(detail, "NODE_FAIL") ||
+        str::contains(detail, "TIMEOUT") ||
+        str::contains(detail, "CANCELLED")) {
+      return FailureClass::kInfrastructure;
+    }
+    // A crashed payload (job state FAILED) is worth another attempt;
+    // anything else — launch failures such as an unsupported programming
+    // model, unschedulable geometry — is permanent.
+    if (detail == "FAILED") return FailureClass::kTransient;
+    return FailureClass::kPermanent;
+  }
+  // Sanity/performance-pattern failures are output-parsing problems:
+  // truncated or corrupted stdout, partial logs.  Retry.
+  if (stage == "sanity" || stage == "performance") {
+    return FailureClass::kTransient;
+  }
+  // Out-of-reference FOMs are data, not noise — never retried away.
+  if (stage == "reference") return FailureClass::kPermanent;
+  if (stage == "quarantine") return FailureClass::kInfrastructure;
+  return FailureClass::kPermanent;
+}
+
+}  // namespace rebench

@@ -1,0 +1,46 @@
+// Failure taxonomy (rebench::fault).
+//
+// Real benchmarking campaigns fail in qualitatively different ways: a
+// mistyped spec will fail forever, a flaky build or a garbled stdout line
+// will succeed on retry, and a dying node says nothing about the test but
+// a lot about the partition.  The pipeline therefore records *classified*
+// failures instead of bare strings: only transients are worth retrying,
+// and only infrastructure failures feed the quarantine circuit breaker.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rebench {
+
+enum class FailureClass {
+  /// Retrying may succeed: job crash, flaky build, corrupted output.
+  kTransient,
+  /// Retrying cannot succeed: configuration bugs, unsupported targets,
+  /// genuine performance regressions.
+  kPermanent,
+  /// The platform, not the test, is at fault: node failures, timeouts,
+  /// cancelled jobs.  Not retried in place; counted by the circuit
+  /// breaker so a sick partition is quarantined instead of hammered.
+  kInfrastructure,
+};
+
+std::string_view failureClassName(FailureClass klass);
+
+/// Structured replacement for the old failureStage/failureDetail strings
+/// on TestRunResult.
+struct FailureInfo {
+  std::string stage;  // empty on success; else concretize|build|submit|
+                      // run|sanity|performance|reference|quarantine
+  FailureClass klass = FailureClass::kPermanent;
+  std::string detail;
+
+  bool empty() const { return stage.empty(); }
+};
+
+/// Default per-stage classification.  `detail` disambiguates the run
+/// stage, where the final JobState name (NODE_FAIL, TIMEOUT, FAILED, ...)
+/// is recorded as the detail for scheduler-side failures.
+FailureClass classifyFailure(std::string_view stage, std::string_view detail);
+
+}  // namespace rebench

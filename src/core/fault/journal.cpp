@@ -1,0 +1,71 @@
+#include "core/fault/journal.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/obs/json.hpp"
+#include "core/util/error.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench {
+
+std::string RunJournal::pathFor(const std::string& dir) {
+  return (std::filesystem::path(dir) / "journal.jsonl").string();
+}
+
+std::string RunJournal::key(std::string_view test, std::string_view target,
+                            int repeat) {
+  return std::string(test) + "\x1f" + std::string(target) + "\x1f" +
+         std::to_string(repeat);
+}
+
+RunJournal::RunJournal(const std::string& dir) : path_(pathFor(dir)) {
+  std::filesystem::create_directories(dir);
+  if (!std::filesystem::exists(path_)) {
+    std::ofstream out(path_);
+    if (!out) throw Error("cannot create run journal '" + path_ + "'");
+    out << "{\"kind\":\"meta\",\"schema\":"
+        << obs::json::quote(kJournalSchema) << "}\n";
+    return;
+  }
+  std::ifstream in(path_);
+  if (!in) throw Error("cannot read run journal '" + path_ + "'");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (str::trim(line).empty()) continue;
+    obs::json::Value record;
+    try {
+      record = obs::json::parse(line);
+    } catch (const ParseError&) {
+      // A killed campaign may leave a truncated final line; skipping it
+      // just reruns that one tuple.
+      ++corruptLines_;
+      continue;
+    }
+    if (!record.isObject() || record.stringOr("kind", "") != "run") continue;
+    keys_.insert(key(record.stringOr("test", ""),
+                     record.stringOr("target", ""),
+                     static_cast<int>(record.numberOr("repeat", 0))));
+  }
+}
+
+bool RunJournal::contains(std::string_view test, std::string_view target,
+                          int repeat) const {
+  return keys_.count(key(test, target, repeat)) > 0;
+}
+
+void RunJournal::record(std::string_view test, std::string_view target,
+                        int repeat, std::string_view outcome,
+                        std::string_view stage, int attempts) {
+  std::ofstream out(path_, std::ios::app);
+  if (!out) throw Error("cannot append to run journal '" + path_ + "'");
+  out << "{\"kind\":\"run\",\"test\":" << obs::json::quote(test)
+      << ",\"target\":" << obs::json::quote(target)
+      << ",\"repeat\":" << repeat
+      << ",\"outcome\":" << obs::json::quote(outcome)
+      << ",\"stage\":" << obs::json::quote(stage)
+      << ",\"attempts\":" << attempts << "}\n";
+  keys_.insert(key(test, target, repeat));
+}
+
+}  // namespace rebench

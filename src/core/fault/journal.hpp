@@ -1,0 +1,59 @@
+// Run journal (rebench::fault): resumable campaigns.
+//
+// A suite run appends one JSONL record per completed (test, target,
+// repeat) tuple to DIR/journal.jsonl; a killed campaign restarted with
+// --resume DIR loads the journal and executes only the tuples that are
+// not yet recorded.  Appends happen one fsync-sized line at a time, and
+// the loader tolerates a truncated final line (the crash that motivates
+// resuming is exactly what produces one).
+//
+// Schema (one JSON object per line):
+//   {"kind":"meta","schema":"rebench.journal/1"}
+//   {"kind":"run","test":T,"target":"sys:part","repeat":N,
+//    "outcome":"pass"|"fail"|"quarantined","stage":S,"attempts":A}
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace rebench {
+
+inline constexpr std::string_view kJournalSchema = "rebench.journal/1";
+
+class RunJournal {
+ public:
+  /// Opens DIR/journal.jsonl, creating DIR and the meta line when absent,
+  /// and loads already-recorded tuples.  Throws rebench::Error when the
+  /// directory or file cannot be created/read.
+  explicit RunJournal(const std::string& dir);
+
+  static std::string pathFor(const std::string& dir);
+
+  bool contains(std::string_view test, std::string_view target,
+                int repeat) const;
+
+  /// Appends one completed tuple (crash-safe: open/append/close).
+  void record(std::string_view test, std::string_view target, int repeat,
+              std::string_view outcome, std::string_view stage,
+              int attempts);
+
+  /// Number of completed tuples currently journaled.
+  std::size_t size() const { return keys_.size(); }
+
+  /// Unparseable lines skipped while loading (e.g. a truncated tail).
+  std::size_t corruptLines() const { return corruptLines_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string key(std::string_view test, std::string_view target,
+                         int repeat);
+
+  std::string path_;
+  std::set<std::string> keys_;
+  std::size_t corruptLines_ = 0;
+};
+
+}  // namespace rebench

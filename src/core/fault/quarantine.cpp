@@ -1,0 +1,36 @@
+#include "core/fault/quarantine.hpp"
+
+namespace rebench {
+
+bool CircuitBreaker::allows(std::string_view key) const {
+  if (threshold_ <= 0) return true;  // breaker disabled
+  auto it = consecutive_.find(key);
+  return it == consecutive_.end() || it->second < threshold_;
+}
+
+bool CircuitBreaker::recordFailure(std::string_view key) {
+  auto [it, inserted] = consecutive_.try_emplace(std::string(key), 0);
+  ++it->second;
+  return threshold_ > 0 && it->second == threshold_;
+}
+
+void CircuitBreaker::recordSuccess(std::string_view key) {
+  auto it = consecutive_.find(key);
+  if (it != consecutive_.end()) it->second = 0;
+}
+
+int CircuitBreaker::consecutiveFailures(std::string_view key) const {
+  auto it = consecutive_.find(key);
+  return it == consecutive_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> CircuitBreaker::openKeys() const {
+  std::vector<std::string> keys;
+  if (threshold_ <= 0) return keys;
+  for (const auto& [key, count] : consecutive_) {
+    if (count >= threshold_) keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace rebench

@@ -149,4 +149,31 @@ std::vector<PerfLogEntry> PerfLog::parseLines(
   return out;
 }
 
+PerfLog::LenientParse PerfLog::readFileLenient(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read perflog file '" + path + "'");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!str::trim(line).empty()) lines.push_back(line);
+  }
+  return parseLinesLenient(lines);
+}
+
+PerfLog::LenientParse PerfLog::parseLinesLenient(
+    const std::vector<std::string>& lines) {
+  LenientParse out;
+  out.entries.reserve(lines.size());
+  for (const std::string& line : lines) {
+    try {
+      out.entries.push_back(PerfLogEntry::parse(line));
+    } catch (const std::exception&) {
+      // stod() throws std::invalid_argument, parse() throws ParseError;
+      // either way the line is damaged, not the file.
+      ++out.corruptLines;
+    }
+  }
+  return out;
+}
+
 }  // namespace rebench

@@ -57,6 +57,17 @@ class PerfLog {
   static std::vector<PerfLogEntry> parseLines(
       const std::vector<std::string>& lines);
 
+  /// Lenient variants for perflogs that survived crashes or corrupted
+  /// stdout: unparseable lines are skipped and counted instead of
+  /// aborting the whole read (the hygiene audit reports the count).
+  struct LenientParse {
+    std::vector<PerfLogEntry> entries;
+    std::size_t corruptLines = 0;
+  };
+  static LenientParse readFileLenient(const std::string& path);
+  static LenientParse parseLinesLenient(
+      const std::vector<std::string>& lines);
+
  private:
   std::string path_;
   std::vector<std::string> lines_;

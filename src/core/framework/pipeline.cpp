@@ -1,6 +1,7 @@
 #include "core/framework/pipeline.hpp"
 
 #include <algorithm>
+#include <map>
 #include <regex>
 
 #include "core/obs/trace.hpp"
@@ -15,7 +16,9 @@ Pipeline::Pipeline(const SystemRegistry& systems,
     : systems_(systems),
       repo_(repo),
       options_(std::move(options)),
-      builder_(options_.rebuildEveryRun) {}
+      builder_(options_.rebuildEveryRun) {
+  if (options_.faults.enabled()) injector_.emplace(options_.faults);
+}
 
 std::string Pipeline::nextTimestamp() {
   return "T" + std::to_string(logicalTime_++);
@@ -34,23 +37,55 @@ TestRunResult Pipeline::runOne(const RegressionTest& test,
 
   TestRunResult result = runOnce(test, target, perflog, repeatIndex, 1);
   int attempts = 1;
-  while (!result.passed && attempts <= options_.maxRetries &&
-         (result.failureStage == "run" || result.failureStage == "sanity" ||
-          result.failureStage == "performance")) {
+  // Only transient failures are retried, each stage against its own
+  // budget, with exponentially growing (deterministically jittered)
+  // backoff that consumes simulated time.
+  std::map<std::string, int> retriesPerStage;
+  double backoffTotal = 0.0;
+  while (!result.passed &&
+         result.failure.klass == FailureClass::kTransient) {
+    const std::string stage = result.failure.stage;
+    int& used = retriesPerStage[stage];
+    if (used >= options_.retry.budgetFor(stage)) break;
+    ++used;
+    const std::string backoffKey = test.name + "|" + std::string(target) +
+                                   "|" + std::to_string(repeatIndex) + "|" +
+                                   stage;
+    const double wait = options_.retry.backoffSeconds(backoffKey, used);
+    {
+      obs::ScopedSpan backoff(options_.tracer, "backoff");
+      backoff.attr("attempt", std::to_string(attempts + 1));
+      backoff.attr("stage", stage);
+      backoff.attr("seconds", str::fixed(wait, 6));
+      if (options_.tracer != nullptr) {
+        options_.tracer->clock().advance(wait);
+      }
+    }
+    backoffTotal += wait;
     if (options_.metrics != nullptr) {
       options_.metrics->counter("pipeline.retries").inc();
+      options_.metrics
+          ->histogram("pipeline.backoff_seconds", obs::stageSecondsBounds())
+          .observe(wait);
     }
     result = runOnce(test, target, perflog, repeatIndex, attempts + 1);
     ++attempts;
   }
   result.attempts = attempts;
+  result.simulatedPipelineSeconds += backoffTotal;
 
   root.attr("attempts", std::to_string(attempts));
   root.attr("outcome", result.passed ? "pass" : "fail");
   if (!result.passed) {
-    root.attr("failure_stage", result.failureStage);
+    root.attr("failure_stage", result.failure.stage);
+    root.attr("failure_class",
+              std::string(failureClassName(result.failure.klass)));
     if (options_.metrics != nullptr) {
       options_.metrics->counter("pipeline.failures").inc();
+      options_.metrics
+          ->counter("pipeline.failures/" +
+                    std::string(failureClassName(result.failure.klass)))
+          .inc();
     }
   }
   return result;
@@ -77,11 +112,34 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   result.system = system->name;
   result.partition = partition->name;
 
-  auto fail = [&result, &attemptSpan](std::string stage, std::string detail) {
+  // Key identifying this attempt for the fault injector: every draw is a
+  // pure function of (seed, site, key), so traces replay byte-identically.
+  const std::string faultKey = test.name + "|" + std::string(target) + "|" +
+                               std::to_string(repeatIndex) + "|" +
+                               std::to_string(attempt);
+  const FaultInjector* injector =
+      injector_.has_value() ? &*injector_ : nullptr;
+  auto noteInjected = [this, tracer, &faultKey](std::string_view kind) {
+    if (tracer != nullptr) {
+      tracer->event("fault.inject",
+                    {{"kind", std::string(kind)}, {"key", faultKey}});
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("fault.injected").inc();
+      options_.metrics->counter("fault.injected/" + std::string(kind)).inc();
+    }
+  };
+
+  auto fail = [&result, &attemptSpan](
+                  std::string stage, std::string detail,
+                  std::optional<FailureClass> klass = std::nullopt) {
     attemptSpan.attr("result", "fail");
     attemptSpan.attr("failure_stage", stage);
-    result.failureStage = std::move(stage);
-    result.failureDetail = std::move(detail);
+    result.failure.klass = klass ? *klass : classifyFailure(stage, detail);
+    attemptSpan.attr("failure_class",
+                     std::string(failureClassName(result.failure.klass)));
+    result.failure.stage = std::move(stage);
+    result.failure.detail = std::move(detail);
     result.passed = false;
     return result;
   };
@@ -127,6 +185,12 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     if (tracer != nullptr) tracer->clock().advance(result.build.buildSeconds);
     span.attr("binary_id", result.build.binaryId.substr(0, 16));
     span.attr("steps", std::to_string(plan.steps.size()));
+    if (injector != nullptr && injector->buildFlake(faultKey)) {
+      noteInjected("build_flake");
+      span.attr("result", "error");
+      return fail("build", "injected transient build failure",
+                  FailureClass::kTransient);
+    }
   }
 
   // --- Stage 3: run through the scheduler (Principle 5) ------------------
@@ -162,11 +226,32 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   request.numCpusPerTask = cpusPerTask;
   request.timeLimit = test.timeLimit;
   request.account = partition->requiresAccount ? options_.account : "";
+
+  // At most one scheduler/job-level fault per attempt; node failures and
+  // preemptions are executed by the scheduler, crashes by the payload.
+  bool injectCrash = false;
+  if (injector != nullptr) {
+    const JobFaultDecision jobFault = injector->jobFault(faultKey);
+    using Kind = JobFaultDecision::Kind;
+    if (jobFault.kind == Kind::kNodeFailure) {
+      request.fault = InjectedJobFault{InjectedJobFault::Kind::kNodeFailure,
+                                       jobFault.atFraction};
+      noteInjected("node_failure");
+    } else if (jobFault.kind == Kind::kPreemption) {
+      request.fault = InjectedJobFault{InjectedJobFault::Kind::kPreemption,
+                                       jobFault.atFraction};
+      noteInjected("preemption");
+    } else if (jobFault.kind == Kind::kCrash) {
+      injectCrash = true;
+      noteInjected("job_crash");
+    }
+  }
+
   request.payload = [&](const Allocation& alloc) {
     ctx.allocation = alloc;
     output = test.run(ctx);
     JobOutcome outcome;
-    outcome.success = !output.launchFailed;
+    outcome.success = !output.launchFailed && !injectCrash;
     outcome.runtimeSeconds = output.elapsedSeconds;
     outcome.stdoutText = output.stdoutText;
     return outcome;
@@ -197,8 +282,19 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     span.attr("job_state", std::string(jobStateName(job->state)));
     result.jobId = jobId;
     result.jobState = job->state;
+    result.requeues = job->requeues;
+    if (job->requeues > 0) {
+      span.attr("requeues", std::to_string(job->requeues));
+    }
     result.stdoutText = output.stdoutText;
     result.simulatedPipelineSeconds += job->endTime - job->submitTime;
+    if (injector != nullptr && job->state == JobState::kCompleted &&
+        injector->corruptStdout(faultKey)) {
+      // A truncated/garbled log: the run "succeeded" but its output did
+      // not survive — sanity and FOM extraction see the corrupted text.
+      result.stdoutText = injector->corruptText(result.stdoutText, faultKey);
+      noteInjected("stdout_corruption");
+    }
   }
   result.launchCommand = renderLaunchCommand(
       partition->launcher, job->allocation, test.name, test.executableOpts);
@@ -235,9 +331,10 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     entry.extras["attempt"] = std::to_string(attempt);
     return entry;
   };
-  // Failed attempts are data, not gaps: the failure stage, reason and
-  // attempt number all land in the perflog so retries are auditable.
-  auto logFailure = [&](const std::string& stage, const std::string& detail) {
+  // Failed attempts are data, not gaps: the failure stage, class, reason
+  // and attempt number all land in the perflog so retries are auditable.
+  auto logFailure = [&](const std::string& stage, const std::string& detail,
+                        FailureClass klass) {
     if (perflog == nullptr) return;
     PerfLogEntry entry = provenancedEntry();
     entry.fomName = stage;
@@ -245,12 +342,18 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     entry.unit = Unit::kNone;
     entry.result = "error";
     entry.extras["error"] = detail;
+    entry.extras["failure_class"] = std::string(failureClassName(klass));
     appendPerflog(entry);
   };
 
   // --- Telemetry capture (paper §4 future work) ---------------------------
-  if (options_.captureTelemetry && !partition->machineModel.empty() &&
-      job->startTime >= 0.0) {
+  bool telemetryDropped = false;
+  if (injector != nullptr && injector->dropTelemetry(faultKey)) {
+    telemetryDropped = true;
+    noteInjected("telemetry_dropout");
+  }
+  if (options_.captureTelemetry && !telemetryDropped &&
+      !partition->machineModel.empty() && job->startTime >= 0.0) {
     obs::ScopedSpan span(tracer, "telemetry", stageHistogram("telemetry"));
     const MachineModel& machine =
         builtinMachines().get(partition->machineModel);
@@ -275,10 +378,15 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     const std::string detail = output.launchFailed
                                    ? output.failureReason
                                    : std::string(jobStateName(job->state));
+    // Launch failures (unsupported model, missing hardware) are permanent
+    // configuration facts; scheduler-side job states classify by name.
+    const FailureClass klass = output.launchFailed
+                                   ? FailureClass::kPermanent
+                                   : classifyFailure("run", detail);
     // Record the failure in the perflog too: failed combinations are data
     // (the white "*" boxes of Figure 2), not gaps.
-    logFailure("run", detail);
-    return fail("run", detail);
+    logFailure("run", detail, klass);
+    return fail("run", detail, klass);
   }
 
   // --- Stage 4: sanity ----------------------------------------------------
@@ -290,7 +398,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
         span.attr("result", "fail");
         const std::string detail =
             "pattern '" + test.sanityPattern + "' not found in output";
-        logFailure("sanity", detail);
+        logFailure("sanity", detail, FailureClass::kTransient);
         return fail("sanity", detail);
       }
     }
@@ -310,7 +418,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
       perfSpan.attr("result", "fail");
       const std::string detail = "FOM '" + pattern.fomName +
                                  "' not found via /" + pattern.pattern + "/";
-      logFailure("performance", detail);
+      logFailure("performance", detail, FailureClass::kTransient);
       return fail("performance", detail);
     }
     double value = 0.0;
@@ -321,7 +429,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
       const std::string detail = "FOM '" + pattern.fomName +
                                  "' captured non-numeric '" +
                                  match[1].str() + "'";
-      logFailure("performance", detail);
+      logFailure("performance", detail, FailureClass::kTransient);
       return fail("performance", detail);
     }
     result.foms[pattern.fomName] = value;
@@ -372,10 +480,11 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
 
   result.passed = allWithinReference;
   if (!allWithinReference) {
-    result.failureStage = "reference";
-    result.failureDetail = "one or more FOMs outside reference bounds";
+    result.failure.stage = "reference";
+    result.failure.klass = FailureClass::kPermanent;
+    result.failure.detail = "one or more FOMs outside reference bounds";
     attemptSpan.attr("result", "fail");
-    attemptSpan.attr("failure_stage", result.failureStage);
+    attemptSpan.attr("failure_stage", result.failure.stage);
   } else {
     attemptSpan.attr("result", "pass");
   }
@@ -384,14 +493,86 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
 
 std::vector<TestRunResult> Pipeline::runAll(
     std::span<const RegressionTest> tests,
-    std::span<const std::string> targets, PerfLog* perflog) {
+    std::span<const std::string> targets, PerfLog* perflog,
+    RunJournal* journal, CampaignReport* report) {
   std::vector<TestRunResult> results;
+  CampaignReport local;
+  CampaignReport& rep = report != nullptr ? *report : local;
+
+  // Graceful degradation: after `pairThreshold` consecutive infrastructure
+  // failures a (test, target) pair is quarantined; a whole partition after
+  // `partitionThreshold` (across all its tests).  Quarantined tuples are
+  // reported, journaled and skipped instead of cascading errors.
+  CircuitBreaker pairBreaker(options_.breaker.pairThreshold);
+  CircuitBreaker partitionBreaker(options_.breaker.partitionThreshold);
+
   for (const std::string& target : targets) {
     const auto [system, partition] = systems_.resolve(target);
+    const std::string partitionKey = system->name + ":" + partition->name;
     for (const RegressionTest& test : tests) {
       if (!test.matchesTarget(system->name, partition->name)) continue;
+      const std::string pairKey = test.name + "@" + partitionKey;
       for (int repeat = 0; repeat < options_.numRepeats; ++repeat) {
-        results.push_back(runOne(test, target, perflog, repeat));
+        if (journal != nullptr &&
+            journal->contains(test.name, target, repeat)) {
+          ++rep.skippedJournaled;
+          continue;
+        }
+        if (!pairBreaker.allows(pairKey) ||
+            !partitionBreaker.allows(partitionKey)) {
+          const std::string openKey =
+              pairBreaker.allows(pairKey) ? partitionKey : pairKey;
+          TestRunResult skipped;
+          skipped.testName = test.name;
+          skipped.system = system->name;
+          skipped.partition = partition->name;
+          skipped.quarantined = true;
+          skipped.passed = false;
+          skipped.attempts = 0;
+          skipped.failure = {
+              "quarantine", FailureClass::kInfrastructure,
+              "circuit open for " + openKey + " after consecutive "
+              "infrastructure failures"};
+          ++rep.quarantined;
+          if (options_.tracer != nullptr) {
+            options_.tracer->event("fault.quarantine",
+                                   {{"key", openKey},
+                                    {"test", test.name},
+                                    {"target", target}});
+          }
+          if (options_.metrics != nullptr) {
+            options_.metrics->counter("fault.quarantined").inc();
+          }
+          if (journal != nullptr) {
+            journal->record(test.name, target, repeat, "quarantined",
+                            "quarantine", 0);
+          }
+          results.push_back(std::move(skipped));
+          continue;
+        }
+
+        TestRunResult result = runOne(test, target, perflog, repeat);
+        ++rep.executed;
+        const bool infra =
+            !result.passed &&
+            result.failure.klass == FailureClass::kInfrastructure;
+        if (infra) {
+          if (pairBreaker.recordFailure(pairKey)) {
+            rep.quarantinedKeys.push_back(pairKey);
+          }
+          if (partitionBreaker.recordFailure(partitionKey)) {
+            rep.quarantinedKeys.push_back(partitionKey);
+          }
+        } else {
+          pairBreaker.recordSuccess(pairKey);
+          partitionBreaker.recordSuccess(partitionKey);
+        }
+        if (journal != nullptr) {
+          journal->record(test.name, target, repeat,
+                          result.passed ? "pass" : "fail",
+                          result.failure.stage, result.attempts);
+        }
+        results.push_back(std::move(result));
       }
     }
   }

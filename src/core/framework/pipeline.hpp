@@ -8,11 +8,17 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/concretizer/concretizer.hpp"
+#include "core/fault/failure.hpp"
+#include "core/fault/fault.hpp"
+#include "core/fault/journal.hpp"
+#include "core/fault/quarantine.hpp"
+#include "core/fault/retry.hpp"
 #include "core/framework/perflog.hpp"
 #include "core/framework/regression_test.hpp"
 #include "core/framework/telemetry.hpp"
@@ -40,10 +46,18 @@ struct PipelineOptions {
   /// Capture system-state telemetry (energy, background load) for each
   /// run on modelled platforms — the paper's §4 future work.
   bool captureTelemetry = true;
-  /// Retry transiently-failed runs (run/sanity/performance stages) up to
-  /// this many extra times, ReFrame's --max-retries.  Concretization and
-  /// submission errors are configuration bugs and never retried.
-  int maxRetries = 0;
+  /// Retry policy for transiently-failed attempts: per-stage budgets and
+  /// exponential backoff with deterministic jitter (replaces ReFrame's
+  /// flat --max-retries).  Only FailureClass::kTransient failures are
+  /// retried; backoff waits consume simulated time and appear as
+  /// `backoff` spans in the trace.
+  RetryPolicy retry;
+  /// Deterministic fault injection (all-zero probabilities = off).
+  FaultConfig faults;
+  /// Circuit-breaker thresholds used by runAll to quarantine (test,
+  /// target) pairs / whole partitions after consecutive infrastructure
+  /// failures.
+  BreakerOptions breaker;
   /// Optional observability hooks (rebench::obs, both nullable, not
   /// owned).  With a tracer attached, every runOne emits one `test_run`
   /// root span with `attempt` children wrapping the
@@ -78,8 +92,13 @@ struct TestRunResult {
   std::map<std::string, bool> fomWithinReference;
 
   bool passed = false;
-  std::string failureStage;  // empty on success
-  std::string failureDetail;
+  /// Classified failure (stage empty on success).
+  FailureInfo failure;
+  /// True when the run never executed because its (test, target) pair or
+  /// partition was quarantined by the circuit breaker.
+  bool quarantined = false;
+  /// Scheduler-level preemption/requeue count for the final attempt.
+  int requeues = 0;
   /// 1 + number of retries consumed.
   int attempts = 1;
 
@@ -92,21 +111,41 @@ struct TestRunResult {
   double simulatedPipelineSeconds = 0.0;  // build + queue + run
 };
 
+/// Campaign-level accounting produced by runAll (all fields additive to
+/// the returned results; quarantined entries also appear as results).
+struct CampaignReport {
+  std::size_t executed = 0;
+  /// Tuples skipped because the run journal already contains them.
+  std::size_t skippedJournaled = 0;
+  /// Tuples skipped by the circuit breaker.
+  std::size_t quarantined = 0;
+  /// Breaker keys ("test@system:partition" or "system:partition") whose
+  /// circuit opened during the campaign, in open order.
+  std::vector<std::string> quarantinedKeys;
+};
+
 /// Drives regression tests through the full pipeline on simulated systems.
 class Pipeline {
  public:
   Pipeline(const SystemRegistry& systems, const PackageRepository& repo,
            PipelineOptions options = {});
 
-  /// Runs one test on "system[:partition]", honouring maxRetries.
+  /// Runs one test on "system[:partition]", honouring the retry policy.
   /// `repeatIndex` feeds the benchmark's run-to-run noise stream.
   TestRunResult runOne(const RegressionTest& test, std::string_view target,
                        PerfLog* perflog = nullptr, int repeatIndex = 0);
 
   /// Runs every test on every matching target; skips non-matching pairs.
+  /// With a `journal`, already-recorded (test, target, repeat) tuples are
+  /// skipped and completed ones appended — the --resume mechanism.  A
+  /// circuit breaker (options.breaker) quarantines pairs/partitions after
+  /// consecutive infrastructure failures; quarantined tuples yield
+  /// results with failure.stage == "quarantine" instead of executing.
   std::vector<TestRunResult> runAll(std::span<const RegressionTest> tests,
                                     std::span<const std::string> targets,
-                                    PerfLog* perflog = nullptr);
+                                    PerfLog* perflog = nullptr,
+                                    RunJournal* journal = nullptr,
+                                    CampaignReport* report = nullptr);
 
   /// Monotone stamp used for perflog timestamps (deterministic).
   std::string nextTimestamp();
@@ -121,6 +160,7 @@ class Pipeline {
   const PackageRepository& repo_;
   PipelineOptions options_;
   Builder builder_;
+  std::optional<FaultInjector> injector_;
   std::uint64_t logicalTime_ = 0;
 };
 

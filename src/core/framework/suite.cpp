@@ -50,4 +50,44 @@ std::vector<std::string> TestSuite::testNames() const {
   return out;
 }
 
+CampaignSummary summarizeCampaign(std::span<const TestRunResult> results) {
+  CampaignSummary summary;
+  summary.total = results.size();
+  for (const TestRunResult& result : results) {
+    if (result.quarantined) {
+      ++summary.quarantined;
+    } else if (result.passed) {
+      ++summary.passed;
+    } else {
+      ++summary.failed;
+    }
+  }
+  return summary;
+}
+
+std::string renderCampaignSummary(const CampaignSummary& summary,
+                                  const CampaignReport* report) {
+  std::string out = std::to_string(summary.passed) + "/" +
+                    std::to_string(summary.total) + " passed\n";
+  if (summary.quarantined > 0) {
+    out += "quarantined: " + std::to_string(summary.quarantined) +
+           " run(s) skipped by the circuit breaker";
+    if (report != nullptr && !report->quarantinedKeys.empty()) {
+      out += " (";
+      for (std::size_t i = 0; i < report->quarantinedKeys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += report->quarantinedKeys[i];
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  if (report != nullptr && report->skippedJournaled > 0) {
+    out += "resume: " + std::to_string(report->skippedJournaled) +
+           " tuple(s) already journaled, " +
+           std::to_string(report->executed) + " executed\n";
+  }
+  return out;
+}
+
 }  // namespace rebench

@@ -3,9 +3,11 @@
 // --tag omp -n HPCG_ -x HPCG_Intel` selection interface.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/framework/pipeline.hpp"
 #include "core/framework/regression_test.hpp"
 
 namespace rebench {
@@ -43,5 +45,21 @@ class TestSuite {
  private:
   std::vector<TaggedTest> tests_;
 };
+
+/// Outcome counts over one campaign's results (quarantined entries are a
+/// separate bucket — they failed without running).
+struct CampaignSummary {
+  std::size_t total = 0;
+  std::size_t passed = 0;
+  std::size_t failed = 0;       // executed and failed
+  std::size_t quarantined = 0;  // skipped by the circuit breaker
+};
+
+CampaignSummary summarizeCampaign(std::span<const TestRunResult> results);
+
+/// One-paragraph human summary; includes resume/quarantine lines when a
+/// CampaignReport is given and they apply.
+std::string renderCampaignSummary(const CampaignSummary& summary,
+                                  const CampaignReport* report = nullptr);
 
 }  // namespace rebench

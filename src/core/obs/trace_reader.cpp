@@ -149,6 +149,36 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
     }
   }
 
+  // Fault-injection records carry a contract of their own: every
+  // fault.inject event names what fired and at which attempt key, every
+  // fault.quarantine event names the opened breaker key, and every
+  // backoff span records which retry it delayed and for how long.
+  for (const EventRecord& event : trace.events) {
+    if (event.name == "fault.inject") {
+      if (event.attrs.find("kind") == event.attrs.end()) {
+        issues.push_back("fault.inject event without a 'kind' attribute");
+      }
+      if (event.attrs.find("key") == event.attrs.end()) {
+        issues.push_back("fault.inject event without a 'key' attribute");
+      }
+    } else if (event.name == "fault.quarantine") {
+      if (event.attrs.find("key") == event.attrs.end()) {
+        issues.push_back("fault.quarantine event without a 'key' attribute");
+      }
+    }
+  }
+  for (const SpanRecord& span : trace.spans) {
+    if (span.name != "backoff") continue;
+    if (span.attrs.find("attempt") == span.attrs.end()) {
+      issues.push_back("backoff span '" + span.id +
+                       "' without an 'attempt' attribute");
+    }
+    if (span.attrs.find("seconds") == span.attrs.end()) {
+      issues.push_back("backoff span '" + span.id +
+                       "' without a 'seconds' attribute");
+    }
+  }
+
   double previous = 0.0;
   bool first = true;
   for (const TraceFile::TimelineEntry& entry : trace.timeline) {

@@ -14,6 +14,7 @@ std::string_view hygieneRuleName(HygieneRule rule) {
     case HygieneRule::kNotLikeForLike: return "not-like-for-like";
     case HygieneRule::kNoReference: return "no-reference";
     case HygieneRule::kHighFailureRate: return "high-failure-rate";
+    case HygieneRule::kCorruptLines: return "corrupt-lines";
   }
   return "?";
 }
@@ -124,6 +125,20 @@ std::vector<HygieneFinding> auditPerflog(
               if (a.rule != b.rule) return a.rule < b.rule;
               return a.subject < b.subject;
             });
+  return findings;
+}
+
+std::vector<HygieneFinding> auditPerflogFile(const std::string& path,
+                                             const HygieneOptions& options) {
+  const PerfLog::LenientParse parsed = PerfLog::readFileLenient(path);
+  std::vector<HygieneFinding> findings = auditPerflog(parsed.entries, options);
+  if (parsed.corruptLines > 0) {
+    findings.push_back(
+        {HygieneRule::kCorruptLines, path,
+         std::to_string(parsed.corruptLines) +
+             " unparseable line(s) skipped — the log may be truncated or "
+             "corrupted"});
+  }
   return findings;
 }
 

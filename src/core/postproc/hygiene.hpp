@@ -31,6 +31,7 @@ enum class HygieneRule {
   kNotLikeForLike,
   kNoReference,
   kHighFailureRate,
+  kCorruptLines,
 };
 
 std::string_view hygieneRuleName(HygieneRule rule);
@@ -56,6 +57,12 @@ struct HygieneOptions {
 std::vector<HygieneFinding> auditPerflog(
     std::span<const PerfLogEntry> entries,
     const HygieneOptions& options = {});
+
+/// Reads `path` leniently (PerfLog::readFileLenient) and audits what
+/// parsed; corrupt lines become a kCorruptLines finding instead of a
+/// fatal parse error, so a crash-truncated perflog is still auditable.
+std::vector<HygieneFinding> auditPerflogFile(
+    const std::string& path, const HygieneOptions& options = {});
 
 /// Renders findings as a human-readable report ("clean" when empty).
 std::string renderHygieneReport(std::span<const HygieneFinding> findings);

@@ -16,6 +16,7 @@ std::string_view jobStateName(JobState s) {
     case JobState::kFailed: return "FAILED";
     case JobState::kCancelled: return "CANCELLED";
     case JobState::kTimeout: return "TIMEOUT";
+    case JobState::kNodeFail: return "NODE_FAIL";
   }
   return "UNKNOWN";
 }
@@ -105,8 +106,15 @@ JobId SchedulerSim::submit(JobRequest request) {
   return jobs_.back().id;
 }
 
+JobInfo& SchedulerSim::jobAt(JobId id) {
+  if (id == 0 || id > jobs_.size()) {
+    throw SchedulerError("unknown job id " + std::to_string(id));
+  }
+  return jobs_[id - 1];
+}
+
 void SchedulerSim::cancel(JobId id) {
-  JobInfo& job = const_cast<JobInfo&>(query(id));
+  JobInfo& job = jobAt(id);
   if (job.state == JobState::kPending) {
     pendingQueue_.erase(
         std::remove(pendingQueue_.begin(), pendingQueue_.end(), id),
@@ -117,6 +125,7 @@ void SchedulerSim::cancel(JobId id) {
   } else if (job.state == JobState::kRunning) {
     releaseNodes(job);
     endEvents_.erase(id);
+    faultEvents_.erase(id);
     job.state = JobState::kCancelled;
     job.endTime = now_;
   } else {
@@ -137,7 +146,7 @@ bool SchedulerSim::tryStart(JobInfo& job) {
       job.allocation.tasksPerNode;
   std::vector<int> chosen;
   for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
-    if (nodes_[i].freeCores >= coresPerNodeNeeded) {
+    if (!nodes_[i].down && nodes_[i].freeCores >= coresPerNodeNeeded) {
       chosen.push_back(i);
       if (static_cast<int>(chosen.size()) == nodesNeeded) break;
     }
@@ -172,6 +181,13 @@ bool SchedulerSim::tryStart(JobInfo& job) {
     job.outcome.success = false;
     job.reason = "TimeLimit";
   }
+  // Injected faults strike the first execution only: a requeued job has
+  // already consumed its fault, and a node-failed job never restarts.
+  if (request.fault && job.requeues == 0) {
+    const double frac =
+        std::clamp(request.fault->atFraction, 0.01, 0.99);
+    faultEvents_[job.id] = now_ + frac * wall;
+  }
   return true;
 }
 
@@ -181,6 +197,48 @@ void SchedulerSim::releaseNodes(const JobInfo& job) {
   for (int nodeId : job.allocation.nodeIds) {
     nodes_[nodeId].freeCores += coresPerNodeNeeded;
     REBENCH_REQUIRE(nodes_[nodeId].freeCores <= options_.coresPerNode);
+  }
+}
+
+void SchedulerSim::failNodes(JobInfo& job, double failTime) {
+  // The node takes the job down with it and stays drained: no release,
+  // no restart.  A real scheduler would set the node DOWN/DRAIN.
+  for (int nodeId : job.allocation.nodeIds) {
+    nodes_[nodeId].freeCores = 0;
+    nodes_[nodeId].down = true;
+  }
+  job.state = JobState::kNodeFail;
+  job.endTime = failTime;
+  job.reason = "NodeFail";
+  job.outcome.success = false;
+  if (metrics_ != nullptr) {
+    metrics_->counter("sched.node_failures").inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->eventAt(traceTimeBase_ + failTime, "sched.node_fail",
+                     {{"job", std::to_string(job.id)},
+                      {"nodes", std::to_string(job.allocation.nodeIds.size())}});
+    tracer_->eventAt(traceTimeBase_ + failTime, "sched.finish",
+                     {{"job", std::to_string(job.id)},
+                      {"state", std::string(jobStateName(job.state))}});
+  }
+}
+
+void SchedulerSim::preempt(JobInfo& job, double preemptTime) {
+  releaseNodes(job);
+  job.state = JobState::kPending;
+  job.startTime = -1.0;
+  job.reason = "Preempted";
+  ++job.requeues;
+  pendingQueue_.push_back(job.id);
+  noteQueueDepth();
+  if (metrics_ != nullptr) {
+    metrics_->counter("sched.preemptions").inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->eventAt(traceTimeBase_ + preemptTime, "sched.preempt",
+                     {{"job", std::to_string(job.id)},
+                      {"requeues", std::to_string(job.requeues)}});
   }
 }
 
@@ -234,6 +292,9 @@ std::optional<double> SchedulerSim::nextEventTime() const {
   for (const auto& [id, end] : endEvents_) {
     if (!next || end < *next) next = end;
   }
+  for (const auto& [id, strike] : faultEvents_) {
+    if (!next || strike < *next) next = strike;
+  }
   for (JobId id : pendingQueue_) {
     const double eligible =
         jobs_[id - 1].submitTime + options_.schedulingLatency;
@@ -243,6 +304,25 @@ std::optional<double> SchedulerSim::nextEventTime() const {
 }
 
 void SchedulerSim::processEventsAt(double time) {
+  // Faults strike strictly before (or, for zero-length jobs, at) the
+  // completion they pre-empt, so they are processed first; a struck job's
+  // completion event is discarded.
+  std::vector<JobId> struck;
+  for (const auto& [id, strike] : faultEvents_) {
+    if (strike <= time) struck.push_back(id);
+  }
+  for (JobId id : struck) {
+    const double strike = faultEvents_.at(id);
+    faultEvents_.erase(id);
+    endEvents_.erase(id);
+    JobInfo& job = jobs_[id - 1];
+    const InjectedJobFault& fault = *requests_[id - 1].fault;
+    if (fault.kind == InjectedJobFault::Kind::kNodeFailure) {
+      failNodes(job, strike);
+    } else {
+      preempt(job, strike);
+    }
+  }
   std::vector<JobId> done;
   for (const auto& [id, end] : endEvents_) {
     if (end <= time) done.push_back(id);
@@ -311,6 +391,12 @@ std::map<std::string, double> SchedulerSim::accountingCoreSeconds() const {
 int SchedulerSim::idleCores() const {
   int total = 0;
   for (const Node& node : nodes_) total += node.freeCores;
+  return total;
+}
+
+int SchedulerSim::downNodes() const {
+  int total = 0;
+  for (const Node& node : nodes_) total += node.down ? 1 : 0;
   return total;
 }
 

@@ -39,6 +39,22 @@ struct JobOutcome {
   std::string stdoutText;
 };
 
+/// A scheduler-level fault injected into one job (rebench::fault drives
+/// this deterministically; the scheduler just executes the script).  The
+/// fault strikes once, at `atFraction` of the job's first execution.
+struct InjectedJobFault {
+  enum class Kind {
+    /// The node(s) running the job die: the job ends NODE_FAIL and the
+    /// nodes are drained (removed from capacity) for the rest of this
+    /// scheduler instance's lifetime.
+    kNodeFailure,
+    /// The job is preempted and requeued; it reruns from the start.
+    kPreemption,
+  };
+  Kind kind = Kind::kNodeFailure;
+  double atFraction = 0.5;  // clamped to (0, 1)
+};
+
 struct JobRequest {
   std::string name;
   int numTasks = 1;
@@ -49,6 +65,8 @@ struct JobRequest {
   std::string qos = "standard";
   std::string account;
   std::function<JobOutcome(const Allocation&)> payload;
+  /// Optional injected fault (applies to the first execution only).
+  std::optional<InjectedJobFault> fault;
 };
 
 enum class JobState {
@@ -58,6 +76,7 @@ enum class JobState {
   kFailed,
   kCancelled,
   kTimeout,
+  kNodeFail,
 };
 
 std::string_view jobStateName(JobState s);
@@ -75,6 +94,8 @@ struct JobInfo {
   JobOutcome outcome;
   /// Human-readable pending/failure reason (e.g. "Resources").
   std::string reason;
+  /// Times this job was preempted and requeued.
+  int requeues = 0;
 };
 
 /// Simulated-cluster shape and policy.
@@ -124,16 +145,23 @@ class SchedulerSim {
   int totalCores() const {
     return options_.numNodes * options_.coresPerNode;
   }
+  /// Nodes drained by injected node failures.
+  int downNodes() const;
 
  private:
   struct Node {
     int freeCores = 0;
+    bool down = false;
   };
 
+  /// Bounds-checked mutable access; throws SchedulerError on invalid ids.
+  JobInfo& jobAt(JobId id);
   bool tryStart(JobInfo& job);
   void finish(JobInfo& job, double endTime);
   void noteQueueDepth();
   void releaseNodes(const JobInfo& job);
+  void failNodes(JobInfo& job, double failTime);
+  void preempt(JobInfo& job, double preemptTime);
   void scheduleLoop();
   std::optional<double> nextEventTime() const;
   void processEventsAt(double time);
@@ -144,6 +172,7 @@ class SchedulerSim {
   std::vector<JobRequest> requests_;   // parallel to jobs_
   std::vector<JobId> pendingQueue_;    // FIFO order
   std::map<JobId, double> endEvents_;  // running job -> completion time
+  std::map<JobId, double> faultEvents_;  // running job -> fault strike time
   double now_ = 0.0;
 
   obs::Tracer* tracer_ = nullptr;

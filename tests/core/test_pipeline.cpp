@@ -45,8 +45,8 @@ TEST_F(PipelineFixture, SyntheticTestPassesEndToEnd) {
   PerfLog log;
   const TestRunResult result =
       pipeline_.runOne(syntheticTest(), "archer2", &log);
-  EXPECT_TRUE(result.passed) << result.failureStage << ": "
-                             << result.failureDetail;
+  EXPECT_TRUE(result.passed) << result.failure.stage << ": "
+                             << result.failure.detail;
   EXPECT_TRUE(result.sanityPassed);
   EXPECT_EQ(result.jobState, JobState::kCompleted);
   EXPECT_NEAR(result.foms.at("rate"), 123.5, 1e-9);
@@ -74,7 +74,7 @@ TEST_F(PipelineFixture, SanityFailureStopsPipeline) {
   };
   const TestRunResult result = pipeline_.runOne(test, "archer2");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "sanity");
+  EXPECT_EQ(result.failure.stage, "sanity");
 }
 
 TEST_F(PipelineFixture, MissingFomIsPerformanceFailure) {
@@ -84,7 +84,7 @@ TEST_F(PipelineFixture, MissingFomIsPerformanceFailure) {
   };
   const TestRunResult result = pipeline_.runOne(test, "archer2");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "performance");
+  EXPECT_EQ(result.failure.stage, "performance");
 }
 
 TEST_F(PipelineFixture, ReferenceViolationFlagged) {
@@ -92,7 +92,7 @@ TEST_F(PipelineFixture, ReferenceViolationFlagged) {
   test.references["archer2:compute"]["rate"] = {200.0, -0.1, 0.1};
   const TestRunResult result = pipeline_.runOne(test, "archer2");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "reference");
+  EXPECT_EQ(result.failure.stage, "reference");
   EXPECT_FALSE(result.fomWithinReference.at("rate"));
 }
 
@@ -108,7 +108,7 @@ TEST_F(PipelineFixture, UnknownSpecFailsAtConcretize) {
   test.spackSpec = "no-such-package";
   const TestRunResult result = pipeline_.runOne(test, "archer2");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "concretize");
+  EXPECT_EQ(result.failure.stage, "concretize");
 }
 
 TEST_F(PipelineFixture, ConcretizationTraceIsAuditable) {
@@ -127,8 +127,8 @@ TEST_F(PipelineFixture, BabelstreamOnModeledPlatform) {
   const TestRunResult result = pipeline_.runOne(
       babelstream::makeBabelstreamTest(options),
       "isambard-macs:cascadelake", &log);
-  EXPECT_TRUE(result.passed) << result.failureStage << ": "
-                             << result.failureDetail;
+  EXPECT_TRUE(result.passed) << result.failure.stage << ": "
+                             << result.failure.detail;
   EXPECT_GT(result.foms.at("Triad"), 0.0);
   // Triad GB/s must be below Table 1 peak for the platform.
   EXPECT_LT(result.foms.at("Triad") / 1000.0, 282.0);
@@ -144,8 +144,8 @@ TEST_F(PipelineFixture, BabelstreamUnsupportedModelRecordsFailure) {
       babelstream::makeBabelstreamTest(options),
       "isambard-macs:cascadelake", &log);
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "run");
-  EXPECT_TRUE(str::contains(result.failureDetail, "NVIDIA GPU"));
+  EXPECT_EQ(result.failure.stage, "run");
+  EXPECT_TRUE(str::contains(result.failure.detail, "NVIDIA GPU"));
   // Failed combinations still land in the perflog (Fig. 2's "*" cells).
   ASSERT_EQ(log.size(), 1u);
   EXPECT_EQ(PerfLogEntry::parse(log.lines()[0]).result, "error");
@@ -158,7 +158,7 @@ TEST_F(PipelineFixture, BabelstreamNativeOnLocalSystem) {
   options.nativeArraySize = 1 << 16;
   const TestRunResult result = pipeline_.runOne(
       babelstream::makeBabelstreamTest(options), "local");
-  EXPECT_TRUE(result.passed) << result.failureDetail;
+  EXPECT_TRUE(result.passed) << result.failure.detail;
   EXPECT_GT(result.foms.at("Triad"), 0.0);
 }
 
@@ -169,8 +169,8 @@ TEST_F(PipelineFixture, HpcgVariantNaOnRomeIsRunFailure) {
   const TestRunResult result =
       pipeline_.runOne(hpcg::makeHpcgTest(options), "archer2");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "run");
-  EXPECT_TRUE(str::contains(result.failureDetail, "N/A"));
+  EXPECT_EQ(result.failure.stage, "run");
+  EXPECT_TRUE(str::contains(result.failure.detail, "N/A"));
 }
 
 TEST_F(PipelineFixture, HpgmgAppendixGeometryRunsOnAllFourSystems) {
@@ -179,8 +179,8 @@ TEST_F(PipelineFixture, HpgmgAppendixGeometryRunsOnAllFourSystems) {
   for (const char* target : {"archer2", "cosma8", "csd3", "isambard-macs"}) {
     const TestRunResult result = pipeline_.runOne(test, target, &log);
     EXPECT_TRUE(result.passed)
-        << target << ": " << result.failureStage << " "
-        << result.failureDetail;
+        << target << ": " << result.failure.stage << " "
+        << result.failure.detail;
     EXPECT_GT(result.foms.at("l0"), 0.0);
     EXPECT_GT(result.foms.at("l1"), 0.0);
     EXPECT_GT(result.foms.at("l2"), 0.0);
@@ -220,8 +220,8 @@ TEST_F(PipelineFixture, AccountMissingFailsSubmitStage) {
   Pipeline pipeline(systems_, repo_, options);
   const TestRunResult result = pipeline.runOne(syntheticTest(), "archer2");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "submit");
-  EXPECT_TRUE(str::contains(result.failureDetail, "Invalid account"));
+  EXPECT_EQ(result.failure.stage, "submit");
+  EXPECT_TRUE(str::contains(result.failure.detail, "Invalid account"));
 }
 
 }  // namespace

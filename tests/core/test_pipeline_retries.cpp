@@ -44,7 +44,7 @@ TEST_F(RetryFixture, NoRetriesByDefault) {
   const TestRunResult result =
       pipeline.runOne(flakyTest(calls, 1), "csd3");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "sanity");
+  EXPECT_EQ(result.failure.stage, "sanity");
   EXPECT_EQ(result.attempts, 1);
   EXPECT_EQ(calls->load(), 1);
 }
@@ -52,11 +52,11 @@ TEST_F(RetryFixture, NoRetriesByDefault) {
 TEST_F(RetryFixture, RetriesRecoverTransientFailures) {
   auto calls = std::make_shared<std::atomic<int>>(0);
   PipelineOptions options;
-  options.maxRetries = 3;
+  options.retry.maxRetries = 3;
   Pipeline pipeline(systems_, repo_, options);
   const TestRunResult result =
       pipeline.runOne(flakyTest(calls, 2), "csd3");
-  EXPECT_TRUE(result.passed) << result.failureDetail;
+  EXPECT_TRUE(result.passed) << result.failure.detail;
   EXPECT_EQ(result.attempts, 3);  // 2 failures + 1 success
   EXPECT_NEAR(result.foms.at("rate"), 42.0, 1e-9);
 }
@@ -64,7 +64,7 @@ TEST_F(RetryFixture, RetriesRecoverTransientFailures) {
 TEST_F(RetryFixture, RetriesExhaustedStaysFailed) {
   auto calls = std::make_shared<std::atomic<int>>(0);
   PipelineOptions options;
-  options.maxRetries = 2;
+  options.retry.maxRetries = 2;
   Pipeline pipeline(systems_, repo_, options);
   const TestRunResult result =
       pipeline.runOne(flakyTest(calls, 10), "csd3");
@@ -75,13 +75,13 @@ TEST_F(RetryFixture, RetriesExhaustedStaysFailed) {
 TEST_F(RetryFixture, ConfigurationErrorsNeverRetried) {
   auto calls = std::make_shared<std::atomic<int>>(0);
   PipelineOptions options;
-  options.maxRetries = 5;
+  options.retry.maxRetries = 5;
   Pipeline pipeline(systems_, repo_, options);
   RegressionTest test = flakyTest(calls, 0);
   test.spackSpec = "no-such-package";
   const TestRunResult result = pipeline.runOne(test, "csd3");
   EXPECT_FALSE(result.passed);
-  EXPECT_EQ(result.failureStage, "concretize");
+  EXPECT_EQ(result.failure.stage, "concretize");
   EXPECT_EQ(result.attempts, 1);
   EXPECT_EQ(calls->load(), 0);  // never even ran
 }

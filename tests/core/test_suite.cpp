@@ -83,7 +83,7 @@ TEST(BuiltinSuite, TagSelectionRunsThroughPipeline) {
   const std::vector<std::string> targets{"noctua2"};
   const auto results = pipeline.runAll(tests, targets);
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_TRUE(results[0].passed) << results[0].failureDetail;
+  EXPECT_TRUE(results[0].passed) << results[0].failure.detail;
 }
 
 }  // namespace

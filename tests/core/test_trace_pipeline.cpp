@@ -71,7 +71,7 @@ class TracedPipeline : public ::testing::Test {
   TestRunResult run(const RegressionTest& test, std::string_view target,
                     PerfLog* perflog = nullptr, int maxRetries = 0) {
     PipelineOptions options;
-    options.maxRetries = maxRetries;
+    options.retry.maxRetries = maxRetries;
     options.tracer = &tracer_;
     options.metrics = &metrics_;
     Pipeline pipeline(systems_, repo_, options);
@@ -86,7 +86,7 @@ class TracedPipeline : public ::testing::Test {
 
 TEST_F(TracedPipeline, EmitsOneSpanPerStageUnderTestRun) {
   const TestRunResult result = run(passingTest(), "archer2");
-  ASSERT_TRUE(result.passed) << result.failureDetail;
+  ASSERT_TRUE(result.passed) << result.failure.detail;
   EXPECT_EQ(tracer_.openSpans(), 0u);
 
   const obs::SpanRecord* root = findSpan(tracer_, "test_run");
@@ -152,7 +152,7 @@ TEST_F(TracedPipeline, RetriesShowAsSiblingAttemptSpansAndPerflogRows) {
   PerfLog perflog;
   const TestRunResult result =
       run(flakyTest(calls, 1), "csd3", &perflog, /*maxRetries=*/2);
-  ASSERT_TRUE(result.passed) << result.failureDetail;
+  ASSERT_TRUE(result.passed) << result.failure.detail;
   EXPECT_EQ(result.attempts, 2);
 
   ASSERT_EQ(countSpans(tracer_, "attempt"), 2u);

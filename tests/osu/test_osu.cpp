@@ -116,8 +116,8 @@ TEST(OsuPipeline, RunsOnModeledSystems) {
   options.benchmark = OsuBenchmark::kLatency;
   const TestRunResult result =
       pipeline.runOne(makeOsuTest(options), "archer2");
-  EXPECT_TRUE(result.passed) << result.failureStage << " "
-                             << result.failureDetail;
+  EXPECT_TRUE(result.passed) << result.failure.stage << " "
+                             << result.failure.detail;
   // Slingshot-class latency at 8 bytes: a couple of microseconds.
   EXPECT_GT(result.foms.at("small"), 0.5);
   EXPECT_LT(result.foms.at("small"), 10.0);
@@ -146,7 +146,7 @@ TEST(OsuPipeline, NativeRunOnLocal) {
   options.nativeIterations = 10;
   const TestRunResult result =
       pipeline.runOne(makeOsuTest(options), "local");
-  EXPECT_TRUE(result.passed) << result.failureDetail;
+  EXPECT_TRUE(result.passed) << result.failure.detail;
   EXPECT_GT(result.foms.at("small"), 0.0);
 }
 
