@@ -1,16 +1,21 @@
 // Experiment E9 — ablation of Principle 3 ("rebuild every run").
 //
 // The paper argues that cached binaries silently decouple the measured
-// binary from the documented build steps.  This bench quantifies both
-// sides: the simulated cost of always rebuilding, and the drift a cached
-// binary hides when the system environment changes under it (a compiler
-// module update), which rebuild-every-run detects via the binary id.
+// binary from the documented build steps.  This bench quantifies three
+// workflows: always rebuilding, naively caching on the build plan alone
+// (what ad-hoc scripts do), and the framework's content-addressed store
+// with *verified reuse* — cache keys cover the concretized spec, the
+// system environment fingerprint and the build plan, so a compiler
+// module update invalidates the cache instead of hiding drift.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <iostream>
 
 #include "core/concretizer/concretizer.hpp"
 #include "core/pkg/build_plan.hpp"
+#include "core/store/build_cache.hpp"
+#include "core/store/object_store.hpp"
 #include "core/sysconfig/system_config.hpp"
 #include "core/util/strings.hpp"
 #include "core/util/table.hpp"
@@ -18,6 +23,13 @@
 namespace {
 
 using namespace rebench;
+
+std::string freshStoreDir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
 
 void BM_BuildPlanExecution(benchmark::State& state) {
   const PackageRepository repo = builtinRepository();
@@ -32,6 +44,28 @@ void BM_BuildPlanExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildPlanExecution);
 
+// A cache hit still pays for a verified read: the blob is fetched from
+// disk and rehashed before the record is trusted.
+void BM_BuildCacheHit(benchmark::State& state) {
+  const PackageRepository repo = builtinRepository();
+  const SystemRegistry systems = builtinSystems();
+  const SystemEnvironment& env = systems.get("archer2").environment;
+  Concretizer concretizer(repo, env);
+  const auto root = concretizer.concretize(Spec::parse("hpgmg%gcc")).root;
+  const BuildPlan plan = makeBuildPlan(*root);
+
+  store::ObjectStore objectStore(freshStoreDir("rebench-bench-store"));
+  store::BuildCache cache(objectStore, nullptr, nullptr);
+  const std::string fingerprint =
+      store::BuildCache::environmentFingerprint(env);
+  Builder builder(/*rebuildEveryRun=*/true);
+  builder.build(plan, &cache, fingerprint);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(plan, &cache, fingerprint));
+  }
+}
+BENCHMARK(BM_BuildCacheHit);
+
 void reproduceAblation() {
   const PackageRepository repo = builtinRepository();
   const SystemRegistry systems = builtinSystems();
@@ -43,15 +77,20 @@ void reproduceAblation() {
   const BuildPlan planBefore = makeBuildPlan(*specBefore);
 
   Builder rebuilding(/*rebuildEveryRun=*/true);
-  Builder caching(/*rebuildEveryRun=*/false);
+  Builder naiveCaching(/*rebuildEveryRun=*/false);
+  store::ObjectStore objectStore(freshStoreDir("rebench-ablation-store"));
+  store::BuildCache cache(objectStore, nullptr, nullptr);
+  Builder verified(/*rebuildEveryRun=*/true);
+  const std::string fpBefore =
+      store::BuildCache::environmentFingerprint(csd3.environment);
 
   const int kRuns = 10;
-  double rebuildCost = 0.0, cachedCost = 0.0;
+  double rebuildCost = 0.0, naiveCost = 0.0, verifiedCost = 0.0;
   for (int i = 0; i < kRuns; ++i) {
     rebuildCost += rebuilding.build(planBefore).buildSeconds;
-    cachedCost += caching.build(planBefore).buildSeconds;
+    naiveCost += naiveCaching.build(planBefore).buildSeconds;
+    verifiedCost += verified.build(planBefore, &cache, fpBefore).buildSeconds;
   }
-  const BuildRecord cachedRecord = caching.build(planBefore);
 
   // Phase 2: the system's gcc module is upgraded (11.2.0 -> 12.1.0) and
   // the openmpi external is rebuilt against it — a routine maintenance
@@ -68,37 +107,52 @@ void reproduceAblation() {
   Concretizer after(repo, csd3.environment);
   const auto specAfter = after.concretize(Spec::parse("hpgmg%gcc")).root;
   const BuildPlan planAfter = makeBuildPlan(*specAfter);
+  const std::string fpAfter =
+      store::BuildCache::environmentFingerprint(csd3.environment);
 
   const BuildRecord freshRecord = rebuilding.build(planAfter);
-  // The cached workflow never re-concretizes: it happily reuses the old
-  // binary, which no longer matches the system it runs on.
-  const BuildRecord staleRecord = caching.build(planBefore);
+  // The naive cached workflow never re-concretizes: it happily reuses
+  // the old binary, which no longer matches the system it runs on.
+  const BuildRecord staleRecord = naiveCaching.build(planBefore);
+  // The store workflow re-concretizes (cheap) and keys reuse on spec +
+  // environment + plan: the maintenance window changes the key, the
+  // lookup misses, and the binary is rebuilt for the current system.
+  const BuildRecord verifiedRecord =
+      verified.build(planAfter, &cache, fpAfter);
 
   AsciiTable table("Ablation (Principle 3): rebuild-every-run vs cached "
                    "binaries, hpgmg%gcc on csd3");
-  table.setHeader({"metric", "rebuild-every-run", "cached"});
+  table.setHeader(
+      {"metric", "rebuild-every-run", "naive cache", "verified store"});
   table.addRow({"simulated build cost, 10 runs (s)",
-                str::fixed(rebuildCost, 1), str::fixed(cachedCost, 1)});
+                str::fixed(rebuildCost, 1), str::fixed(naiveCost, 1),
+                str::fixed(verifiedCost, 1)});
   table.addRow({"binary id after maintenance",
                 freshRecord.binaryId.substr(0, 12) + "...",
-                staleRecord.binaryId.substr(0, 12) + "..."});
+                staleRecord.binaryId.substr(0, 12) + "...",
+                verifiedRecord.binaryId.substr(0, 12) + "..."});
   table.addRow({"matches current environment",
                 freshRecord.rootHash == planAfter.rootHash ? "yes" : "NO",
-                staleRecord.rootHash == planAfter.rootHash ? "yes" : "NO"});
+                staleRecord.rootHash == planAfter.rootHash ? "yes" : "NO",
+                verifiedRecord.rootHash == planAfter.rootHash ? "yes" : "NO"});
   std::cout << "\n" << table.render();
 
   std::cout << "\nDrift detection: spec DAG hash " << planBefore.rootHash
             << " (before) vs " << planAfter.rootHash
             << " (after maintenance).\n";
   if (staleRecord.rootHash != planAfter.rootHash) {
-    std::cout << "The cached binary is provably stale: a perflog entry "
-                 "carrying its binary id can no longer be reproduced from "
-                 "the current system environment.  Rebuild-every-run pays "
-              << str::fixed(rebuildCost / kRuns, 1)
-              << " s/run (simulated) to make that impossible.\n";
+    std::cout << "The naively cached binary is provably stale: a perflog "
+                 "entry carrying its binary id can no longer be reproduced "
+                 "from the current system environment.\n";
   }
-  std::cout << "Builder cache size (distinct binaries ever built): "
-            << caching.cacheSize() << "\n";
+  std::cout << "Verified store: " << cache.stats().hits << " hit(s), "
+            << cache.stats().misses
+            << " miss(es); the post-maintenance lookup missed, so reuse "
+               "cost "
+            << str::fixed(verifiedCost / kRuns, 1)
+            << " s/run (amortized) without ever serving a stale binary.\n";
+  std::cout << "Object store holds " << objectStore.objectCount()
+            << " build record(s) in " << objectStore.dir() << "\n";
 }
 
 }  // namespace

@@ -14,7 +14,9 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "babelstream/testcase.hpp"
 #include "cli/args.hpp"
@@ -28,6 +30,9 @@
 #include "core/postproc/hygiene.hpp"
 #include "core/postproc/regression.hpp"
 #include "core/postproc/stats.hpp"
+#include "core/store/build_cache.hpp"
+#include "core/store/manifest.hpp"
+#include "core/store/object_store.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 #include "core/util/table.hpp"
@@ -51,20 +56,33 @@ int usage() {
       "      [-S key=value]... [--perflog F] [--repeats N] [--account A]\n"
       "      [--trace DIR] [--faults SPEC]  hpcg | hpgmg) through the\n"
       "      [--retries N] [--backoff-base S] [--backoff-max S] pipeline\n"
+      "      [--store DIR] [--no-cache]     --store keeps a content-\n"
+      "                                     addressed artifact store +\n"
+      "                                     provenance manifest; builds are\n"
+      "                                     reused only on exact provenance\n"
+      "                                     match (--no-cache disables reuse)\n"
       "  suite --system S [--tag T]       run the builtin suite, ReFrame\n"
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
       "        [--trace DIR] [--faults FILE|SPEC] [--retries N]\n"
       "        [--repeats N] [--resume DIR] [--quarantine-after N]\n"
+      "        [--store DIR] [--no-cache]\n"
       "                                     --faults injects deterministic\n"
       "                                     failures (seed=..,crash=..,\n"
       "                                     node=..,preempt=..,build=..,\n"
       "                                     corrupt=..,teldrop=..); --resume\n"
       "                                     journals completed runs to DIR\n"
       "                                     and skips them on rerun\n"
+      "  replay <manifest>                re-execute a campaign manifest\n"
+      "                                     from scratch and diff the\n"
+      "                                     regenerated perflog/trace bytes\n"
+      "                                     against the recorded hashes\n"
+      "                                     (exit 1 on divergence)\n"
       "  trace-report <file> [--tree]     per-stage timing + metrics from a\n"
       "                                     trace JSONL (--trace output)\n"
       "  env --system S                   captured system environment\n"
       "  audit --perflog F [--strict]     Bailey/Hoefler-Belli hygiene audit\n"
+      "        [--manifest M]               (--manifest also flags results\n"
+      "                                     from stale artifacts)\n"
       "  report --perflog F [--fom NAME]  tabulate/plot perflog contents\n"
       "         [--stats] [--plot]\n"
       "  history --perflog F [--detect]   performance history + regression\n"
@@ -149,20 +167,21 @@ int showSpec(const Args& args) {
   return 0;
 }
 
-RegressionTest buildTest(const Args& args) {
-  const std::string benchmark = args.optionOr("benchmark", "");
-  if (benchmark == "babelstream") {
+/// Builds the run-mode test from a normalized invocation (directly from
+/// the CLI flags, or re-hydrated from a campaign manifest by `replay`).
+RegressionTest buildTest(const store::CampaignInvocation& inv) {
+  if (inv.benchmark == "babelstream") {
     babelstream::BabelstreamTestOptions options;
-    options.ntimes = args.intOptionOr("ntimes", 100);
-    for (const auto& [key, value] : args.settings()) {
+    if (inv.ntimes > 0) options.ntimes = inv.ntimes;
+    for (const auto& [key, value] : inv.settings) {
       if (key == "model") options.model = value;
       if (key == "array_size") options.arraySize = std::stoull(value);
     }
     return babelstream::makeBabelstreamTest(options);
   }
-  if (benchmark == "hpcg") {
+  if (inv.benchmark == "hpcg") {
     hpcg::HpcgTestOptions options;
-    for (const auto& [key, value] : args.settings()) {
+    for (const auto& [key, value] : inv.settings) {
       if (key == "operator") options.variant = hpcg::variantFromName(value);
       if (key == "num_tasks") options.numTasks = std::stoi(value);
       if (key == "grid") options.gridSize = std::stoi(value);
@@ -170,9 +189,9 @@ RegressionTest buildTest(const Args& args) {
     }
     return hpcg::makeHpcgTest(options);
   }
-  if (benchmark == "hpgmg") {
+  if (inv.benchmark == "hpgmg") {
     hpgmg::HpgmgTestOptions options;
-    for (const auto& [key, value] : args.settings()) {
+    for (const auto& [key, value] : inv.settings) {
       if (key == "num_tasks") options.numTasks = std::stoi(value);
       if (key == "num_tasks_per_node") {
         options.numTasksPerNode = std::stoi(value);
@@ -188,7 +207,7 @@ RegressionTest buildTest(const Args& args) {
     return hpgmg::makeHpgmgTest(options);
   }
   throw ParseError("--benchmark must be babelstream, hpcg or hpgmg (got '" +
-                   benchmark + "')");
+                   inv.benchmark + "')");
 }
 
 int showEnv(const Args& args) {
@@ -206,7 +225,14 @@ int audit(const Args& args) {
   }
   HygieneOptions options;
   options.requireReferences = args.hasFlag("strict");
-  const auto findings = auditPerflogFile(*path, options);
+  auto findings = auditPerflogFile(*path, options);
+  if (auto manifestPath = args.option("manifest")) {
+    const store::CampaignManifest manifest =
+        store::CampaignManifest::read(*manifestPath);
+    const PerfLog::LenientParse parsed = PerfLog::readFileLenient(*path);
+    const auto stale = auditAgainstManifest(parsed.entries, manifest);
+    findings.insert(findings.end(), stale.begin(), stale.end());
+  }
   std::cout << renderHygieneReport(findings);
   return findings.empty() ? 0 : 1;
 }
@@ -226,55 +252,211 @@ struct TraceSession {
     options.tracer = &tracer;
     options.metrics = &metrics;
   }
-  void write() {
+  /// Trace bytes are serialized exactly once per campaign (before any
+  /// artifact is stored), so the --trace file and the manifest's "trace"
+  /// artifact hash describe the same bytes.
+  std::string serialize() { return tracer.toJsonl(&metrics); }
+  void write(const std::string& bytes) {
     if (!active()) return;
     std::filesystem::create_directories(*dir);
     const std::string path =
         (std::filesystem::path(*dir) / "trace.jsonl").string();
-    tracer.writeFile(path, &metrics);
+    std::ofstream out(path);
+    out << bytes;
     std::cout << "trace written to " << path << "\n";
   }
 };
 
-/// Applies the shared resilience flags (--faults / --retries /
-/// --backoff-*) to the pipeline options.
-void applyResilienceFlags(const Args& args, PipelineOptions& options) {
-  options.retry.maxRetries =
-      args.intOptionOr("retries", options.retry.maxRetries);
-  options.retry.backoffBase =
-      args.doubleOptionOr("backoff-base", options.retry.backoffBase);
-  options.retry.backoffMultiplier =
-      args.doubleOptionOr("backoff-mult", options.retry.backoffMultiplier);
-  options.retry.backoffMax =
-      args.doubleOptionOr("backoff-max", options.retry.backoffMax);
-  if (auto faults = args.option("faults")) {
-    options.faults = loadFaultConfig(*faults);
+/// Normalizes the run/suite CLI flags into the invocation record a
+/// campaign manifest stores (and `rebench replay` re-executes).
+store::CampaignInvocation invocationFromArgs(const Args& args,
+                                             const std::string& mode) {
+  store::CampaignInvocation inv;
+  inv.mode = mode;
+  inv.system = args.optionOr("system", "local");
+  inv.account = args.optionOr("account", "ec999");
+  inv.repeats = args.intOptionOr("repeats", 1);
+  inv.benchmark = args.optionOr("benchmark", "");
+  inv.ntimes = args.intOptionOr("ntimes", -1);
+  inv.settings = args.settings();
+  inv.tag = args.optionOr("tag", "");
+  inv.namePattern = args.optionOr("n", "");
+  inv.excludePattern = args.optionOr("x", "");
+  inv.faults = args.optionOr("faults", "");
+  inv.retries = args.intOptionOr("retries", -1);
+  inv.backoffBase = args.doubleOptionOr("backoff-base", -1.0);
+  inv.backoffMultiplier = args.doubleOptionOr("backoff-mult", -1.0);
+  inv.backoffMax = args.doubleOptionOr("backoff-max", -1.0);
+  inv.quarantineAfter = args.intOptionOr("quarantine-after", -1);
+  inv.withStore = args.option("store").has_value();
+  inv.cache = !args.hasFlag("no-cache");
+  return inv;
+}
+
+/// Expands an invocation into pipeline options; unset sentinel fields
+/// (-1 / "") keep the pipeline defaults, so a replayed manifest resolves
+/// to exactly the options the original flags did.
+PipelineOptions optionsFromInvocation(const store::CampaignInvocation& inv) {
+  PipelineOptions options;
+  options.account = inv.account;
+  if (inv.repeats > 0) options.numRepeats = inv.repeats;
+  if (inv.retries >= 0) options.retry.maxRetries = inv.retries;
+  if (inv.backoffBase >= 0.0) options.retry.backoffBase = inv.backoffBase;
+  if (inv.backoffMultiplier >= 0.0) {
+    options.retry.backoffMultiplier = inv.backoffMultiplier;
+  }
+  if (inv.backoffMax >= 0.0) options.retry.backoffMax = inv.backoffMax;
+  if (!inv.faults.empty()) {
+    options.faults = loadFaultConfig(inv.faults);
     // One seed governs both the injected faults and the backoff jitter.
     options.retry.seed = options.faults.seed;
   }
-  options.breaker.pairThreshold =
-      args.intOptionOr("quarantine-after", options.breaker.pairThreshold);
+  if (inv.quarantineAfter >= 0) {
+    options.breaker.pairThreshold = inv.quarantineAfter;
+  }
+  return options;
 }
+
+/// Serializes perflog lines to the byte stream a manifest hashes.
+std::string perflogBytes(const PerfLog& perflog) {
+  std::string out;
+  for (const std::string& line : perflog.lines()) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+/// Provenance record for one executed pipeline run.  The build plan is
+/// re-derived from the concretized spec so the manifest lists the exact
+/// reproduction commands (Principle 4) without the pipeline having to
+/// thread them through.
+store::RunManifest runManifestFor(const TestRunResult& result, int repeat) {
+  store::RunManifest run;
+  run.test = result.testName;
+  run.target = result.system + ":" + result.partition;
+  run.repeat = repeat;
+  run.environ = result.environ;
+  if (result.concreteSpec != nullptr) {
+    run.spec = result.concreteSpec->shortForm();
+    run.specHash = result.concreteSpec->dagHash();
+    const BuildPlan plan = makeBuildPlan(*result.concreteSpec);
+    run.planHash = plan.planHash();
+    for (const BuildStep& step : plan.steps) {
+      run.buildSteps.push_back(step.command);
+    }
+  }
+  run.binaryId = result.build.binaryId;
+  run.launchCommand = result.launchCommand;
+  run.jobId = std::to_string(result.jobId);
+  run.outcome = result.quarantined ? "quarantined"
+                : result.passed   ? "pass"
+                                  : "fail";
+  run.failureStage = result.failure.stage;
+  run.attempts = result.attempts;
+  return run;
+}
+
+/// Store state for one CLI invocation; active when --store DIR was given.
+/// Owns the object store, writes the campaign manifest under
+/// DIR/manifests/ and prints the cache-hit summary.
+struct StoreSession {
+  std::optional<store::ObjectStore> store;
+  bool cache = true;
+  bool coldStart = true;
+
+  explicit StoreSession(const Args& args) : cache(!args.hasFlag("no-cache")) {
+    if (auto dir = args.option("store")) {
+      store.emplace(*dir);
+      coldStart = store->objectCount() == 0;
+    }
+  }
+  bool active() const { return store.has_value(); }
+
+  void attach(PipelineOptions& options) {
+    if (!active()) return;
+    options.store = &*store;
+    options.cacheBuilds = cache;
+  }
+
+  /// Records the finished campaign: artifacts go into the object store,
+  /// the manifest lands in DIR/manifests/campaign-<hash>.json (plus a
+  /// latest.json convenience copy).  The trace artifact is only pinned
+  /// when this campaign started cache-cold (or caching was off): warm
+  /// cache state changes the store.* spans, so those trace bytes would
+  /// not be reproducible by a from-scratch replay.
+  void writeManifest(const store::CampaignInvocation& inv,
+                     std::span<const TestRunResult> results,
+                     const PerfLog& perflog, const std::string* traceBytes) {
+    if (!active()) return;
+    store::CampaignManifest manifest;
+    manifest.invocation = inv;
+    std::map<std::string, int> repeatsSeen;
+    for (const TestRunResult& result : results) {
+      const std::string pair =
+          result.testName + "@" + result.system + ":" + result.partition;
+      manifest.runs.push_back(runManifestFor(result, repeatsSeen[pair]++));
+    }
+    addArtifact(manifest, "perflog", perflogBytes(perflog));
+    if (traceBytes != nullptr && (coldStart || !cache)) {
+      addArtifact(manifest, "trace", *traceBytes);
+    }
+    const std::filesystem::path dir =
+        std::filesystem::path(store->dir()) / "manifests";
+    std::filesystem::create_directories(dir);
+    const std::string path =
+        (dir / ("campaign-" + manifest.contentHash() + ".json")).string();
+    manifest.write(path);
+    manifest.write((dir / "latest.json").string());
+    std::cout << "manifest written to " << path << "\n";
+  }
+
+  void printSummary(const Pipeline& pipeline) {
+    if (!active()) return;
+    if (const store::BuildCache* buildCache = pipeline.buildCache()) {
+      std::cout << "store: " << buildCache->stats().hits << " cache hit(s), "
+                << buildCache->stats().misses << " rebuilt, "
+                << store->stats().evictions << " evicted - "
+                << store->objectCount() << " object(s), "
+                << store->totalBytes() << " bytes in " << store->dir()
+                << "\n";
+    } else {
+      std::cout << "store: build caching disabled (--no-cache)\n";
+    }
+  }
+
+ private:
+  void addArtifact(store::CampaignManifest& manifest,
+                   const std::string& name, const std::string& bytes) {
+    store::ArtifactRecord record;
+    record.name = name;
+    record.hash = store->put(bytes);
+    record.bytes = bytes.size();
+    manifest.artifacts.push_back(std::move(record));
+  }
+};
 
 int runBenchmark(const Args& args) {
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
-  PipelineOptions options;
-  options.account = args.optionOr("account", "ec999");
-  options.numRepeats = args.intOptionOr("repeats", 1);
-  applyResilienceFlags(args, options);
+  const store::CampaignInvocation invocation = invocationFromArgs(args, "run");
+  PipelineOptions options = optionsFromInvocation(invocation);
   TraceSession trace(args);
   trace.attach(options);
+  StoreSession storeSession(args);
+  storeSession.attach(options);
   Pipeline pipeline(systems, repo, options);
 
   PerfLog perflog(args.optionOr("perflog", ""));
-  const RegressionTest test = buildTest(args);
-  const std::string target = args.optionOr("system", "local");
+  const RegressionTest test = buildTest(invocation);
+  const std::string target = invocation.system;
 
+  std::vector<TestRunResult> results;
   bool anyFailed = false;
   for (int repeat = 0; repeat < options.numRepeats; ++repeat) {
     const TestRunResult result =
         pipeline.runOne(test, target, &perflog, repeat);
+    results.push_back(result);
     std::cout << "[" << (result.passed ? " OK " : "FAIL") << "] "
               << result.testName << " @ " << result.system << ":"
               << result.partition << " (" << result.environ << ")\n";
@@ -309,19 +491,24 @@ int runBenchmark(const Args& args) {
     std::cout << perflog.size() << " perflog entries appended to "
               << *args.option("perflog") << "\n";
   }
-  trace.write();
+  const std::string traceBytes = trace.active() ? trace.serialize() : "";
+  storeSession.writeManifest(invocation, results, perflog,
+                             trace.active() ? &traceBytes : nullptr);
+  storeSession.printSummary(pipeline);
+  trace.write(traceBytes);
   return anyFailed ? 1 : 0;
 }
 
 int runSuite(const Args& args) {
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
-  PipelineOptions options;
-  options.account = args.optionOr("account", "ec999");
-  options.numRepeats = args.intOptionOr("repeats", options.numRepeats);
-  applyResilienceFlags(args, options);
+  const store::CampaignInvocation invocation =
+      invocationFromArgs(args, "suite");
+  PipelineOptions options = optionsFromInvocation(invocation);
   TraceSession trace(args);
   trace.attach(options);
+  StoreSession storeSession(args);
+  storeSession.attach(options);
   Pipeline pipeline(systems, repo, options);
   PerfLog perflog(args.optionOr("perflog", ""));
 
@@ -336,13 +523,14 @@ int runSuite(const Args& args) {
 
   const TestSuite suite = builtinSuite();
   const std::vector<RegressionTest> selected =
-      suite.select(args.optionOr("tag", ""), args.optionOr("n", ""),
-                   args.optionOr("x", ""), options.tracer, options.metrics);
+      suite.select(invocation.tag, invocation.namePattern,
+                   invocation.excludePattern, options.tracer,
+                   options.metrics);
   if (selected.empty()) {
     std::cerr << "suite: no tests match the selection\n";
     return 2;
   }
-  const std::vector<std::string> targets{args.optionOr("system", "local")};
+  const std::vector<std::string> targets{invocation.system};
   CampaignReport report;
   const auto results = pipeline.runAll(selected, targets, &perflog,
                                        journal ? &*journal : nullptr,
@@ -362,8 +550,90 @@ int runSuite(const Args& args) {
   }
   const CampaignSummary summary = summarizeCampaign(results);
   std::cout << renderCampaignSummary(summary, &report);
-  trace.write();
+  const std::string traceBytes = trace.active() ? trace.serialize() : "";
+  storeSession.writeManifest(invocation, results, perflog,
+                             trace.active() ? &traceBytes : nullptr);
+  storeSession.printSummary(pipeline);
+  trace.write(traceBytes);
   return summary.failed == 0 && summary.quarantined == 0 ? 0 : 1;
+}
+
+/// `rebench replay <manifest>` — re-executes the recorded invocation
+/// from scratch and diffs the regenerated artifact bytes against the
+/// hashes the manifest pinned.  Exit 0 only when every artifact is
+/// byte-exact; any divergence means the campaign is not reproducible
+/// from its manifest (code, environment or configuration drifted).
+int replay(const Args& args) {
+  if (args.positionals().empty()) {
+    std::cerr << "replay: missing manifest path\n";
+    return 2;
+  }
+  const std::string manifestPath = args.positionals().front();
+  const store::CampaignManifest manifest =
+      store::CampaignManifest::read(manifestPath);
+  const store::CampaignInvocation& invocation = manifest.invocation;
+  if (invocation.mode != "run" && invocation.mode != "suite") {
+    std::cerr << "replay: manifest records no replayable invocation (mode '"
+              << invocation.mode << "')\n";
+    return 2;
+  }
+  bool wantTrace = false;
+  for (const store::ArtifactRecord& artifact : manifest.artifacts) {
+    if (artifact.name == "trace") wantTrace = true;
+  }
+
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  PipelineOptions options = optionsFromInvocation(invocation);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (wantTrace) {
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+  }
+  // The original campaign only pinned its trace when it started cache-
+  // cold, so a fresh throwaway store reproduces the same store.* spans;
+  // replay never reuses prior state (that would let a stale artifact
+  // masquerade as a reproduction).
+  std::filesystem::path scratch;
+  std::optional<store::ObjectStore> scratchStore;
+  if (invocation.withStore && invocation.cache) {
+    scratch = std::filesystem::temp_directory_path() /
+              ("rebench-replay-" + manifest.contentHash());
+    std::filesystem::remove_all(scratch);
+    scratchStore.emplace(scratch.string());
+    options.store = &*scratchStore;
+  }
+
+  Pipeline pipeline(systems, repo, options);
+  PerfLog perflog;
+  if (invocation.mode == "run") {
+    const RegressionTest test = buildTest(invocation);
+    for (int repeat = 0; repeat < options.numRepeats; ++repeat) {
+      pipeline.runOne(test, invocation.system, &perflog, repeat);
+    }
+  } else {
+    const TestSuite suite = builtinSuite();
+    const std::vector<RegressionTest> selected =
+        suite.select(invocation.tag, invocation.namePattern,
+                     invocation.excludePattern, options.tracer,
+                     options.metrics);
+    const std::vector<std::string> targets{invocation.system};
+    pipeline.runAll(selected, targets, &perflog);
+  }
+
+  std::map<std::string, std::string> replayed;
+  replayed["perflog"] = perflogBytes(perflog);
+  if (wantTrace) replayed["trace"] = tracer.toJsonl(&metrics);
+  if (!scratch.empty()) std::filesystem::remove_all(scratch);
+
+  const store::ReplayComparison comparison =
+      store::compareArtifacts(manifest, replayed);
+  std::cout << "replaying " << manifestPath << " (" << invocation.mode
+            << " @ " << invocation.system << ", "
+            << manifest.runs.size() << " recorded run(s))\n";
+  std::cout << store::renderReplayReport(comparison);
+  return comparison.allExact() ? 0 : 1;
 }
 
 int traceReport(const Args& args) {
@@ -533,6 +803,7 @@ int dispatch(const Args& args) {
   if (args.subcommand() == "audit") return audit(args);
   if (args.subcommand() == "run") return runBenchmark(args);
   if (args.subcommand() == "suite") return runSuite(args);
+  if (args.subcommand() == "replay") return replay(args);
   if (args.subcommand() == "report") return report(args);
   if (args.subcommand() == "trace-report") return traceReport(args);
   if (args.subcommand() == "history") return history(args);

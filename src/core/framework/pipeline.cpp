@@ -17,6 +17,13 @@ Pipeline::Pipeline(const SystemRegistry& systems,
       repo_(repo),
       options_(std::move(options)),
       builder_(options_.rebuildEveryRun) {
+  if (options_.store != nullptr) {
+    options_.store->setObservability(options_.tracer, options_.metrics);
+    if (options_.cacheBuilds) {
+      buildCache_.emplace(*options_.store, options_.tracer,
+                          options_.metrics);
+    }
+  }
   if (options_.faults.enabled()) injector_.emplace(options_.faults);
 }
 
@@ -178,7 +185,16 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   const BuildPlan plan = makeBuildPlan(*concrete);
   {
     obs::ScopedSpan span(tracer, "build", stageHistogram("build"));
-    result.build = builder_.build(plan);
+    if (buildCache_) {
+      result.build = builder_.build(
+          plan, &*buildCache_,
+          store::BuildCache::environmentFingerprint(system->environment));
+      if (result.build.stepsReusedFromCache > 0) {
+        span.attr("reused", "store");
+      }
+    } else {
+      result.build = builder_.build(plan);
+    }
     result.simulatedPipelineSeconds += result.build.buildSeconds;
     // Simulated build time flows into the trace clock so the span is as
     // long as the build it records.

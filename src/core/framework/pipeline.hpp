@@ -25,6 +25,7 @@
 #include "core/pkg/build_plan.hpp"
 #include "core/pkg/recipe.hpp"
 #include "core/sched/launcher.hpp"
+#include "core/store/build_cache.hpp"
 #include "core/sysconfig/system_config.hpp"
 
 namespace rebench {
@@ -66,6 +67,15 @@ struct PipelineOptions {
   /// seconds so traces of modelled runs are deterministic.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional content-addressed artifact store (not owned).  When set
+  /// (and cacheBuilds is true) the build stage consults a provenance-
+  /// keyed cache before executing: reuse happens only on an exact
+  /// hash(concretized spec + system environment + recipe) match, so any
+  /// drift forces a rebuild — P3's "rebuild every run" strengthened to
+  /// "re-concretize every run, reuse only verified-identical builds".
+  store::ObjectStore* store = nullptr;
+  /// --no-cache: keep recording to the store but never reuse from it.
+  bool cacheBuilds = true;
 };
 
 /// Everything that happened for one (test, system:partition) execution.
@@ -150,6 +160,12 @@ class Pipeline {
   /// Monotone stamp used for perflog timestamps (deterministic).
   std::string nextTimestamp();
 
+  /// The store-backed build cache, when a store is attached and caching
+  /// is enabled (hit/miss stats for campaign summaries); else null.
+  const store::BuildCache* buildCache() const {
+    return buildCache_ ? &*buildCache_ : nullptr;
+  }
+
  private:
   /// `attempt` is 1-based (1 + retries consumed so far); recorded on the
   /// attempt span and as an `attempt` perflog extra.
@@ -160,6 +176,7 @@ class Pipeline {
   const PackageRepository& repo_;
   PipelineOptions options_;
   Builder builder_;
+  std::optional<store::BuildCache> buildCache_;
   std::optional<FaultInjector> injector_;
   std::uint64_t logicalTime_ = 0;
 };

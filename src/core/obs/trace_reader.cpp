@@ -167,6 +167,23 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
       }
     }
   }
+  // Store records have an attribute contract too: a lookup span says
+  // what key it resolved and how it went, put/evict events name the
+  // object they touched.
+  for (const EventRecord& event : trace.events) {
+    if (event.name == "store.put") {
+      if (event.attrs.find("hash") == event.attrs.end()) {
+        issues.push_back("store.put event without a 'hash' attribute");
+      }
+      if (event.attrs.find("bytes") == event.attrs.end()) {
+        issues.push_back("store.put event without a 'bytes' attribute");
+      }
+    } else if (event.name == "store.evict") {
+      if (event.attrs.find("hash") == event.attrs.end()) {
+        issues.push_back("store.evict event without a 'hash' attribute");
+      }
+    }
+  }
   for (const SpanRecord& span : trace.spans) {
     if (span.name != "backoff") continue;
     if (span.attrs.find("attempt") == span.attrs.end()) {
@@ -176,6 +193,22 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
     if (span.attrs.find("seconds") == span.attrs.end()) {
       issues.push_back("backoff span '" + span.id +
                        "' without a 'seconds' attribute");
+    }
+  }
+  for (const SpanRecord& span : trace.spans) {
+    if (span.name != "store.lookup") continue;
+    if (span.attrs.find("key") == span.attrs.end()) {
+      issues.push_back("store.lookup span '" + span.id +
+                       "' without a 'key' attribute");
+    }
+    const auto outcome = span.attrs.find("outcome");
+    if (outcome == span.attrs.end()) {
+      issues.push_back("store.lookup span '" + span.id +
+                       "' without an 'outcome' attribute");
+    } else if (outcome->second != "hit" && outcome->second != "miss" &&
+               outcome->second != "corrupt" && outcome->second != "drift") {
+      issues.push_back("store.lookup span '" + span.id +
+                       "' has invalid outcome '" + outcome->second + "'");
     }
   }
 

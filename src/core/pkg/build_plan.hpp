@@ -15,6 +15,10 @@
 
 namespace rebench {
 
+namespace store {
+class BuildCache;
+}  // namespace store
+
 /// One package build in dependency order.
 struct BuildStep {
   std::string packageName;
@@ -61,6 +65,16 @@ class Builder {
       : rebuildEveryRun_(rebuildEveryRun) {}
 
   BuildRecord build(const BuildPlan& plan);
+
+  /// Store-backed variant: consults `cache` (verified, provenance-keyed
+  /// on spec DAG + environment fingerprint + plan hash) before executing;
+  /// a hit is reused with zero build cost, a miss builds and inserts.
+  /// With a null cache this is plain build().  Unlike rebuildEveryRun =
+  /// false, reuse here is *verified* — any spec/environment/recipe drift
+  /// changes the key and forces a rebuild — so Principle 3's invariant
+  /// survives the optimisation.
+  BuildRecord build(const BuildPlan& plan, store::BuildCache* cache,
+                    const std::string& envFingerprint);
 
   /// Number of distinct binaries this builder has ever produced.
   std::size_t cacheSize() const { return cache_.size(); }

@@ -15,6 +15,7 @@ std::string_view hygieneRuleName(HygieneRule rule) {
     case HygieneRule::kNoReference: return "no-reference";
     case HygieneRule::kHighFailureRate: return "high-failure-rate";
     case HygieneRule::kCorruptLines: return "corrupt-lines";
+    case HygieneRule::kStaleArtifact: return "stale-artifact";
   }
   return "?";
 }
@@ -139,6 +140,49 @@ std::vector<HygieneFinding> auditPerflogFile(const std::string& path,
              " unparseable line(s) skipped — the log may be truncated or "
              "corrupted"});
   }
+  return findings;
+}
+
+std::vector<HygieneFinding> auditAgainstManifest(
+    std::span<const PerfLogEntry> entries,
+    const store::CampaignManifest& manifest) {
+  // Provenance the manifest vouches for, per test@target tuple.
+  std::map<std::string, std::set<std::string>> binaries;
+  std::map<std::string, std::set<std::string>> specs;
+  for (const store::RunManifest& run : manifest.runs) {
+    const std::string key = run.test + "@" + run.target;
+    if (!run.binaryId.empty()) binaries[key].insert(run.binaryId);
+    if (!run.specHash.empty()) specs[key].insert(run.specHash);
+  }
+
+  std::vector<HygieneFinding> findings;
+  std::set<std::string> reported;
+  for (const PerfLogEntry& entry : entries) {
+    if (entry.result == "error") continue;
+    const std::string key =
+        entry.testName + "@" + entry.system + ":" + entry.partition;
+    const auto recordedBinaries = binaries.find(key);
+    // Tuples the manifest never ran are out of scope, not stale.
+    if (recordedBinaries == binaries.end()) continue;
+    const bool staleBinary = !entry.binaryId.empty() &&
+                             !recordedBinaries->second.contains(entry.binaryId);
+    const auto recordedSpecs = specs.find(key);
+    const bool staleSpec = recordedSpecs != specs.end() &&
+                           !entry.specHash.empty() &&
+                           !recordedSpecs->second.contains(entry.specHash);
+    if ((staleBinary || staleSpec) && reported.insert(key).second) {
+      findings.push_back(
+          {HygieneRule::kStaleArtifact, key,
+           "result reported from a stale artifact: perflog " +
+               (staleBinary ? "binary id " + entry.binaryId
+                            : "spec hash " + entry.specHash) +
+               " does not match the campaign manifest"});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const HygieneFinding& a, const HygieneFinding& b) {
+              return a.subject < b.subject;
+            });
   return findings;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/framework/perflog.hpp"
+#include "core/store/manifest.hpp"
 
 namespace rebench {
 
@@ -32,6 +33,7 @@ enum class HygieneRule {
   kNoReference,
   kHighFailureRate,
   kCorruptLines,
+  kStaleArtifact,
 };
 
 std::string_view hygieneRuleName(HygieneRule rule);
@@ -63,6 +65,15 @@ std::vector<HygieneFinding> auditPerflog(
 /// fatal parse error, so a crash-truncated perflog is still auditable.
 std::vector<HygieneFinding> auditPerflogFile(
     const std::string& path, const HygieneOptions& options = {});
+
+/// Cross-checks perflog entries against a campaign manifest's recorded
+/// provenance: a non-error entry whose binary id or spec hash does not
+/// match what the manifest vouches for on the same test@target was
+/// reported from a *stale artifact* (e.g. a number kept after the code
+/// or environment changed underneath it) — kStaleArtifact per tuple.
+std::vector<HygieneFinding> auditAgainstManifest(
+    std::span<const PerfLogEntry> entries,
+    const store::CampaignManifest& manifest);
 
 /// Renders findings as a human-readable report ("clean" when empty).
 std::string renderHygieneReport(std::span<const HygieneFinding> findings);

@@ -1,0 +1,76 @@
+// Provenance-keyed build cache (rebench::store layer 3, build side).
+//
+// Principle 3 ("rebuild every run") exists so the measured binary can
+// never drift from the documented build steps.  The build cache keeps
+// that invariant while dropping the cost: a build result may be reused
+// *only* on an exact provenance-hash match —
+//
+//   key = hash(concretized spec DAG ∥ system-environment fingerprint
+//              ∥ build-plan/recipe hash)
+//
+// — so any drift in the spec, the system's modules/compilers, or the
+// recipe changes the key and forces a rebuild.  Reuse is verified: the
+// stored record is re-read through ObjectStore::get (which re-hashes the
+// blob) and its planHash/binaryId are checked against the requesting
+// plan; anything inconsistent is treated as a miss.
+//
+// Lookups emit a `store.lookup` span (`key`, `outcome` attrs) and bump
+// the `store.hit`/`store.miss` counters; inserts emit `store.put` events.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/concretizer/environment.hpp"
+#include "core/pkg/build_plan.hpp"
+#include "core/store/object_store.hpp"
+
+namespace rebench::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace rebench::obs
+
+namespace rebench::store {
+
+class BuildCache {
+ public:
+  /// `store` must outlive the cache; tracer/metrics are optional hooks.
+  explicit BuildCache(ObjectStore& store, obs::Tracer* tracer = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr);
+
+  /// The provenance key gating reuse (see file comment).
+  static std::string cacheKey(const std::string& dagHash,
+                              const std::string& envFingerprint,
+                              const std::string& planHash);
+
+  /// Stable fingerprint of a system environment (hash of its rendered
+  /// configuration document, so *any* environment edit changes it).
+  static std::string environmentFingerprint(const SystemEnvironment& env);
+
+  /// Verified lookup: nullopt on no entry, corrupt blob, or a record
+  /// whose provenance does not match `plan`.
+  std::optional<BuildRecord> lookup(const std::string& key,
+                                    const BuildPlan& plan);
+
+  void insert(const std::string& key, const BuildRecord& record);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  ObjectStore& objectStore() { return store_; }
+
+  /// (De)serialization of build records as store blobs; public for tests.
+  static std::string serializeRecord(const BuildRecord& record);
+  static std::optional<BuildRecord> parseRecord(const std::string& bytes);
+
+ private:
+  ObjectStore& store_;
+  obs::Tracer* tracer_;
+  obs::MetricsRegistry* metrics_;
+  Stats stats_;
+};
+
+}  // namespace rebench::store

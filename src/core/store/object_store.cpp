@@ -1,0 +1,228 @@
+#include "core/store/object_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/obs/json.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
+#include "core/util/error.hpp"
+#include "core/util/hash.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench::store {
+
+namespace fs = std::filesystem;
+
+std::string ObjectStore::hashBytes(std::string_view bytes) {
+  return Hasher{}.update(bytes).hex();
+}
+
+std::string ObjectStore::objectPath(const std::string& hash) const {
+  return (fs::path(dir_) / "objects" / hash).string();
+}
+
+ObjectStore::ObjectStore(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)),
+      indexPath_((fs::path(dir_) / "index.jsonl").string()),
+      options_(options) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir_) / "objects", ec);
+  if (ec) {
+    throw Error("cannot create object store at '" + dir_ +
+                "': " + ec.message());
+  }
+  if (!fs::exists(indexPath_)) {
+    std::ofstream out(indexPath_);
+    if (!out) throw Error("cannot create store index '" + indexPath_ + "'");
+    out << "{\"kind\":\"meta\",\"schema\":" << obs::json::quote(kStoreSchema)
+        << "}\n";
+    return;
+  }
+  std::ifstream in(indexPath_);
+  if (!in) throw Error("cannot read store index '" + indexPath_ + "'");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (str::trim(line).empty()) continue;
+    obs::json::Value record;
+    try {
+      record = obs::json::parse(line);
+    } catch (const ParseError&) {
+      continue;  // truncated tail from a killed process; replaying skips it
+    }
+    if (!record.isObject()) continue;
+    const std::string kind = record.stringOr("kind", "");
+    if (kind == "meta") {
+      const std::string schema = record.stringOr("schema", "");
+      if (schema != kStoreSchema) {
+        throw Error("store index '" + indexPath_ + "' has schema '" + schema +
+                    "' (expected '" + std::string(kStoreSchema) + "')");
+      }
+    } else if (kind == "put") {
+      const std::string hash = record.stringOr("hash", "");
+      Entry entry;
+      entry.bytes = static_cast<std::uint64_t>(record.numberOr("bytes", 0));
+      entry.lastUse = static_cast<std::uint64_t>(record.numberOr("tick", 0));
+      entries_[hash] = entry;
+      tick_ = std::max(tick_, entry.lastUse + 1);
+    } else if (kind == "touch") {
+      auto it = entries_.find(record.stringOr("hash", ""));
+      if (it != entries_.end()) {
+        it->second.lastUse =
+            static_cast<std::uint64_t>(record.numberOr("tick", 0));
+        tick_ = std::max(tick_, it->second.lastUse + 1);
+      }
+    } else if (kind == "ref") {
+      refs_[record.stringOr("name", "")] = record.stringOr("hash", "");
+    } else if (kind == "evict") {
+      entries_.erase(record.stringOr("hash", ""));
+    }
+  }
+  // Drop entries whose blob vanished behind our back (manual deletion);
+  // the store never trusts the index over the filesystem.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!fs::exists(objectPath(it->first))) {
+      it = entries_.erase(it);
+    } else {
+      totalBytes_ += it->second.bytes;
+      ++it;
+    }
+  }
+}
+
+void ObjectStore::appendIndex(const std::string& line) {
+  std::ofstream out(indexPath_, std::ios::app);
+  if (!out) throw Error("cannot append to store index '" + indexPath_ + "'");
+  out << line << "\n";
+}
+
+void ObjectStore::touch(const std::string& hash) {
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) return;
+  it->second.lastUse = tick_++;
+  appendIndex("{\"kind\":\"touch\",\"hash\":" + obs::json::quote(hash) +
+              ",\"tick\":" + std::to_string(it->second.lastUse) + "}");
+}
+
+void ObjectStore::removeObject(const std::string& hash) {
+  auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    totalBytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  std::error_code ec;
+  fs::remove(objectPath(hash), ec);
+  appendIndex("{\"kind\":\"evict\",\"hash\":" + obs::json::quote(hash) + "}");
+}
+
+void ObjectStore::evictToFit(std::uint64_t incoming,
+                             const std::string& protect) {
+  if (options_.maxBytes == 0) return;
+  while (totalBytes_ + incoming > options_.maxBytes && !entries_.empty()) {
+    // Least-recently-used victim, skipping the object being protected.
+    const Entry* oldest = nullptr;
+    std::string victim;
+    for (const auto& [hash, entry] : entries_) {
+      if (hash == protect) continue;
+      if (oldest == nullptr || entry.lastUse < oldest->lastUse) {
+        oldest = &entry;
+        victim = hash;
+      }
+    }
+    if (oldest == nullptr) return;  // only the protected object remains
+    const std::uint64_t victimBytes = oldest->bytes;
+    removeObject(victim);
+    ++stats_.evictions;
+    if (tracer_ != nullptr) {
+      tracer_->event("store.evict",
+                     {{"hash", victim},
+                      {"bytes", std::to_string(victimBytes)}});
+    }
+    if (metrics_ != nullptr) metrics_->counter("store.evict").inc();
+  }
+}
+
+void ObjectStore::setObservability(obs::Tracer* tracer,
+                                   obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
+std::string ObjectStore::put(std::string_view bytes) {
+  const std::string hash = hashBytes(bytes);
+  ++stats_.puts;
+  if (auto it = entries_.find(hash);
+      it != entries_.end() && fs::exists(objectPath(hash))) {
+    ++stats_.dedupedPuts;
+    touch(hash);
+    return hash;
+  }
+  evictToFit(bytes.size(), hash);
+  // Atomic publication: a concurrent writer of the same content races to
+  // an identical file, and rename() makes whichever lands last win whole.
+  const std::string tmp =
+      (fs::path(dir_) / ("tmp-" + hash + "-" +
+                         std::to_string(static_cast<unsigned>(tick_))))
+          .string();
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) throw Error("cannot write store object '" + tmp + "'");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::error_code ec;
+  fs::rename(tmp, objectPath(hash), ec);
+  if (ec) {
+    fs::remove(tmp);
+    throw Error("cannot publish store object '" + hash +
+                "': " + ec.message());
+  }
+  Entry entry;
+  entry.bytes = bytes.size();
+  entry.lastUse = tick_++;
+  totalBytes_ += entry.bytes;
+  entries_[hash] = entry;
+  appendIndex("{\"kind\":\"put\",\"hash\":" + obs::json::quote(hash) +
+              ",\"bytes\":" + std::to_string(entry.bytes) +
+              ",\"tick\":" + std::to_string(entry.lastUse) + "}");
+  return hash;
+}
+
+std::optional<std::string> ObjectStore::get(const std::string& hash) {
+  const std::string path = objectPath(hash);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::string content = bytes.str();
+  if (hashBytes(content) != hash) {
+    // Truncated or tampered blob: drop it so the caller rebuilds rather
+    // than trusting bytes that no longer match their address.
+    ++stats_.corrupt;
+    removeObject(hash);
+    if (metrics_ != nullptr) metrics_->counter("store.corrupt").inc();
+    return std::nullopt;
+  }
+  touch(hash);
+  return content;
+}
+
+bool ObjectStore::contains(const std::string& hash) const {
+  return entries_.contains(hash) && fs::exists(objectPath(hash));
+}
+
+void ObjectStore::setRef(std::string_view name, const std::string& hash) {
+  refs_[std::string(name)] = hash;
+  appendIndex("{\"kind\":\"ref\",\"name\":" + obs::json::quote(name) +
+              ",\"hash\":" + obs::json::quote(hash) + "}");
+}
+
+std::optional<std::string> ObjectStore::ref(std::string_view name) const {
+  auto it = refs_.find(name);
+  if (it == refs_.end()) return std::nullopt;
+  // A ref whose target was evicted or deleted reads as unset.
+  if (!entries_.contains(it->second)) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rebench::store

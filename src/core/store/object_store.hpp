@@ -1,0 +1,114 @@
+// Content-addressed artifact store (rebench::store layer 1).
+//
+// A directory of immutable blobs named by their content hash, plus an
+// append-only JSONL index that records puts, touches, refs and evictions.
+// The store backs the build cache, manifest artifacts (perflogs, traces)
+// and anything else worth keeping between campaigns:
+//
+//   DIR/objects/<hash>   one file per blob, written via tmp + atomic rename
+//   DIR/index.jsonl      {"kind":"meta","schema":"rebench.store/1"}
+//                        {"kind":"put","hash":H,"bytes":N,"tick":T}
+//                        {"kind":"touch","hash":H,"tick":T}
+//                        {"kind":"ref","name":K,"hash":H}
+//                        {"kind":"evict","hash":H}
+//
+// Reads are *verified*: `get` re-hashes the blob and a mismatch (a
+// truncated or tampered file) deletes the object and reports a miss, so a
+// corrupt cache degrades to a rebuild instead of a wrong result.  A
+// size cap (`maxBytes`) evicts least-recently-used objects; named refs
+// (the build cache's provenance keys) are unpinned automatically when
+// their target is evicted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rebench::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace rebench::obs
+
+namespace rebench::store {
+
+inline constexpr std::string_view kStoreSchema = "rebench.store/1";
+
+struct StoreOptions {
+  /// Total blob bytes before LRU eviction kicks in; 0 = uncapped.
+  std::uint64_t maxBytes = 0;
+};
+
+class ObjectStore {
+ public:
+  /// Opens (creating when absent) the store at `dir` and replays its
+  /// index.  Index entries whose object file vanished are dropped.
+  /// Throws rebench::Error when the directory or index is unusable.
+  explicit ObjectStore(std::string dir, StoreOptions options = {});
+
+  /// Content hash used for addressing (FNV-1a hex, 16 chars).
+  static std::string hashBytes(std::string_view bytes);
+
+  /// Stores `bytes`, returning their hash.  Idempotent: a blob already
+  /// present is not rewritten (the put is counted as deduplicated and the
+  /// object's LRU position refreshed).  May evict other objects to honour
+  /// the size cap; the just-put object is never evicted by its own put.
+  std::string put(std::string_view bytes);
+
+  /// Verified read: returns the bytes iff the blob exists and re-hashes
+  /// to `hash`.  A corrupt blob is deleted and counted.
+  std::optional<std::string> get(const std::string& hash);
+
+  bool contains(const std::string& hash) const;
+
+  /// Optional hooks (both nullable, not owned): evictions become
+  /// `store.evict` events (`hash`, `bytes` attrs) and `store.evict`
+  /// counter increments; corrupt blobs bump `store.corrupt`.
+  void setObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Named mutable pointers into the store (e.g. build-cache keys,
+  /// "latest manifest").  A ref to an evicted/absent object reads as
+  /// unset.
+  void setRef(std::string_view name, const std::string& hash);
+  std::optional<std::string> ref(std::string_view name) const;
+
+  struct Stats {
+    std::uint64_t puts = 0;           // total put() calls
+    std::uint64_t dedupedPuts = 0;    // puts that found the blob present
+    std::uint64_t evictions = 0;      // objects removed by the size cap
+    std::uint64_t corrupt = 0;        // verification failures on get()
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t objectCount() const { return entries_.size(); }
+  std::uint64_t totalBytes() const { return totalBytes_; }
+  const std::string& dir() const { return dir_; }
+  std::string objectPath(const std::string& hash) const;
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    std::uint64_t lastUse = 0;  // logical tick, higher = more recent
+  };
+
+  void appendIndex(const std::string& line);
+  void touch(const std::string& hash);
+  void removeObject(const std::string& hash);
+  /// Evicts LRU objects until `incoming` more bytes fit; never evicts
+  /// `protect`.
+  void evictToFit(std::uint64_t incoming, const std::string& protect);
+
+  std::string dir_;
+  std::string indexPath_;
+  StoreOptions options_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::string, std::less<>> refs_;  // name -> hash
+  std::uint64_t totalBytes_ = 0;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rebench::store

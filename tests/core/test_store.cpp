@@ -1,0 +1,286 @@
+// Layer-1/3 store tests: content addressing, LRU eviction under a size
+// cap, verified (corruption-rejecting) reads, index persistence and the
+// provenance-keyed build cache's hit/drift behaviour.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/concretizer/concretizer.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
+#include "core/pkg/build_plan.hpp"
+#include "core/store/build_cache.hpp"
+#include "core/store/object_store.hpp"
+#include "core/sysconfig/system_config.hpp"
+#include "core/util/error.hpp"
+
+namespace rebench::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("rebench-store-test-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(StoreTest, PutGetRoundtrip) {
+  ObjectStore store(dir_);
+  const std::string hash = store.put("hello, artifacts");
+  EXPECT_EQ(hash, ObjectStore::hashBytes("hello, artifacts"));
+  EXPECT_TRUE(store.contains(hash));
+  const auto bytes = store.get(hash);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, "hello, artifacts");
+  EXPECT_EQ(store.objectCount(), 1u);
+  EXPECT_EQ(store.totalBytes(), 16u);
+}
+
+TEST_F(StoreTest, DoublePutIsIdempotent) {
+  ObjectStore store(dir_);
+  const std::string first = store.put("same bytes");
+  const std::string second = store.put("same bytes");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(store.objectCount(), 1u);
+  EXPECT_EQ(store.stats().puts, 2u);
+  EXPECT_EQ(store.stats().dedupedPuts, 1u);
+}
+
+// Two handles on the same directory (the closest a deterministic test
+// gets to concurrent writers) both put the same bytes; the blob exists
+// once and both handles can read it back.
+TEST_F(StoreTest, TwoHandlesDoublePut) {
+  ObjectStore a(dir_);
+  ObjectStore b(dir_);
+  const std::string ha = a.put("shared blob");
+  const std::string hb = b.put("shared blob");
+  EXPECT_EQ(ha, hb);
+  EXPECT_TRUE(a.get(ha).has_value());
+  EXPECT_TRUE(b.get(hb).has_value());
+  ObjectStore reopened(dir_);
+  EXPECT_EQ(reopened.objectCount(), 1u);
+}
+
+TEST_F(StoreTest, PersistsAcrossReopen) {
+  std::string hash;
+  {
+    ObjectStore store(dir_);
+    hash = store.put("durable");
+    store.setRef("latest", hash);
+  }
+  ObjectStore reopened(dir_);
+  EXPECT_EQ(reopened.objectCount(), 1u);
+  ASSERT_TRUE(reopened.get(hash).has_value());
+  ASSERT_TRUE(reopened.ref("latest").has_value());
+  EXPECT_EQ(*reopened.ref("latest"), hash);
+}
+
+TEST_F(StoreTest, EvictsLeastRecentlyUsedUnderSizeCap) {
+  ObjectStore store(dir_, {.maxBytes = 30});
+  const std::string a = store.put(std::string(10, 'a'));
+  const std::string b = store.put(std::string(10, 'b'));
+  const std::string c = store.put(std::string(10, 'c'));
+  EXPECT_EQ(store.objectCount(), 3u);
+  // Touch `a` so `b` becomes the LRU victim.
+  EXPECT_TRUE(store.get(a).has_value());
+  const std::string d = store.put(std::string(10, 'd'));
+  EXPECT_EQ(store.objectCount(), 3u);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_FALSE(store.contains(b));
+  EXPECT_TRUE(store.contains(a));
+  EXPECT_TRUE(store.contains(c));
+  EXPECT_TRUE(store.contains(d));
+  EXPECT_LE(store.totalBytes(), 30u);
+}
+
+TEST_F(StoreTest, OversizedPutNeverEvictsItself) {
+  ObjectStore store(dir_, {.maxBytes = 8});
+  const std::string big = store.put("way more than eight bytes");
+  EXPECT_TRUE(store.contains(big));
+  // The next put evicts the oversized blob, not itself.
+  const std::string small = store.put("tiny");
+  EXPECT_TRUE(store.contains(small));
+  EXPECT_FALSE(store.contains(big));
+}
+
+TEST_F(StoreTest, RefToEvictedObjectReadsUnset) {
+  ObjectStore store(dir_, {.maxBytes = 12});
+  const std::string hash = store.put("pinned bytes");
+  store.setRef("build/key", hash);
+  ASSERT_TRUE(store.ref("build/key").has_value());
+  store.put("replacement bytes longer");
+  EXPECT_FALSE(store.contains(hash));
+  EXPECT_FALSE(store.ref("build/key").has_value());
+}
+
+TEST_F(StoreTest, TruncatedBlobIsRejectedAndDeleted) {
+  ObjectStore store(dir_);
+  const std::string hash = store.put("bytes that will be truncated");
+  {
+    std::ofstream out(store.objectPath(hash), std::ios::trunc);
+    out << "bytes";
+  }
+  EXPECT_FALSE(store.get(hash).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_FALSE(store.contains(hash));
+  EXPECT_FALSE(fs::exists(store.objectPath(hash)));
+}
+
+TEST_F(StoreTest, CorruptBlobEmitsCounter) {
+  obs::MetricsRegistry metrics;
+  ObjectStore store(dir_);
+  store.setObservability(nullptr, &metrics);
+  const std::string hash = store.put("tamper target");
+  {
+    std::ofstream out(store.objectPath(hash), std::ios::trunc);
+    out << "tampered!";
+  }
+  EXPECT_FALSE(store.get(hash).has_value());
+  EXPECT_EQ(metrics.counter("store.corrupt").value(), 1u);
+}
+
+TEST_F(StoreTest, IndexSchemaMismatchThrows) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(fs::path(dir_) / "index.jsonl");
+    out << "{\"kind\":\"meta\",\"schema\":\"rebench.store/999\"}\n";
+  }
+  EXPECT_THROW(ObjectStore{dir_}, Error);
+}
+
+TEST_F(StoreTest, ToleratesTruncatedIndexTail) {
+  std::string hash;
+  {
+    ObjectStore store(dir_);
+    hash = store.put("survives a crash");
+  }
+  {
+    std::ofstream out(fs::path(dir_) / "index.jsonl", std::ios::app);
+    out << "{\"kind\":\"pu";  // crash mid-append
+  }
+  ObjectStore reopened(dir_);
+  EXPECT_TRUE(reopened.get(hash).has_value());
+}
+
+class BuildCacheTest : public StoreTest {
+ protected:
+  BuildPlan planFor(const std::string& system) {
+    const SystemRegistry systems = builtinSystems();
+    Concretizer concretizer(repo_, systems.get(system).environment);
+    return makeBuildPlan(
+        *concretizer.concretize(Spec::parse("hpgmg%gcc")).root);
+  }
+  PackageRepository repo_ = builtinRepository();
+};
+
+TEST_F(BuildCacheTest, MissThenHitReusesEveryStep) {
+  ObjectStore store(dir_);
+  BuildCache cache(store, nullptr, nullptr);
+  const BuildPlan plan = planFor("archer2");
+  const std::string key = BuildCache::cacheKey(plan.rootHash, "env-fp",
+                                               plan.planHash());
+  EXPECT_FALSE(cache.lookup(key, plan).has_value());
+
+  Builder builder(/*rebuildEveryRun=*/true);
+  const BuildRecord record = builder.build(plan, &cache, "env-fp");
+  EXPECT_GT(record.stepsExecuted, 0);
+
+  const BuildRecord reused = builder.build(plan, &cache, "env-fp");
+  EXPECT_EQ(reused.stepsExecuted, 0);
+  EXPECT_EQ(reused.stepsReusedFromCache,
+            static_cast<int>(plan.steps.size()));
+  EXPECT_EQ(reused.binaryId, record.binaryId);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(BuildCacheTest, EnvironmentDriftForcesRebuild) {
+  ObjectStore store(dir_);
+  BuildCache cache(store, nullptr, nullptr);
+  const BuildPlan plan = planFor("archer2");
+  Builder builder(/*rebuildEveryRun=*/true);
+  builder.build(plan, &cache, "env-before");
+  const BuildRecord rebuilt = builder.build(plan, &cache, "env-after");
+  EXPECT_GT(rebuilt.stepsExecuted, 0);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(BuildCacheTest, RecipeDriftForcesRebuild) {
+  ObjectStore store(dir_);
+  BuildCache cache(store, nullptr, nullptr);
+  const BuildPlan archer = planFor("archer2");
+  const BuildPlan cosma = planFor("cosma8");
+  ASSERT_NE(archer.planHash(), cosma.planHash());
+  Builder builder(/*rebuildEveryRun=*/true);
+  builder.build(archer, &cache, "fp");
+  const BuildRecord rebuilt = builder.build(cosma, &cache, "fp");
+  EXPECT_GT(rebuilt.stepsExecuted, 0);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+// A record whose stored provenance disagrees with the plan (simulated by
+// wiring one key at another plan's record) is drift, not a hit.
+TEST_F(BuildCacheTest, MismatchedRecordIsDriftNotHit) {
+  ObjectStore store(dir_);
+  BuildCache cache(store, nullptr, nullptr);
+  const BuildPlan archer = planFor("archer2");
+  const BuildPlan cosma = planFor("cosma8");
+  Builder builder(/*rebuildEveryRun=*/true);
+  builder.build(archer, &cache, "fp");
+  const std::string cosmaKey =
+      BuildCache::cacheKey(cosma.rootHash, "fp", cosma.planHash());
+  const std::string archerKey =
+      BuildCache::cacheKey(archer.rootHash, "fp", archer.planHash());
+  store.setRef("build/" + cosmaKey, *store.ref("build/" + archerKey));
+  EXPECT_FALSE(cache.lookup(cosmaKey, cosma).has_value());
+}
+
+TEST_F(BuildCacheTest, LookupEmitsSpanAndCounters) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  ObjectStore store(dir_);
+  BuildCache cache(store, &tracer, &metrics);
+  const BuildPlan plan = planFor("archer2");
+  Builder builder(/*rebuildEveryRun=*/true);
+  builder.build(plan, &cache, "fp");
+  builder.build(plan, &cache, "fp");
+  EXPECT_EQ(metrics.counter("store.miss").value(), 1u);
+  EXPECT_EQ(metrics.counter("store.hit").value(), 1u);
+  const std::string jsonl = tracer.toJsonl(&metrics);
+  EXPECT_NE(jsonl.find("store.lookup"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"outcome\":\"hit\""), std::string::npos);
+  EXPECT_NE(jsonl.find("store.put"), std::string::npos);
+}
+
+TEST_F(BuildCacheTest, RecordRoundtrip) {
+  BuildRecord record;
+  record.rootHash = "roothash";
+  record.planHash = "planhash";
+  record.binaryId = "binid";
+  record.buildSeconds = 12.5;
+  record.stepsExecuted = 4;
+  const auto parsed = BuildCache::parseRecord(BuildCache::serializeRecord(record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rootHash, "roothash");
+  EXPECT_EQ(parsed->planHash, "planhash");
+  EXPECT_EQ(parsed->binaryId, "binid");
+  EXPECT_DOUBLE_EQ(parsed->buildSeconds, 12.5);
+  EXPECT_EQ(parsed->stepsExecuted, 4);
+  EXPECT_FALSE(BuildCache::parseRecord("not json").has_value());
+  EXPECT_FALSE(BuildCache::parseRecord("{\"kind\":\"other\"}").has_value());
+}
+
+}  // namespace
+}  // namespace rebench::store
