@@ -1,0 +1,147 @@
+// Experiment E11 — parallel campaign executor ablation.
+//
+// An 8-wide suite (eight regression tests with distinct concretized spec
+// DAGs, two repeats each) is driven through Pipeline::runAll at --jobs 1,
+// 2, 4 and 8.  The executor's output bytes are identical at every width
+// (that is gated by cli_jobs_deterministic and the executor unit tests);
+// what this bench quantifies is the cost model: simulated campaign
+// makespan versus the serial campaign, and the single-flight invariant
+// that each unique build key is built exactly once no matter how many
+// campaigns share it.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/framework/pipeline.hpp"
+#include "core/store/object_store.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/table.hpp"
+
+namespace {
+
+using namespace rebench;
+
+std::string freshStoreDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+RegressionTest syntheticTest(std::string name, std::string spec) {
+  RegressionTest test;
+  test.name = std::move(name);
+  test.spackSpec = std::move(spec);
+  test.numTasks = 1;
+  test.numTasksPerNode = 1;
+  test.sanityPattern = "RESULT OK";
+  test.perfPatterns = {{"fom", R"(FOM:\s+([0-9.]+))", Unit::kGFlopPerSec}};
+  test.run = [](const RunContext&) {
+    return RunOutput{"FOM: 42.0\nRESULT OK\n", 10.0, false, ""};
+  };
+  return test;
+}
+
+// Eight tests whose spack specs concretize to eight distinct DAGs, so
+// the campaign carries eight unique build keys.
+std::vector<RegressionTest> eightWideSuite() {
+  return {
+      syntheticTest("E11Stream", "stream%gcc"),
+      syntheticTest("E11Hpgmg", "hpgmg%gcc +fv"),
+      syntheticTest("E11BsOmp", "babelstream model=omp"),
+      syntheticTest("E11BsSerial", "babelstream model=serial"),
+      syntheticTest("E11BsRanges", "babelstream model=std-ranges"),
+      syntheticTest("E11HpcgCsr", "hpcg operator=csr"),
+      syntheticTest("E11HpcgMf", "hpcg operator=matrix-free"),
+      syntheticTest("E11HpcgLfric", "hpcg operator=lfric"),
+  };
+}
+
+struct CampaignCost {
+  CampaignReport report;
+  store::BuildCache::Stats cache;
+  std::size_t results = 0;
+};
+
+CampaignCost runCampaign(int jobs) {
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  store::ObjectStore store(
+      freshStoreDir("rebench-e11-store-j" + std::to_string(jobs)));
+  PipelineOptions options;
+  options.numRepeats = 2;
+  options.jobs = jobs;
+  options.store = &store;
+  Pipeline pipeline(systems, repo, options);
+  const std::vector<RegressionTest> tests = eightWideSuite();
+  const std::vector<std::string> targets{"archer2"};
+  CampaignReport report;
+  CampaignCost cost;
+  cost.results = pipeline.runAll(tests, targets, nullptr, nullptr, &report).size();
+  cost.report = report;
+  cost.cache = pipeline.buildCache()->stats();
+  return cost;
+}
+
+// Wall-clock of the whole campaign (synthetic run lambdas, so this is
+// dominated by concretization + executor overhead, not payload).
+void BM_CampaignWallClock(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runCampaign(jobs));
+  }
+}
+BENCHMARK(BM_CampaignWallClock)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void reproduceAblation() {
+  AsciiTable table(
+      "E11: parallel campaign executor, 8 distinct specs x 2 repeats on "
+      "archer2 (simulated pipeline seconds)");
+  table.setHeader({"jobs", "serial (s)", "makespan (s)", "speedup",
+                   "unique builds", "deduped", "cache misses"});
+  double serialBaseline = 0.0;
+  double bestSpeedup = 0.0;
+  CampaignCost last;
+  for (const int jobs : {1, 2, 4, 8}) {
+    const CampaignCost cost = runCampaign(jobs);
+    if (jobs == 1) serialBaseline = cost.report.simulatedSerialSeconds;
+    const double speedup =
+        cost.report.simulatedMakespanSeconds > 0.0
+            ? cost.report.simulatedSerialSeconds /
+                  cost.report.simulatedMakespanSeconds
+            : 0.0;
+    bestSpeedup = std::max(bestSpeedup, speedup);
+    table.addRow({std::to_string(jobs),
+                  str::fixed(cost.report.simulatedSerialSeconds, 1),
+                  str::fixed(cost.report.simulatedMakespanSeconds, 1),
+                  str::fixed(speedup, 2) + "x",
+                  std::to_string(cost.report.uniqueBuilds),
+                  std::to_string(cost.report.dedupedBuilds),
+                  std::to_string(cost.cache.misses)});
+    last = cost;
+  }
+  std::cout << "\n" << table.render();
+  std::cout << "\nSerial campaign cost is " << str::fixed(serialBaseline, 1)
+            << " simulated seconds; the jobs=8 schedule reaches "
+            << str::fixed(bestSpeedup, 2) << "x.\n";
+  std::cout << (bestSpeedup >= 3.0 ? "PASS" : "FAIL")
+            << ": >= 3x campaign speedup at jobs=8.\n";
+  std::cout << (last.cache.misses == 8 && last.report.uniqueBuilds == 8
+                    ? "PASS"
+                    : "FAIL")
+            << ": exactly one build per unique spec-DAG key (8 keys, "
+            << last.cache.misses << " cache miss(es), "
+            << last.report.dedupedBuilds << " deduped by single-flight).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  reproduceAblation();
+  return 0;
+}

@@ -9,6 +9,7 @@
 //   rebench run --benchmark hpgmg --system archer2
 //   rebench report --perflog perf.log --fom Triad
 //   rebench history --perflog perf.log --detect
+#include <algorithm>
 #include <array>
 #include <filesystem>
 #include <fstream>
@@ -65,13 +66,17 @@ int usage() {
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
       "        [--trace DIR] [--faults FILE|SPEC] [--retries N]\n"
       "        [--repeats N] [--resume DIR] [--quarantine-after N]\n"
-      "        [--store DIR] [--no-cache]\n"
+      "        [--store DIR] [--no-cache] [--jobs N]\n"
       "                                     --faults injects deterministic\n"
       "                                     failures (seed=..,crash=..,\n"
       "                                     node=..,preempt=..,build=..,\n"
       "                                     corrupt=..,teldrop=..); --resume\n"
       "                                     journals completed runs to DIR\n"
-      "                                     and skips them on rerun\n"
+      "                                     and skips them on rerun; --jobs\n"
+      "                                     runs campaigns on N workers with\n"
+      "                                     byte-identical perflog/trace/\n"
+      "                                     manifest output (kernel threads\n"
+      "                                     via REBENCH_THREADS env)\n"
       "  replay <manifest>                re-execute a campaign manifest\n"
       "                                     from scratch and diff the\n"
       "                                     regenerated perflog/trace bytes\n"
@@ -416,6 +421,8 @@ struct StoreSession {
     if (const store::BuildCache* buildCache = pipeline.buildCache()) {
       std::cout << "store: " << buildCache->stats().hits << " cache hit(s), "
                 << buildCache->stats().misses << " rebuilt, "
+                << buildCache->stats().singleFlightDeduped
+                << " deduped by single-flight, "
                 << store->stats().evictions << " evicted - "
                 << store->objectCount() << " object(s), "
                 << store->totalBytes() << " bytes in " << store->dir()
@@ -505,6 +512,10 @@ int runSuite(const Args& args) {
   const store::CampaignInvocation invocation =
       invocationFromArgs(args, "suite");
   PipelineOptions options = optionsFromInvocation(invocation);
+  // Deliberately not part of the invocation/manifest: output bytes are
+  // identical for every job count, so the manifest stays jobs-invariant
+  // (and replay may use any worker count).
+  options.jobs = std::max(1, args.intOptionOr("jobs", 1));
   TraceSession trace(args);
   trace.attach(options);
   StoreSession storeSession(args);
@@ -550,6 +561,16 @@ int runSuite(const Args& args) {
   }
   const CampaignSummary summary = summarizeCampaign(results);
   std::cout << renderCampaignSummary(summary, &report);
+  if (options.jobs > 1) {
+    std::cout << "executor: " << report.executed << " campaign(s) on "
+              << options.jobs << " worker(s), " << report.uniqueBuilds
+              << " unique build(s), " << report.dedupedBuilds
+              << " deduped; simulated " << str::fixed(
+                     report.simulatedSerialSeconds, 1)
+              << "s serial -> " << str::fixed(
+                     report.simulatedMakespanSeconds, 1)
+              << "s makespan\n";
+  }
   const std::string traceBytes = trace.active() ? trace.serialize() : "";
   storeSession.writeManifest(invocation, results, perflog,
                              trace.active() ? &traceBytes : nullptr);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <regex>
 
 #include "core/obs/trace.hpp"
@@ -10,6 +11,20 @@
 #include "sim/machine.hpp"
 
 namespace rebench {
+
+namespace {
+
+// libstdc++'s regex compiler lazily fills the classic locale's global
+// ctype narrow cache with plain (unsynchronized) byte stores, so two
+// campaign workers compiling patterns concurrently are a data race.
+// Compilation is rare (one regex per sanity/perf check) — serialize it.
+std::regex compileRegex(const std::string& pattern) {
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  return std::regex(pattern);
+}
+
+}  // namespace
 
 Pipeline::Pipeline(const SystemRegistry& systems,
                    const PackageRepository& repo, PipelineOptions options)
@@ -31,18 +46,40 @@ std::string Pipeline::nextTimestamp() {
   return "T" + std::to_string(logicalTime_++);
 }
 
+void Pipeline::flushPerfBuffer(std::vector<PerfLogEntry>& buffer,
+                               PerfLog* perflog) {
+  if (perflog == nullptr) return;
+  for (PerfLogEntry& entry : buffer) {
+    entry.timestamp = nextTimestamp();
+    perflog->append(entry);
+  }
+}
+
 TestRunResult Pipeline::runOne(const RegressionTest& test,
                                std::string_view target, PerfLog* perflog,
                                int repeatIndex) {
-  obs::ScopedSpan root(options_.tracer, "test_run");
+  std::vector<PerfLogEntry> buffer;
+  CampaignExecContext ctx;
+  ctx.tracer = options_.tracer;
+  ctx.metrics = options_.metrics;
+  ctx.perfBuffer = perflog != nullptr ? &buffer : nullptr;
+  TestRunResult result = runCampaign(test, target, repeatIndex, ctx);
+  flushPerfBuffer(buffer, perflog);
+  return result;
+}
+
+TestRunResult Pipeline::runCampaign(const RegressionTest& test,
+                                    std::string_view target, int repeatIndex,
+                                    const CampaignExecContext& ctx) {
+  obs::ScopedSpan root(ctx.tracer, "test_run");
   root.attr("test", test.name);
   root.attr("target", target);
   root.attr("repeat", std::to_string(repeatIndex));
-  if (options_.metrics != nullptr) {
-    options_.metrics->counter("pipeline.runs").inc();
+  if (ctx.metrics != nullptr) {
+    ctx.metrics->counter("pipeline.runs").inc();
   }
 
-  TestRunResult result = runOnce(test, target, perflog, repeatIndex, 1);
+  TestRunResult result = runOnce(test, target, ctx, repeatIndex, 1);
   int attempts = 1;
   // Only transient failures are retried, each stage against its own
   // budget, with exponentially growing (deterministically jittered)
@@ -60,22 +97,22 @@ TestRunResult Pipeline::runOne(const RegressionTest& test,
                                    stage;
     const double wait = options_.retry.backoffSeconds(backoffKey, used);
     {
-      obs::ScopedSpan backoff(options_.tracer, "backoff");
+      obs::ScopedSpan backoff(ctx.tracer, "backoff");
       backoff.attr("attempt", std::to_string(attempts + 1));
       backoff.attr("stage", stage);
       backoff.attr("seconds", str::fixed(wait, 6));
-      if (options_.tracer != nullptr) {
-        options_.tracer->clock().advance(wait);
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->clock().advance(wait);
       }
     }
     backoffTotal += wait;
-    if (options_.metrics != nullptr) {
-      options_.metrics->counter("pipeline.retries").inc();
-      options_.metrics
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->counter("pipeline.retries").inc();
+      ctx.metrics
           ->histogram("pipeline.backoff_seconds", obs::stageSecondsBounds())
           .observe(wait);
     }
-    result = runOnce(test, target, perflog, repeatIndex, attempts + 1);
+    result = runOnce(test, target, ctx, repeatIndex, attempts + 1);
     ++attempts;
   }
   result.attempts = attempts;
@@ -87,9 +124,9 @@ TestRunResult Pipeline::runOne(const RegressionTest& test,
     root.attr("failure_stage", result.failure.stage);
     root.attr("failure_class",
               std::string(failureClassName(result.failure.klass)));
-    if (options_.metrics != nullptr) {
-      options_.metrics->counter("pipeline.failures").inc();
-      options_.metrics
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->counter("pipeline.failures").inc();
+      ctx.metrics
           ->counter("pipeline.failures/" +
                     std::string(failureClassName(result.failure.klass)))
           .inc();
@@ -99,10 +136,11 @@ TestRunResult Pipeline::runOne(const RegressionTest& test,
 }
 
 TestRunResult Pipeline::runOnce(const RegressionTest& test,
-                                std::string_view target, PerfLog* perflog,
+                                std::string_view target,
+                                const CampaignExecContext& ctx,
                                 int repeatIndex, int attempt) {
-  obs::Tracer* tracer = options_.tracer;
-  obs::MetricsRegistry* metrics = options_.metrics;
+  obs::Tracer* tracer = ctx.tracer;
+  obs::MetricsRegistry* metrics = ctx.metrics;
   auto stageHistogram = [metrics](std::string_view stage) -> obs::Histogram* {
     if (metrics == nullptr) return nullptr;
     return &metrics->histogram("pipeline.stage_seconds/" + std::string(stage),
@@ -126,14 +164,14 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
                                std::to_string(attempt);
   const FaultInjector* injector =
       injector_.has_value() ? &*injector_ : nullptr;
-  auto noteInjected = [this, tracer, &faultKey](std::string_view kind) {
+  auto noteInjected = [tracer, metrics, &faultKey](std::string_view kind) {
     if (tracer != nullptr) {
       tracer->event("fault.inject",
                     {{"kind", std::string(kind)}, {"key", faultKey}});
     }
-    if (options_.metrics != nullptr) {
-      options_.metrics->counter("fault.injected").inc();
-      options_.metrics->counter("fault.injected/" + std::string(kind)).inc();
+    if (metrics != nullptr) {
+      metrics->counter("fault.injected").inc();
+      metrics->counter("fault.injected/" + std::string(kind)).inc();
     }
   };
 
@@ -150,8 +188,8 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     result.passed = false;
     return result;
   };
-  auto appendPerflog = [this, perflog, metrics](const PerfLogEntry& entry) {
-    perflog->append(entry);
+  auto appendPerflog = [&ctx, metrics](const PerfLogEntry& entry) {
+    ctx.perfBuffer->push_back(entry);
     if (metrics != nullptr) {
       metrics->counter("pipeline.perflog_lines").inc();
     }
@@ -186,9 +224,8 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   {
     obs::ScopedSpan span(tracer, "build", stageHistogram("build"));
     if (buildCache_) {
-      result.build = builder_.build(
-          plan, &*buildCache_,
-          store::BuildCache::environmentFingerprint(system->environment));
+      result.build =
+          buildViaCache(plan, system->environment, ctx, attempt);
       if (result.build.stepsReusedFromCache > 0) {
         span.attr("reused", "store");
       }
@@ -226,13 +263,13 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     cpusPerTask = partition->processor.totalCores();
   }
 
-  RunContext ctx;
-  ctx.system = system;
-  ctx.partition = partition;
-  ctx.spec = concrete;
-  ctx.binaryId = result.build.binaryId;
-  ctx.args = test.executableOpts;
-  ctx.repeatIndex = repeatIndex;
+  RunContext runCtx;
+  runCtx.system = system;
+  runCtx.partition = partition;
+  runCtx.spec = concrete;
+  runCtx.binaryId = result.build.binaryId;
+  runCtx.args = test.executableOpts;
+  runCtx.repeatIndex = repeatIndex;
 
   RunOutput output;
   JobRequest request;
@@ -264,8 +301,8 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   }
 
   request.payload = [&](const Allocation& alloc) {
-    ctx.allocation = alloc;
-    output = test.run(ctx);
+    runCtx.allocation = alloc;
+    output = test.run(runCtx);
     JobOutcome outcome;
     outcome.success = !output.launchFailed && !injectCrash;
     outcome.runtimeSeconds = output.elapsedSeconds;
@@ -332,10 +369,12 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     result.jobScript = renderJobScript(*partition, script);
   }
 
-  // Shared provenance for every perflog record of this attempt.
+  // Shared provenance for every perflog record of this attempt.  The
+  // timestamp stays empty here: records are stamped in canonical order
+  // when the buffer is flushed, which keeps the numbering identical
+  // however campaigns were scheduled.
   auto provenancedEntry = [&]() {
     PerfLogEntry entry;
-    entry.timestamp = nextTimestamp();
     entry.system = result.system;
     entry.partition = result.partition;
     entry.environ = result.environ;
@@ -351,7 +390,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   // and attempt number all land in the perflog so retries are auditable.
   auto logFailure = [&](const std::string& stage, const std::string& detail,
                         FailureClass klass) {
-    if (perflog == nullptr) return;
+    if (ctx.perfBuffer == nullptr) return;
     PerfLogEntry entry = provenancedEntry();
     entry.fomName = stage;
     entry.value = 0.0;
@@ -409,7 +448,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   {
     obs::ScopedSpan span(tracer, "sanity", stageHistogram("sanity"));
     if (!test.sanityPattern.empty()) {
-      const std::regex sanity(test.sanityPattern);
+      const std::regex sanity = compileRegex(test.sanityPattern);
       if (!std::regex_search(result.stdoutText, sanity)) {
         span.attr("result", "fail");
         const std::string detail =
@@ -427,7 +466,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   const std::string targetKey = result.system + ":" + result.partition;
   bool allWithinReference = true;
   for (const PerfPattern& pattern : test.perfPatterns) {
-    const std::regex re(pattern.pattern);
+    const std::regex re = compileRegex(pattern.pattern);
     std::smatch match;
     if (!std::regex_search(result.stdoutText, match, re) ||
         match.size() < 2) {
@@ -467,7 +506,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     }
     result.fomWithinReference[pattern.fomName] = within;
 
-    if (perflog != nullptr) {
+    if (ctx.perfBuffer != nullptr) {
       PerfLogEntry entry = provenancedEntry();
       entry.fomName = pattern.fomName;
       entry.value = value;
@@ -507,92 +546,57 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   return result;
 }
 
-std::vector<TestRunResult> Pipeline::runAll(
-    std::span<const RegressionTest> tests,
-    std::span<const std::string> targets, PerfLog* perflog,
-    RunJournal* journal, CampaignReport* report) {
-  std::vector<TestRunResult> results;
-  CampaignReport local;
-  CampaignReport& rep = report != nullptr ? *report : local;
-
-  // Graceful degradation: after `pairThreshold` consecutive infrastructure
-  // failures a (test, target) pair is quarantined; a whole partition after
-  // `partitionThreshold` (across all its tests).  Quarantined tuples are
-  // reported, journaled and skipped instead of cascading errors.
-  CircuitBreaker pairBreaker(options_.breaker.pairThreshold);
-  CircuitBreaker partitionBreaker(options_.breaker.partitionThreshold);
-
-  for (const std::string& target : targets) {
-    const auto [system, partition] = systems_.resolve(target);
-    const std::string partitionKey = system->name + ":" + partition->name;
-    for (const RegressionTest& test : tests) {
-      if (!test.matchesTarget(system->name, partition->name)) continue;
-      const std::string pairKey = test.name + "@" + partitionKey;
-      for (int repeat = 0; repeat < options_.numRepeats; ++repeat) {
-        if (journal != nullptr &&
-            journal->contains(test.name, target, repeat)) {
-          ++rep.skippedJournaled;
-          continue;
+BuildRecord Pipeline::buildViaCache(const BuildPlan& plan,
+                                    const SystemEnvironment& env,
+                                    const CampaignExecContext& ctx,
+                                    int attempt) {
+  const std::string key = store::BuildCache::cacheKey(
+      plan.rootHash, store::BuildCache::environmentFingerprint(env),
+      plan.planHash());
+  using Role = CampaignExecContext::BuildRole;
+  Role role = Role::kDirect;
+  if (ctx.resolveBuildRole) {
+    std::uint64_t epoch = 0;
+    role = ctx.resolveBuildRole(&epoch);
+    // A follower waits for its leader's publication.  awaitBuilt returns
+    // false when that leader abandoned (skipped or crashed before
+    // building); re-resolving then elects a new leader — possibly us.
+    while (role == Role::kFollower) {
+      if (ctx.singleFlight->awaitBuilt(key, epoch)) {
+        if (attempt == 1 && ctx.metrics != nullptr) {
+          ctx.metrics->counter("store.singleflight_dedup").inc();
         }
-        if (!pairBreaker.allows(pairKey) ||
-            !partitionBreaker.allows(partitionKey)) {
-          const std::string openKey =
-              pairBreaker.allows(pairKey) ? partitionKey : pairKey;
-          TestRunResult skipped;
-          skipped.testName = test.name;
-          skipped.system = system->name;
-          skipped.partition = partition->name;
-          skipped.quarantined = true;
-          skipped.passed = false;
-          skipped.attempts = 0;
-          skipped.failure = {
-              "quarantine", FailureClass::kInfrastructure,
-              "circuit open for " + openKey + " after consecutive "
-              "infrastructure failures"};
-          ++rep.quarantined;
-          if (options_.tracer != nullptr) {
-            options_.tracer->event("fault.quarantine",
-                                   {{"key", openKey},
-                                    {"test", test.name},
-                                    {"target", target}});
-          }
-          if (options_.metrics != nullptr) {
-            options_.metrics->counter("fault.quarantined").inc();
-          }
-          if (journal != nullptr) {
-            journal->record(test.name, target, repeat, "quarantined",
-                            "quarantine", 0);
-          }
-          results.push_back(std::move(skipped));
-          continue;
-        }
-
-        TestRunResult result = runOne(test, target, perflog, repeat);
-        ++rep.executed;
-        const bool infra =
-            !result.passed &&
-            result.failure.klass == FailureClass::kInfrastructure;
-        if (infra) {
-          if (pairBreaker.recordFailure(pairKey)) {
-            rep.quarantinedKeys.push_back(pairKey);
-          }
-          if (partitionBreaker.recordFailure(partitionKey)) {
-            rep.quarantinedKeys.push_back(partitionKey);
-          }
-        } else {
-          pairBreaker.recordSuccess(pairKey);
-          partitionBreaker.recordSuccess(partitionKey);
-        }
-        if (journal != nullptr) {
-          journal->record(test.name, target, repeat,
-                          result.passed ? "pass" : "fail",
-                          result.failure.stage, result.attempts);
-        }
-        results.push_back(std::move(result));
+        break;
       }
+      role = ctx.resolveBuildRole(&epoch);
     }
+    // The span is emitted once the role has settled, so its bytes depend
+    // only on the canonical role, not on how many re-elections happened.
+    obs::ScopedSpan sf(ctx.tracer, "store.singleflight");
+    sf.attr("key", key);
+    sf.attr("role", role == Role::kLeader     ? "leader"
+                    : role == Role::kFollower ? "follower"
+                                              : "cached");
   }
-  return results;
+
+  if (role == Role::kLeader && attempt == 1) {
+    // The leader of a cold key *knows* the store has no verified record;
+    // record the miss without probing so concurrent followers never see a
+    // half-published entry, then build and publish.
+    buildCache_->recordMiss(key, ctx.tracer, ctx.metrics);
+    BuildRecord record = builder_.build(plan);
+    buildCache_->insert(key, record, ctx.tracer);
+    if (ctx.singleFlight != nullptr) ctx.singleFlight->publish(key);
+    return record;
+  }
+
+  if (std::optional<BuildRecord> hit =
+          buildCache_->lookup(key, plan, ctx.tracer, ctx.metrics)) {
+    return *hit;
+  }
+  BuildRecord record = builder_.build(plan);
+  buildCache_->insert(key, record, ctx.tracer);
+  return record;
 }
 
 }  // namespace rebench

@@ -7,6 +7,8 @@
 // auditable after the fact.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -76,6 +78,40 @@ struct PipelineOptions {
   store::ObjectStore* store = nullptr;
   /// --no-cache: keep recording to the store but never reuse from it.
   bool cacheBuilds = true;
+  /// Campaign-level parallelism for runAll: up to `jobs` independent
+  /// (test, target, repeat) campaigns execute concurrently, stages
+  /// overlapped.  Perflog, trace and manifest bytes are identical for
+  /// every value — parallelism is an implementation detail, not an
+  /// output-visible mode.  1 = in-line execution.
+  int jobs = 1;
+};
+
+/// Execution context threaded through one campaign: where observability
+/// and perflog records go (per-campaign shards under the parallel
+/// executor, the pipeline's own hooks otherwise), plus the single-flight
+/// protocol the executor uses so each unique build key builds exactly
+/// once across concurrent campaigns.
+struct CampaignExecContext {
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Perflog records accumulate here *untimestamped*; they are stamped
+  /// and appended in canonical suite order once the campaign's place is
+  /// settled.  Null = no perflog requested.
+  std::vector<PerfLogEntry>* perfBuffer = nullptr;
+
+  /// How a campaign participates in the build of its cache key.
+  enum class BuildRole {
+    kDirect,    // no executor coordination: probe the cache directly
+    kLeader,    // first user of a cold key: builds it, others wait
+    kFollower,  // concurrent user of a cold key: waits for the leader
+    kCached,    // key was warm before the campaign started: plain lookup
+  };
+  /// Resolves this campaign's role (executor-provided; null in direct
+  /// mode).  Writes the single-flight epoch observed at resolution time;
+  /// a follower whose awaitBuilt() returns false (leader abandoned)
+  /// re-resolves — possibly becoming the new leader.
+  std::function<BuildRole(std::uint64_t*)> resolveBuildRole;
+  store::SingleFlight* singleFlight = nullptr;
 };
 
 /// Everything that happened for one (test, system:partition) execution.
@@ -132,6 +168,18 @@ struct CampaignReport {
   /// Breaker keys ("test@system:partition" or "system:partition") whose
   /// circuit opened during the campaign, in open order.
   std::vector<std::string> quarantinedKeys;
+  /// Distinct cold build keys that built during the campaign (one build
+  /// per key — the single-flight invariant).
+  std::size_t uniqueBuilds = 0;
+  /// Builds avoided because a concurrent campaign shared a leader's
+  /// build instead of rebuilding the same key.
+  std::size_t dedupedBuilds = 0;
+  /// Sum of executed campaigns' simulated pipeline seconds — the serial
+  /// campaign cost.
+  double simulatedSerialSeconds = 0.0;
+  /// Simulated campaign makespan under `jobs` workers (greedy list
+  /// schedule over the executed campaigns in canonical order).
+  double simulatedMakespanSeconds = 0.0;
 };
 
 /// Drives regression tests through the full pipeline on simulated systems.
@@ -151,6 +199,8 @@ class Pipeline {
   /// circuit breaker (options.breaker) quarantines pairs/partitions after
   /// consecutive infrastructure failures; quarantined tuples yield
   /// results with failure.stage == "quarantine" instead of executing.
+  /// Campaigns execute on options.jobs workers (see CampaignExecutor);
+  /// output bytes are independent of the job count.
   std::vector<TestRunResult> runAll(std::span<const RegressionTest> tests,
                                     std::span<const std::string> targets,
                                     PerfLog* perflog = nullptr,
@@ -167,10 +217,27 @@ class Pipeline {
   }
 
  private:
+  friend class CampaignExecutor;
+
+  /// One full campaign — the retry loop around runOnce — reporting into
+  /// `ctx` instead of the pipeline's own observability hooks.
+  TestRunResult runCampaign(const RegressionTest& test,
+                            std::string_view target, int repeatIndex,
+                            const CampaignExecContext& ctx);
   /// `attempt` is 1-based (1 + retries consumed so far); recorded on the
   /// attempt span and as an `attempt` perflog extra.
   TestRunResult runOnce(const RegressionTest& test, std::string_view target,
-                        PerfLog* perflog, int repeatIndex, int attempt);
+                        const CampaignExecContext& ctx, int repeatIndex,
+                        int attempt);
+  /// The build stage's cache path: resolves the campaign's single-flight
+  /// role (when an executor coordinates) and either force-builds as the
+  /// leader or performs a verified lookup.
+  BuildRecord buildViaCache(const BuildPlan& plan,
+                            const SystemEnvironment& env,
+                            const CampaignExecContext& ctx, int attempt);
+  /// Stamps buffered perflog records with monotone timestamps and
+  /// appends them; no-op with a null perflog.
+  void flushPerfBuffer(std::vector<PerfLogEntry>& buffer, PerfLog* perflog);
 
   const SystemRegistry& systems_;
   const PackageRepository& repo_;

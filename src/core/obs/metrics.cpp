@@ -24,6 +24,15 @@ void Histogram::observe(double value) {
   sum_ += value;
 }
 
+void Histogram::merge(const Histogram& other) {
+  REBENCH_REQUIRE(bounds_ == other.bounds_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   return counters_[std::string(name)];
 }
@@ -42,6 +51,23 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
              .first;
   }
   return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters()) {
+    counters_[name].inc(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges()) {
+    gauges_[name].merge(gauge);
+  }
+  for (const auto& [name, histogram] : other.histograms()) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, histogram);
+    } else {
+      it->second.merge(histogram);
+    }
+  }
 }
 
 std::span<const double> stageSecondsBounds() {

@@ -39,6 +39,15 @@ class Gauge {
   }
   double value() const { return value_; }
   double max() const { return max_; }
+  bool seen() const { return seen_; }
+
+  /// Folds another gauge in as if its sets happened after ours: its value
+  /// wins (when it saw one), maxima combine.
+  void merge(const Gauge& other) {
+    if (!other.seen_) return;
+    set(other.value_);
+    if (other.max_ > max_) max_ = other.max_;
+  }
 
  private:
   double value_ = 0.0;
@@ -54,6 +63,9 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double value);
+
+  /// Element-wise accumulation of another histogram with identical bounds.
+  void merge(const Histogram& other);
 
   const std::vector<double>& bounds() const { return bounds_; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
@@ -94,6 +106,12 @@ class MetricsRegistry {
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
+
+  /// Folds `other` in: counters add, gauges merge (other's value wins,
+  /// maxima combine), histograms accumulate element-wise.  Used by the
+  /// campaign executor to merge per-campaign metric shards in canonical
+  /// order, so the combined dump is schedule-independent.
+  void merge(const MetricsRegistry& other);
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;

@@ -87,6 +87,42 @@ void Tracer::eventAt(double time, std::string name, AttrMap attrs) {
   emitted_.push_back({Emitted::Kind::kEvent, events_.size() - 1});
 }
 
+void Tracer::absorb(const Tracer& shard) {
+  REBENCH_REQUIRE(stack_.empty());
+  REBENCH_REQUIRE(shard.stack_.empty());
+  const double offset = clock_->peek();
+  const int rootBase = rootCount_;
+  // Shard span ids are hierarchical ("3", "3.1.2"); shifting the leading
+  // root number by rootBase makes them continue our numbering.
+  auto remapId = [rootBase](const std::string& id) -> std::string {
+    if (id.empty()) return id;
+    const std::size_t dot = id.find('.');
+    const std::string head = id.substr(0, dot);
+    const int root = std::stoi(head) + rootBase;
+    if (dot == std::string::npos) return std::to_string(root);
+    return std::to_string(root) + id.substr(dot);
+  };
+  for (const Emitted& emitted : shard.emitted_) {
+    if (emitted.kind == Emitted::Kind::kSpan) {
+      SpanRecord span = shard.spans_[emitted.index];
+      span.id = remapId(span.id);
+      span.parent = remapId(span.parent);
+      span.start += offset;
+      span.end += offset;
+      spans_.push_back(std::move(span));
+      emitted_.push_back({Emitted::Kind::kSpan, spans_.size() - 1});
+    } else {
+      EventRecord event = shard.events_[emitted.index];
+      event.span = remapId(event.span);
+      event.time += offset;
+      events_.push_back(std::move(event));
+      emitted_.push_back({Emitted::Kind::kEvent, events_.size() - 1});
+    }
+  }
+  rootCount_ += shard.rootCount_;
+  clock_->advanceTo(offset + shard.clock_->peek());
+}
+
 std::string Tracer::currentSpanId() const {
   return stack_.empty() ? std::string() : stack_.back().record.id;
 }

@@ -77,6 +77,15 @@ class Tracer {
   /// clock so later records stay monotone.
   void eventAt(double time, std::string name, AttrMap attrs = {});
 
+  /// Splices a completed shard trace (all spans ended) into this tracer:
+  /// the shard's roots are renumbered to follow ours, every record's time
+  /// is offset by our current clock position, and our clock advances past
+  /// the shard's end.  Absorbing shards in a canonical order therefore
+  /// yields bytes independent of the order they were *recorded* in —
+  /// the deterministic-merge primitive of the parallel campaign executor.
+  /// Requires no open spans on either tracer.
+  void absorb(const Tracer& shard);
+
   std::size_t openSpans() const { return stack_.size(); }
   /// Id of the innermost open span; empty when none is open.
   std::string currentSpanId() const;

@@ -211,6 +211,33 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
                        "' has invalid outcome '" + outcome->second + "'");
     }
   }
+  // Parallel-executor records: a single-flight span names the build key
+  // it coordinated and the role the campaign settled into, and a worker
+  // span identifies its campaign completely.
+  for (const SpanRecord& span : trace.spans) {
+    if (span.name == "store.singleflight") {
+      if (span.attrs.find("key") == span.attrs.end()) {
+        issues.push_back("store.singleflight span '" + span.id +
+                         "' without a 'key' attribute");
+      }
+      const auto role = span.attrs.find("role");
+      if (role == span.attrs.end()) {
+        issues.push_back("store.singleflight span '" + span.id +
+                         "' without a 'role' attribute");
+      } else if (role->second != "leader" && role->second != "follower" &&
+                 role->second != "cached") {
+        issues.push_back("store.singleflight span '" + span.id +
+                         "' has invalid role '" + role->second + "'");
+      }
+    } else if (span.name == "exec.worker") {
+      for (const char* required : {"campaign", "test", "target", "repeat"}) {
+        if (span.attrs.find(required) == span.attrs.end()) {
+          issues.push_back("exec.worker span '" + span.id + "' without a '" +
+                           required + "' attribute");
+        }
+      }
+    }
+  }
 
   double previous = 0.0;
   bool first = true;

@@ -67,6 +67,7 @@ double simulatedBuildCost(const BuildStep& step) {
 BuildRecord Builder::build(const BuildPlan& plan) {
   const std::string key = plan.planHash();
   if (!rebuildEveryRun_) {
+    std::lock_guard lock(mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       BuildRecord cached = it->second;
@@ -86,7 +87,10 @@ BuildRecord Builder::build(const BuildPlan& plan) {
   }
   record.buildSeconds = total;
   record.binaryId = Hasher{}.update("binary").update(key).hex();
-  cache_[key] = record;
+  {
+    std::lock_guard lock(mutex_);
+    cache_[key] = record;
+  }
   return record;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,10 +78,15 @@ class Builder {
                     const std::string& envFingerprint);
 
   /// Number of distinct binaries this builder has ever produced.
-  std::size_t cacheSize() const { return cache_.size(); }
+  std::size_t cacheSize() const {
+    std::lock_guard lock(mutex_);
+    return cache_.size();
+  }
 
  private:
   bool rebuildEveryRun_;
+  // One builder is shared by all concurrent campaign workers.
+  mutable std::mutex mutex_;
   std::map<std::string, BuildRecord> cache_;  // planHash -> record
 };
 

@@ -9,6 +9,41 @@
 
 namespace rebench::store {
 
+void SingleFlight::publish(const std::string& key) {
+  {
+    std::lock_guard lock(mutex_);
+    states_[key].built = true;
+  }
+  cv_.notify_all();
+}
+
+void SingleFlight::abandon(const std::string& key) {
+  {
+    std::lock_guard lock(mutex_);
+    State& state = states_[key];
+    if (state.built) return;
+    ++state.epoch;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t SingleFlight::epoch(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = states_.find(key);
+  return it == states_.end() ? 0 : it->second.epoch;
+}
+
+bool SingleFlight::awaitBuilt(const std::string& key,
+                              std::uint64_t epoch) const {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this, &key, epoch] {
+    const auto it = states_.find(key);
+    return it != states_.end() &&
+           (it->second.built || it->second.epoch != epoch);
+  });
+  return states_.at(key).built;
+}
+
 BuildCache::BuildCache(ObjectStore& store, obs::Tracer* tracer,
                        obs::MetricsRegistry* metrics)
     : store_(store), tracer_(tracer), metrics_(metrics) {}
@@ -58,16 +93,26 @@ std::optional<BuildRecord> BuildCache::parseRecord(const std::string& bytes) {
 
 std::optional<BuildRecord> BuildCache::lookup(const std::string& key,
                                               const BuildPlan& plan) {
-  obs::ScopedSpan span(tracer_, "store.lookup");
+  return lookup(key, plan, tracer_, metrics_);
+}
+
+std::optional<BuildRecord> BuildCache::lookup(const std::string& key,
+                                              const BuildPlan& plan,
+                                              obs::Tracer* tracer,
+                                              obs::MetricsRegistry* metrics) {
+  obs::ScopedSpan span(tracer, "store.lookup");
   span.attr("key", key);
 
   auto finish = [&](const char* outcome,
                     std::optional<BuildRecord> record) {
     span.attr("outcome", outcome);
-    if (metrics_ != nullptr) {
-      metrics_->counter(record ? "store.hit" : "store.miss").inc();
+    if (metrics != nullptr) {
+      metrics->counter(record ? "store.hit" : "store.miss").inc();
     }
-    (record ? stats_.hits : stats_.misses) += 1;
+    {
+      std::lock_guard lock(statsMutex_);
+      (record ? stats_.hits : stats_.misses) += 1;
+    }
     return record;
   };
 
@@ -88,15 +133,52 @@ std::optional<BuildRecord> BuildCache::lookup(const std::string& key,
   return finish("hit", std::move(record));
 }
 
+void BuildCache::recordMiss(const std::string& key, obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics) {
+  obs::ScopedSpan span(tracer, "store.lookup");
+  span.attr("key", key);
+  span.attr("outcome", "miss");
+  if (metrics != nullptr) metrics->counter("store.miss").inc();
+  std::lock_guard lock(statsMutex_);
+  ++stats_.misses;
+}
+
+std::optional<BuildRecord> BuildCache::peek(const std::string& key,
+                                            const BuildPlan& plan) const {
+  const std::optional<std::string> hash = store_.ref("build/" + key);
+  if (!hash) return std::nullopt;
+  const std::optional<std::string> bytes = store_.peek(*hash);
+  if (!bytes) return std::nullopt;
+  std::optional<BuildRecord> record = parseRecord(*bytes);
+  if (!record || record->planHash != plan.planHash() ||
+      record->rootHash != plan.rootHash) {
+    return std::nullopt;
+  }
+  record->stepsExecuted = 0;
+  record->stepsReusedFromCache = static_cast<int>(plan.steps.size());
+  record->buildSeconds = 0.0;
+  return record;
+}
+
+void BuildCache::noteSingleFlightDeduped(std::uint64_t n) {
+  std::lock_guard lock(statsMutex_);
+  stats_.singleFlightDeduped += n;
+}
+
 void BuildCache::insert(const std::string& key, const BuildRecord& record) {
+  insert(key, record, tracer_);
+}
+
+void BuildCache::insert(const std::string& key, const BuildRecord& record,
+                        obs::Tracer* tracer) {
   const std::string hash = store_.put(serializeRecord(record));
   store_.setRef("build/" + key, hash);
-  if (tracer_ != nullptr) {
-    tracer_->event("store.put",
-                   {{"hash", hash},
-                    {"bytes", std::to_string(
-                                  serializeRecord(record).size())},
-                    {"key", key}});
+  if (tracer != nullptr) {
+    tracer->event("store.put",
+                  {{"hash", hash},
+                   {"bytes", std::to_string(
+                                 serializeRecord(record).size())},
+                   {"key", key}});
   }
 }
 

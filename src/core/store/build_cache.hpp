@@ -18,6 +18,10 @@
 // the `store.hit`/`store.miss` counters; inserts emit `store.put` events.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -31,6 +35,37 @@ class MetricsRegistry;
 }  // namespace rebench::obs
 
 namespace rebench::store {
+
+/// Single-flight coordination for concurrent builders sharing one cache:
+/// the first campaign to need a key becomes its *leader* and builds; the
+/// others block in awaitBuilt() until the leader publishes.  A leader that
+/// gives up (skipped or crashed) abandons the key instead, which bumps the
+/// key's epoch and wakes the waiters with `built == false` so they can
+/// re-elect a leader rather than hang.
+class SingleFlight {
+ public:
+  /// Leader succeeded: the key's record is now in the cache.
+  void publish(const std::string& key);
+  /// Leader gave up without building.  No-op once published.
+  void abandon(const std::string& key);
+
+  /// Current abandonment epoch for the key (0 until first abandon).
+  std::uint64_t epoch(const std::string& key) const;
+
+  /// Blocks until the key is published (returns true) or its epoch moves
+  /// past `epoch` (returns false: the observed leader abandoned;
+  /// re-resolve roles and try again).
+  bool awaitBuilt(const std::string& key, std::uint64_t epoch) const;
+
+ private:
+  struct State {
+    bool built = false;
+    std::uint64_t epoch = 0;
+  };
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, State> states_;
+};
 
 class BuildCache {
  public:
@@ -48,17 +83,46 @@ class BuildCache {
   static std::string environmentFingerprint(const SystemEnvironment& env);
 
   /// Verified lookup: nullopt on no entry, corrupt blob, or a record
-  /// whose provenance does not match `plan`.
+  /// whose provenance does not match `plan`.  The 2-argument form reports
+  /// through the cache's own tracer/metrics; the 4-argument form reports
+  /// through the caller's (per-campaign shards in the parallel executor).
   std::optional<BuildRecord> lookup(const std::string& key,
                                     const BuildPlan& plan);
+  std::optional<BuildRecord> lookup(const std::string& key,
+                                    const BuildPlan& plan,
+                                    obs::Tracer* tracer,
+                                    obs::MetricsRegistry* metrics);
 
   void insert(const std::string& key, const BuildRecord& record);
+  void insert(const std::string& key, const BuildRecord& record,
+              obs::Tracer* tracer);
+
+  /// Emits the observability of a forced miss (span outcome "miss",
+  /// `store.miss` counter, stats) without probing the store.  The
+  /// executor's single-flight leader uses this: it *knows* the key is
+  /// cold and must build, and probing would perturb store state.
+  void recordMiss(const std::string& key, obs::Tracer* tracer,
+                  obs::MetricsRegistry* metrics);
+
+  /// Silent verified lookup: no spans, no counters, no stats, no LRU
+  /// touches.  Used by the executor's pre-pass to classify keys as
+  /// warm/cold without observable side effects.
+  std::optional<BuildRecord> peek(const std::string& key,
+                                  const BuildPlan& plan) const;
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t singleFlightDeduped = 0;  // builds avoided by waiting
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard lock(statsMutex_);
+    return stats_;
+  }
+
+  /// Credits builds that were avoided because a follower waited on a
+  /// single-flight leader instead of rebuilding.
+  void noteSingleFlightDeduped(std::uint64_t n);
 
   ObjectStore& objectStore() { return store_; }
 
@@ -70,6 +134,7 @@ class BuildCache {
   ObjectStore& store_;
   obs::Tracer* tracer_;
   obs::MetricsRegistry* metrics_;
+  mutable std::mutex statsMutex_;
   Stats stats_;
 };
 

@@ -145,11 +145,13 @@ void ObjectStore::evictToFit(std::uint64_t incoming,
 
 void ObjectStore::setObservability(obs::Tracer* tracer,
                                    obs::MetricsRegistry* metrics) {
+  std::lock_guard lock(mutex_);
   tracer_ = tracer;
   metrics_ = metrics;
 }
 
 std::string ObjectStore::put(std::string_view bytes) {
+  std::lock_guard lock(mutex_);
   const std::string hash = hashBytes(bytes);
   ++stats_.puts;
   if (auto it = entries_.find(hash);
@@ -189,6 +191,7 @@ std::string ObjectStore::put(std::string_view bytes) {
 }
 
 std::optional<std::string> ObjectStore::get(const std::string& hash) {
+  std::lock_guard lock(mutex_);
   const std::string path = objectPath(hash);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
@@ -207,17 +210,32 @@ std::optional<std::string> ObjectStore::get(const std::string& hash) {
   return content;
 }
 
+std::optional<std::string> ObjectStore::peek(const std::string& hash) const {
+  std::lock_guard lock(mutex_);
+  if (!entries_.contains(hash)) return std::nullopt;
+  std::ifstream in(objectPath(hash), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::string content = bytes.str();
+  if (hashBytes(content) != hash) return std::nullopt;
+  return content;
+}
+
 bool ObjectStore::contains(const std::string& hash) const {
+  std::lock_guard lock(mutex_);
   return entries_.contains(hash) && fs::exists(objectPath(hash));
 }
 
 void ObjectStore::setRef(std::string_view name, const std::string& hash) {
+  std::lock_guard lock(mutex_);
   refs_[std::string(name)] = hash;
   appendIndex("{\"kind\":\"ref\",\"name\":" + obs::json::quote(name) +
               ",\"hash\":" + obs::json::quote(hash) + "}");
 }
 
 std::optional<std::string> ObjectStore::ref(std::string_view name) const {
+  std::lock_guard lock(mutex_);
   auto it = refs_.find(name);
   if (it == refs_.end()) return std::nullopt;
   // A ref whose target was evicted or deleted reads as unset.

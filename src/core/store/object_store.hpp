@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -60,6 +61,11 @@ class ObjectStore {
   /// to `hash`.  A corrupt blob is deleted and counted.
   std::optional<std::string> get(const std::string& hash);
 
+  /// Verified read with no side effects: no touch, no stats, no index
+  /// writes, no corruption handling.  Used by the parallel executor's
+  /// pre-pass to classify keys without perturbing LRU state.
+  std::optional<std::string> peek(const std::string& hash) const;
+
   bool contains(const std::string& hash) const;
 
   /// Optional hooks (both nullable, not owned): evictions become
@@ -79,10 +85,19 @@ class ObjectStore {
     std::uint64_t evictions = 0;      // objects removed by the size cap
     std::uint64_t corrupt = 0;        // verification failures on get()
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
 
-  std::size_t objectCount() const { return entries_.size(); }
-  std::uint64_t totalBytes() const { return totalBytes_; }
+  std::size_t objectCount() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+  std::uint64_t totalBytes() const {
+    std::lock_guard lock(mutex_);
+    return totalBytes_;
+  }
   const std::string& dir() const { return dir_; }
   std::string objectPath(const std::string& hash) const;
 
@@ -92,6 +107,7 @@ class ObjectStore {
     std::uint64_t lastUse = 0;  // logical tick, higher = more recent
   };
 
+  // Private helpers assume mutex_ is held by the caller.
   void appendIndex(const std::string& line);
   void touch(const std::string& hash);
   void removeObject(const std::string& hash);
@@ -99,6 +115,9 @@ class ObjectStore {
   /// `protect`.
   void evictToFit(std::uint64_t incoming, const std::string& protect);
 
+  // Serializes all public operations: the store is shared by concurrent
+  // campaign workers in the parallel executor.
+  mutable std::mutex mutex_;
   std::string dir_;
   std::string indexPath_;
   StoreOptions options_;

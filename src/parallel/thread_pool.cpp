@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "core/util/error.hpp"
 
 namespace rebench {
+
+namespace {
+
+// Nesting bookkeeping so a wait() issued from inside a pool task can
+// discount itself from the pool's active count instead of deadlocking.
+struct ExecState {
+  const ThreadPool* pool = nullptr;
+  std::size_t depth = 0;
+};
+thread_local ExecState tlsExec;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t numThreads) {
   if (numThreads == 0) {
@@ -27,42 +40,124 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  enqueue({std::move(task), nullptr});
+}
+
+void ThreadPool::enqueue(Job job) {
   {
     std::lock_guard lock(mutex_);
     REBENCH_REQUIRE(!shutdown_);
-    tasks_.push(std::move(task));
+    jobs_.push(std::move(job));
   }
   taskReady_.notify_one();
+  progress_.notify_all();  // helpers blocked on an empty queue
+}
+
+void ThreadPool::runOneJob(std::unique_lock<std::mutex>& lock) {
+  Job job = std::move(jobs_.front());
+  jobs_.pop();
+  ++active_;
+  lock.unlock();
+
+  const ExecState saved = tlsExec;
+  tlsExec = {this, (saved.pool == this ? saved.depth : 0) + 1};
+  std::exception_ptr error;
+  try {
+    job.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tlsExec = saved;
+
+  lock.lock();
+  --active_;
+  if (job.group != nullptr) {
+    if (error && !job.group->error_) job.group->error_ = error;
+    --job.group->pending_;
+  } else if (error && !firstError_) {
+    firstError_ = error;
+  }
+  progress_.notify_all();
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    taskReady_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+    if (shutdown_ && jobs_.empty()) return;
+    runOneJob(lock);
+  }
 }
 
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
-  allDone_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
-}
-
-void ThreadPool::workerLoop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      taskReady_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (shutdown_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
-      ++active_;
+  // A waiter inside a pool task is itself counted in active_; quiescence
+  // for it means "nothing running but me (and my enclosing tasks)".
+  const std::size_t self = tlsExec.pool == this ? tlsExec.depth : 0;
+  while (!(jobs_.empty() && active_ == self)) {
+    if (!jobs_.empty()) {
+      runOneJob(lock);
+      continue;
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --active_;
-      if (tasks_.empty() && active_ == 0) allDone_.notify_all();
-    }
+    progress_.wait(lock, [this, self] {
+      return !jobs_.empty() || active_ == self;
+    });
+  }
+  if (firstError_) {
+    std::exception_ptr error = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
   }
 }
 
+std::size_t ThreadPool::globalSizeFromEnv() {
+  const char* env = std::getenv("REBENCH_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 0;  // unparsable = host default
+  return static_cast<std::size_t>(parsed);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(globalSizeFromEnv());
   return pool;
+}
+
+TaskGroup::~TaskGroup() { waitImpl(/*rethrow=*/false); }
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard lock(pool_.mutex_);
+    REBENCH_REQUIRE(!pool_.shutdown_);
+    ++pending_;
+    pool_.jobs_.push({std::move(task), this});
+  }
+  pool_.taskReady_.notify_one();
+  pool_.progress_.notify_all();
+}
+
+void TaskGroup::wait() { waitImpl(/*rethrow=*/true); }
+
+void TaskGroup::waitImpl(bool rethrow) {
+  std::unique_lock lock(pool_.mutex_);
+  while (pending_ != 0) {
+    if (!pool_.jobs_.empty()) {
+      // Help: run someone's queued job (possibly not ours) instead of
+      // idling — this is what makes nested parallel regions on a shared
+      // pool make progress.
+      pool_.runOneJob(lock);
+      continue;
+    }
+    pool_.progress_.wait(lock, [this] {
+      return pending_ == 0 || !pool_.jobs_.empty();
+    });
+  }
+  if (rethrow && error_) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void parallelForBlocked(
@@ -75,14 +170,15 @@ void parallelForBlocked(
     blockFn(begin, end);
     return;
   }
+  TaskGroup group(pool);
   const std::size_t chunk = (n + numBlocks - 1) / numBlocks;
   for (std::size_t b = 0; b < numBlocks; ++b) {
     const std::size_t lo = begin + b * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pool.submit([&blockFn, lo, hi] { blockFn(lo, hi); });
+    group.run([&blockFn, lo, hi] { blockFn(lo, hi); });
   }
-  pool.wait();
+  group.wait();
 }
 
 void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
@@ -100,8 +196,9 @@ void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
   grain = std::max<std::size_t>(1, grain);
   auto next = std::make_shared<std::atomic<std::size_t>>(begin);
   const std::size_t numWorkers = std::min(end - begin, pool.size());
+  TaskGroup group(pool);
   for (std::size_t w = 0; w < numWorkers; ++w) {
-    pool.submit([next, &fn, end, grain] {
+    group.run([next, &fn, end, grain] {
       while (true) {
         const std::size_t lo = next->fetch_add(grain);
         if (lo >= end) return;
@@ -110,7 +207,7 @@ void parallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
       }
     });
   }
-  pool.wait();
+  group.wait();
 }
 
 double parallelReduceSumBlocked(
@@ -122,15 +219,16 @@ double parallelReduceSumBlocked(
   if (numBlocks <= 1) return partial(begin, end);
   std::vector<double> partials(numBlocks, 0.0);
   const std::size_t chunk = (n + numBlocks - 1) / numBlocks;
+  TaskGroup group(pool);
   for (std::size_t b = 0; b < numBlocks; ++b) {
     const std::size_t lo = begin + b * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pool.submit([&partial, &partials, b, lo, hi] {
+    group.run([&partial, &partials, b, lo, hi] {
       partials[b] = partial(lo, hi);
     });
   }
-  pool.wait();
+  group.wait();
   double sum = 0.0;
   for (double p : partials) sum += p;
   return sum;

@@ -1,0 +1,161 @@
+// The parallel campaign executor's contracts: single-flight build
+// deduplication (exactly one build per cold key no matter how many
+// campaigns need it), and byte-identical perflog/trace output for every
+// --jobs value even when worker completion order is adversarial or the
+// campaign quarantines under injected infrastructure faults.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework/pipeline.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
+#include "core/store/object_store.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench {
+namespace {
+
+RegressionTest streamTest(std::string name, double triad = 100000.0,
+                          int sleepMillis = 0) {
+  RegressionTest test;
+  test.name = std::move(name);
+  test.spackSpec = "stream%gcc";
+  test.numTasks = 1;
+  test.numTasksPerNode = 1;
+  test.sanityPattern = "Solution Validates";
+  test.perfPatterns = {{"Triad", R"(Triad:\s+([0-9.]+))", Unit::kMBperSec}};
+  test.run = [triad, sleepMillis](const RunContext&) {
+    if (sleepMillis > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleepMillis));
+    }
+    return RunOutput{"Triad: " + str::fixed(triad, 1) +
+                         " MB/s\nSolution Validates\n",
+                     12.0, false, ""};
+  };
+  return test;
+}
+
+std::string tempDir(const std::string& leaf) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / leaf).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+class ParallelExecutorFixture : public ::testing::Test {
+ protected:
+  ParallelExecutorFixture()
+      : systems_(builtinSystems()), repo_(builtinRepository()) {}
+  SystemRegistry systems_;
+  PackageRepository repo_;
+};
+
+TEST_F(ParallelExecutorFixture, SingleFlightBuildsColdKeyExactlyOnce) {
+  // Four concurrent repeats of the same campaign share one build key;
+  // the leader builds it once and the other three wait instead of
+  // rebuilding.
+  const std::string dir = tempDir("sf_dedup_store");
+  store::ObjectStore store(dir);
+  PipelineOptions options;
+  options.numRepeats = 4;
+  options.jobs = 4;
+  options.store = &store;
+  Pipeline pipeline(systems_, repo_, options);
+  const std::vector<RegressionTest> tests{streamTest("SfDedup")};
+  const std::vector<std::string> targets{"archer2"};
+  CampaignReport report;
+  const auto results =
+      pipeline.runAll(tests, targets, nullptr, nullptr, &report);
+  ASSERT_EQ(results.size(), 4u);
+  for (const TestRunResult& result : results) EXPECT_TRUE(result.passed);
+
+  EXPECT_EQ(report.executed, 4u);
+  EXPECT_EQ(report.uniqueBuilds, 1u);
+  EXPECT_EQ(report.dedupedBuilds, 3u);
+  ASSERT_NE(pipeline.buildCache(), nullptr);
+  const store::BuildCache::Stats stats = pipeline.buildCache()->stats();
+  EXPECT_EQ(stats.misses, 1u);  // the leader's one real build
+  EXPECT_EQ(stats.hits, 3u);    // each follower reuses the published record
+  EXPECT_EQ(stats.singleFlightDeduped, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ParallelExecutorFixture, AdversarialCompletionOrderIsByteInvariant) {
+  // Three campaigns whose real-time durations are inverse to their
+  // canonical order: under jobs=3 the *last* campaign finishes first, so
+  // any completion-order leak in the merge would reorder the output.
+  auto campaign = [&](int jobs) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    PipelineOptions options;
+    options.jobs = jobs;
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+    Pipeline pipeline(systems_, repo_, options);
+    const std::vector<RegressionTest> tests{
+        streamTest("ShuffleA", 100000.0, 120),
+        streamTest("ShuffleB", 110000.0, 60),
+        streamTest("ShuffleC", 120000.0, 0),
+    };
+    const std::vector<std::string> targets{"archer2"};
+    PerfLog perflog;
+    pipeline.runAll(tests, targets, &perflog);
+    std::string joined;
+    for (const std::string& line : perflog.lines()) joined += line + "\n";
+    return std::pair{joined, tracer.toJsonl(&metrics)};
+  };
+  const auto [perflogSerial, traceSerial] = campaign(1);
+  const auto [perflogParallel, traceParallel] = campaign(3);
+  EXPECT_FALSE(perflogSerial.empty());
+  EXPECT_EQ(perflogSerial, perflogParallel);
+  EXPECT_EQ(traceSerial, traceParallel);
+  // Canonical order: ShuffleA's lines precede ShuffleC's even though
+  // ShuffleC finished first under jobs=3.
+  EXPECT_LT(perflogParallel.find("ShuffleA"), perflogParallel.find("ShuffleC"));
+}
+
+TEST_F(ParallelExecutorFixture, FaultedQuarantiningCampaignIsJobsInvariant) {
+  // Node faults plus a low breaker threshold: speculative campaigns race
+  // ahead of quarantine decisions under jobs=4 and must be discarded /
+  // repaired back to exactly the serial bytes — including which breaker
+  // keys opened, in which order.
+  auto campaign = [&](int jobs) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    PipelineOptions options;
+    options.faults.seed = 7;
+    options.faults.nodeFailProb = 0.9;
+    options.retry.seed = options.faults.seed;
+    options.breaker.pairThreshold = 2;
+    options.numRepeats = 3;
+    options.jobs = jobs;
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+    Pipeline pipeline(systems_, repo_, options);
+    const std::vector<RegressionTest> tests{streamTest("QuarShuffle")};
+    const std::vector<std::string> targets{"isambard-macs:cascadelake",
+                                           "isambard-macs:volta"};
+    PerfLog perflog;
+    CampaignReport report;
+    pipeline.runAll(tests, targets, &perflog, nullptr, &report);
+    std::string joined;
+    for (const std::string& line : perflog.lines()) joined += line + "\n";
+    return std::tuple{joined, tracer.toJsonl(&metrics), report};
+  };
+  const auto [perflogSerial, traceSerial, reportSerial] = campaign(1);
+  const auto [perflogParallel, traceParallel, reportParallel] = campaign(4);
+  EXPECT_EQ(perflogSerial, perflogParallel);
+  EXPECT_EQ(traceSerial, traceParallel);
+  EXPECT_EQ(reportSerial.executed, reportParallel.executed);
+  EXPECT_EQ(reportSerial.quarantined, reportParallel.quarantined);
+  EXPECT_EQ(reportSerial.quarantinedKeys, reportParallel.quarantinedKeys);
+  EXPECT_GT(reportSerial.quarantined, 0u);  // the breaker actually opened
+}
+
+}  // namespace
+}  // namespace rebench
