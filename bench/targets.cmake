@@ -25,3 +25,4 @@ rebench_add_bench(scaling_hpgmg.cpp)
 rebench_add_bench(ablation_hpcg_mg.cpp)
 rebench_add_bench(ablation_hygiene.cpp)
 rebench_add_bench(ablation_parallel.cpp)
+rebench_add_bench(ablation_profile.cpp)

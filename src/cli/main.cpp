@@ -25,7 +25,10 @@
 #include "core/framework/pipeline.hpp"
 #include "core/obs/trace.hpp"
 #include "core/obs/trace_reader.hpp"
+#include "core/postproc/chrome_export.hpp"
+#include "core/postproc/critical_path.hpp"
 #include "core/postproc/perflog_reader.hpp"
+#include "core/postproc/profile.hpp"
 #include "core/postproc/trace_report.hpp"
 #include "core/postproc/plot.hpp"
 #include "core/postproc/hygiene.hpp"
@@ -66,7 +69,7 @@ int usage() {
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
       "        [--trace DIR] [--faults FILE|SPEC] [--retries N]\n"
       "        [--repeats N] [--resume DIR] [--quarantine-after N]\n"
-      "        [--store DIR] [--no-cache] [--jobs N]\n"
+      "        [--store DIR] [--no-cache] [--jobs N] [--lanes N]\n"
       "                                     --faults injects deterministic\n"
       "                                     failures (seed=..,crash=..,\n"
       "                                     node=..,preempt=..,build=..,\n"
@@ -76,14 +79,32 @@ int usage() {
       "                                     runs campaigns on N workers with\n"
       "                                     byte-identical perflog/trace/\n"
       "                                     manifest output (kernel threads\n"
-      "                                     via REBENCH_THREADS env)\n"
+      "                                     via REBENCH_THREADS env);\n"
+      "                                     --lanes sets the virtual-lane\n"
+      "                                     width profiling stamps into the\n"
+      "                                     trace (default 8, jobs-\n"
+      "                                     independent)\n"
       "  replay <manifest>                re-execute a campaign manifest\n"
       "                                     from scratch and diff the\n"
       "                                     regenerated perflog/trace bytes\n"
       "                                     against the recorded hashes\n"
       "                                     (exit 1 on divergence)\n"
       "  trace-report <file> [--tree]     per-stage timing + metrics from a\n"
-      "                                     trace JSONL (--trace output)\n"
+      "               [--json] [--chrome F]  trace JSONL (--trace output);\n"
+      "                                     --json emits the machine-\n"
+      "                                     readable report, --chrome a\n"
+      "                                     chrome://tracing export\n"
+      "  profile <file> [--json]          campaign schedule profiling from\n"
+      "          [--chrome F]               a trace: lane Gantt + busy/idle/\n"
+      "          [--diff A B]               blocked utilization + critical\n"
+      "          [--threshold 0.05]         path with self/child attribution\n"
+      "                                     (needs exec.worker lane stamps;\n"
+      "                                     run-mode traces profile on one\n"
+      "                                     lane); --chrome exports the\n"
+      "                                     catapult JSON, --diff aligns\n"
+      "                                     two traces by span path and\n"
+      "                                     exits 1 on duration regressions\n"
+      "                                     above the threshold\n"
       "  env --system S                   captured system environment\n"
       "  audit --perflog F [--strict]     Bailey/Hoefler-Belli hygiene audit\n"
       "        [--manifest M]               (--manifest also flags results\n"
@@ -293,6 +314,7 @@ store::CampaignInvocation invocationFromArgs(const Args& args,
   inv.backoffMultiplier = args.doubleOptionOr("backoff-mult", -1.0);
   inv.backoffMax = args.doubleOptionOr("backoff-max", -1.0);
   inv.quarantineAfter = args.intOptionOr("quarantine-after", -1);
+  inv.lanes = args.intOptionOr("lanes", -1);
   inv.withStore = args.option("store").has_value();
   inv.cache = !args.hasFlag("no-cache");
   return inv;
@@ -319,6 +341,7 @@ PipelineOptions optionsFromInvocation(const store::CampaignInvocation& inv) {
   if (inv.quarantineAfter >= 0) {
     options.breaker.pairThreshold = inv.quarantineAfter;
   }
+  if (inv.lanes > 0) options.profileLanes = inv.lanes;
   return options;
 }
 
@@ -569,7 +592,8 @@ int runSuite(const Args& args) {
                      report.simulatedSerialSeconds, 1)
               << "s serial -> " << str::fixed(
                      report.simulatedMakespanSeconds, 1)
-              << "s makespan\n";
+              << "s makespan (" << report.workerLanesTouched
+              << " worker lane(s) touched)\n";
   }
   const std::string traceBytes = trace.active() ? trace.serialize() : "";
   storeSession.writeManifest(invocation, results, perflog,
@@ -657,6 +681,27 @@ int replay(const Args& args) {
   return comparison.allExact() ? 0 : 1;
 }
 
+/// --chrome FILE on trace-report/profile: exports the catapult JSON.
+/// The scheduled-lanes process group needs a profile; traces without
+/// profilable spans (e.g. spec traces) export the recorded timeline only.
+void writeChromeTrace(const obs::TraceFile& trace, const std::string& path,
+                      const postproc::TraceProfile* profile) {
+  postproc::TraceProfile empty;
+  if (profile == nullptr) {
+    try {
+      empty = postproc::profileTrace(trace);
+    } catch (const Error&) {
+    }
+    profile = &empty;
+  }
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write chrome trace '" + path + "'");
+  out << postproc::renderChromeTrace(trace, *profile);
+  // stderr, so the report on stdout stays byte-comparable across
+  // invocations that name their export file differently.
+  std::cerr << "chrome trace written to " << path << "\n";
+}
+
 int traceReport(const Args& args) {
   if (args.positionals().empty()) {
     std::cerr << "trace-report: missing trace file\n";
@@ -668,11 +713,75 @@ int traceReport(const Args& args) {
   for (const std::string& issue : issues) {
     std::cerr << "trace-report: warning: " << issue << "\n";
   }
-  std::cout << renderStageTable(trace);
-  if (args.hasFlag("tree")) {
-    std::cout << "\n" << renderTraceTree(trace);
+  if (args.hasFlag("json")) {
+    std::cout << "{\"schema\":\"rebench.trace_report/1\",\"spans\":"
+              << trace.spans.size() << ",\"events\":" << trace.events.size()
+              << ",\"stages\":" << stageTableJson(trace)
+              << ",\"metrics\":" << metricsJson(trace) << "}\n";
+  } else {
+    std::cout << renderStageTable(trace);
+    if (args.hasFlag("tree")) {
+      std::cout << "\n" << renderTraceTree(trace);
+    }
+    std::cout << "\n" << renderMetricsReport(trace);
   }
-  std::cout << "\n" << renderMetricsReport(trace);
+  if (auto chromePath = args.option("chrome")) {
+    writeChromeTrace(trace, *chromePath, nullptr);
+  }
+  return 0;
+}
+
+/// `rebench profile` — the trace profiling engine.  Plain mode
+/// reconstructs the canonical lane schedule of a campaign trace and
+/// prints the Gantt/utilization view plus the critical path; `--diff A B`
+/// aligns two traces by span name-path instead and exits 1 when the
+/// candidate regressed beyond --threshold.
+int profileCommand(const Args& args) {
+  if (auto baseline = args.option("diff")) {
+    // Parsed as `--diff A` (option) + `B` (positional).
+    if (args.positionals().empty()) {
+      std::cerr << "profile: --diff needs two traces "
+                   "(rebench profile --diff A B)\n";
+      return 2;
+    }
+    const obs::TraceFile a = obs::readTraceFile(*baseline);
+    const obs::TraceFile b = obs::readTraceFile(args.positionals().front());
+    const double threshold = std::stod(args.optionOr("threshold", "0.05"));
+    const postproc::TraceDiff diff = postproc::diffTraces(a, b, threshold);
+    if (args.hasFlag("json")) {
+      std::cout << "{\"schema\":\"rebench.profile_diff/1\",\"diff\":"
+                << postproc::diffJson(diff) << "}\n";
+    } else {
+      std::cout << postproc::renderDiff(diff);
+    }
+    return diff.regressions() == 0 ? 0 : 1;
+  }
+
+  if (args.positionals().empty()) {
+    std::cerr << "profile: missing trace file\n";
+    return 2;
+  }
+  const obs::TraceFile trace =
+      obs::readTraceFile(args.positionals().front());
+  for (const std::string& issue : obs::lintTrace(trace)) {
+    std::cerr << "profile: warning: " << issue << "\n";
+  }
+  const postproc::TraceProfile profile = postproc::profileTrace(trace);
+  const postproc::CriticalPathReport critical =
+      postproc::extractCriticalPath(trace, profile);
+  if (args.hasFlag("json")) {
+    std::cout << "{\"schema\":\"rebench.profile/1\",\"profile\":"
+              << postproc::profileJson(profile)
+              << ",\"critical_path\":" << postproc::criticalPathJson(critical)
+              << ",\"stages\":" << stageTableJson(trace)
+              << ",\"metrics\":" << metricsJson(trace) << "}\n";
+  } else {
+    std::cout << postproc::renderProfile(profile) << "\n"
+              << postproc::renderCriticalPath(critical);
+  }
+  if (auto chromePath = args.option("chrome")) {
+    writeChromeTrace(trace, *chromePath, &profile);
+  }
   return 0;
 }
 
@@ -827,6 +936,7 @@ int dispatch(const Args& args) {
   if (args.subcommand() == "replay") return replay(args);
   if (args.subcommand() == "report") return report(args);
   if (args.subcommand() == "trace-report") return traceReport(args);
+  if (args.subcommand() == "profile") return profileCommand(args);
   if (args.subcommand() == "history") return history(args);
   if (args.subcommand() == "compare") return compare(args);
   return usage();

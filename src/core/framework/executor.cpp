@@ -1,9 +1,11 @@
 #include "core/framework/executor.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "core/obs/trace.hpp"
 #include "core/util/error.hpp"
+#include "core/util/strings.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace rebench {
@@ -199,6 +201,8 @@ void CampaignExecutor::runUnit(Unit& unit, bool forceLeader) {
   }
 
   obs::ScopedSpan worker(ctx.tracer, "exec.worker");
+  unit.workerSpanId = worker.id();
+  unit.observedLane = ThreadPool::currentLane();
   worker.attr("campaign", std::to_string(unit.index));
   worker.attr("test", unit.test->name);
   worker.attr("target", unit.target);
@@ -239,6 +243,31 @@ void CampaignExecutor::executeUnit(Unit& unit) {
   std::lock_guard lock(mutex_);
   unit.status = Unit::Status::kDone;
   reconcileLocked();
+}
+
+void CampaignExecutor::stampProfileLanes() {
+  // Same greedy list schedule the makespan model uses, but over the
+  // jobs-invariant profileLanes width: each executed campaign, in
+  // canonical order, lands on the virtual lane that frees up first.
+  // The stamped attributes let `rebench profile` reconstruct the
+  // schedule (lane chaining), its utilization and its critical path
+  // from the trace alone.
+  const std::size_t lanes = static_cast<std::size_t>(
+      std::max(1, pipeline_.options_.profileLanes));
+  std::vector<double> laneFree(lanes, 0.0);
+  for (Unit& unit : units_) {
+    if (unit.status != Unit::Status::kDone || unit.quarantined) continue;
+    const auto earliest = std::min_element(laneFree.begin(), laneFree.end());
+    const std::size_t lane =
+        static_cast<std::size_t>(earliest - laneFree.begin());
+    *earliest += unit.result.simulatedPipelineSeconds;
+    if (!unit.tracer || unit.workerSpanId.empty()) continue;
+    unit.tracer->annotateCompleted(unit.workerSpanId, "lane",
+                                   std::to_string(lane));
+    unit.tracer->annotateCompleted(
+        unit.workerSpanId, "sim_seconds",
+        str::fixed(unit.result.simulatedPipelineSeconds, 6));
+  }
 }
 
 void CampaignExecutor::repairLeaderRoles() {
@@ -294,6 +323,7 @@ std::vector<TestRunResult> CampaignExecutor::run(
     group.wait();  // rethrows the first campaign crash, like serial did
   }
   repairLeaderRoles();
+  stampProfileLanes();
 
   // ---- Canonical emission (single-threaded, suite order) ----------------
   std::vector<TestRunResult> results;
@@ -368,6 +398,15 @@ std::vector<TestRunResult> CampaignExecutor::run(
   }
   report_->simulatedMakespanSeconds =
       *std::max_element(workerBusy.begin(), workerBusy.end());
+  // Diagnostic only: which physical pool lanes the campaigns actually
+  // landed on (−1 = a helping caller thread).  Scheduling-dependent by
+  // nature, hence reported but never serialized.
+  std::set<int> lanesSeen;
+  for (const Unit& unit : units_) {
+    if (unit.status != Unit::Status::kDone || unit.quarantined) continue;
+    lanesSeen.insert(unit.observedLane);
+  }
+  report_->workerLanesTouched = lanesSeen.size();
 
   return results;
 }

@@ -75,6 +75,8 @@ class CampaignExecutor {
     std::string openKey;       // breaker key that quarantined this unit
     CampaignExecContext::BuildRole executedRole =
         CampaignExecContext::BuildRole::kDirect;
+    std::string workerSpanId;  // shard id of the exec.worker span
+    int observedLane = -1;     // ThreadPool lane that ran us (diagnostic)
 
     // Per-campaign observability shards, merged canonically afterwards.
     std::unique_ptr<obs::Tracer> tracer;
@@ -86,6 +88,13 @@ class CampaignExecutor {
   void enumerate(std::span<const RegressionTest> tests,
                  std::span<const std::string> targets);
   void classifyBuildKeys();
+  /// Stamps the canonical virtual-lane schedule (`lane`, `sim_seconds`)
+  /// onto each executed unit's exec.worker span — the attribute contract
+  /// `rebench profile` and trace_lint consume.  Runs single-threaded
+  /// after the pool drains, before shards are absorbed; the schedule is
+  /// a greedy list schedule over options.profileLanes virtual lanes in
+  /// canonical order, so the stamps are independent of --jobs.
+  void stampProfileLanes();
   void executeUnit(Unit& unit);
   void runUnit(Unit& unit, bool forceLeader);
   void repairLeaderRoles();

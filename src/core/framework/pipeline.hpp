@@ -84,6 +84,13 @@ struct PipelineOptions {
   /// every value — parallelism is an implementation detail, not an
   /// output-visible mode.  1 = in-line execution.
   int jobs = 1;
+  /// Width of the canonical virtual-lane schedule the executor stamps
+  /// into every `exec.worker` span (`lane` + `sim_seconds` attributes)
+  /// for trace profiling (`rebench profile`).  Deliberately independent
+  /// of `jobs`: the stamped profile is a property of the campaign, not
+  /// of the worker count it happened to execute with, so trace bytes
+  /// stay identical across --jobs values.  (--lanes)
+  int profileLanes = 8;
 };
 
 /// Execution context threaded through one campaign: where observability
@@ -180,6 +187,10 @@ struct CampaignReport {
   /// Simulated campaign makespan under `jobs` workers (greedy list
   /// schedule over the executed campaigns in canonical order).
   double simulatedMakespanSeconds = 0.0;
+  /// Distinct ThreadPool worker lanes observed executing campaigns
+  /// (diagnostic — scheduling-dependent, never part of output bytes;
+  /// helpers draining the queue count as one extra "caller" lane).
+  std::size_t workerLanesTouched = 0;
 };
 
 /// Drives regression tests through the full pipeline on simulated systems.

@@ -24,8 +24,26 @@ void Histogram::observe(double value) {
   sum_ += value;
 }
 
+namespace {
+
+std::string renderBounds(const std::vector<double>& bounds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(bounds[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
 void Histogram::merge(const Histogram& other) {
-  REBENCH_REQUIRE(bounds_ == other.bounds_);
+  // Accumulating buckets with different boundaries would silently place
+  // observations into the wrong ranges; refuse loudly instead.
+  if (bounds_ != other.bounds_) {
+    throw Error("histogram merge: mismatched bucket bounds " +
+                renderBounds(bounds_) + " vs " + renderBounds(other.bounds_));
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }
@@ -65,7 +83,11 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     if (it == histograms_.end()) {
       histograms_.emplace(name, histogram);
     } else {
-      it->second.merge(histogram);
+      try {
+        it->second.merge(histogram);
+      } catch (const Error& e) {
+        throw Error("metrics merge: histogram '" + name + "': " + e.what());
+      }
     }
   }
 }

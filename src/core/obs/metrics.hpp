@@ -64,7 +64,9 @@ class Histogram {
 
   void observe(double value);
 
-  /// Element-wise accumulation of another histogram with identical bounds.
+  /// Element-wise accumulation of another histogram; throws
+  /// rebench::Error when the bucket bounds differ (merging across
+  /// boundaries would silently misplace observations).
   void merge(const Histogram& other);
 
   const std::vector<double>& bounds() const { return bounds_; }

@@ -70,6 +70,21 @@ const SpanRecord& Tracer::endSpan() {
   return spans_.back();
 }
 
+void Tracer::annotateCompleted(std::string_view id, std::string_view key,
+                               std::string_view value) {
+  // Completed spans are few per shard and annotation is rare (once per
+  // campaign at emission time), so a linear scan beats maintaining an
+  // id index on the hot begin/end path.
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->id == id) {
+      it->attrs[std::string(key)] = std::string(value);
+      return;
+    }
+  }
+  throw InternalError("annotateCompleted: no completed span '" +
+                      std::string(id) + "'");
+}
+
 void Tracer::event(std::string name, AttrMap attrs) {
   eventAt(clock_->peek(), std::move(name), std::move(attrs));
 }

@@ -70,6 +70,14 @@ class Tracer {
   /// Closes the innermost open span; returns the completed record.
   const SpanRecord& endSpan();
 
+  /// Sets an attribute on a *completed* span (by id).  Post-hoc
+  /// annotation is how the campaign executor stamps schedule-derived
+  /// attributes (e.g. the canonical `lane`) that are only known once
+  /// every campaign's duration is — call before serialization.  Throws
+  /// InternalError when no completed span has that id.
+  void annotateCompleted(std::string_view id, std::string_view key,
+                         std::string_view value);
+
   /// Records an event now, attached to the innermost open span.
   void event(std::string name, AttrMap attrs = {});
   /// Records an event at (no earlier than) `time` — used by components

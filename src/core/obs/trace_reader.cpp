@@ -230,13 +230,59 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
                          "' has invalid role '" + role->second + "'");
       }
     } else if (span.name == "exec.worker") {
-      for (const char* required : {"campaign", "test", "target", "repeat"}) {
+      for (const char* required :
+           {"campaign", "test", "target", "repeat", "lane", "sim_seconds"}) {
         if (span.attrs.find(required) == span.attrs.end()) {
           issues.push_back("exec.worker span '" + span.id + "' without a '" +
                            required + "' attribute");
         }
       }
+      // The lane is a canonical virtual-lane index (profiling schedule),
+      // so it must parse as a non-negative integer.
+      if (const auto lane = span.attrs.find("lane");
+          lane != span.attrs.end()) {
+        const std::string& text = lane->second;
+        const bool numeric =
+            !text.empty() &&
+            text.find_first_not_of("0123456789") == std::string::npos;
+        if (!numeric) {
+          issues.push_back("exec.worker span '" + span.id +
+                           "' has non-numeric lane '" + text + "'");
+        }
+      }
     }
+  }
+
+  // Shard-merge contract: Tracer::absorb renumbers shard roots to follow
+  // the host tracer's, so in file order the leading root number of every
+  // span and event is non-decreasing (and span ids stay unique — checked
+  // above).  A violation means a merge scrambled or duplicated shards.
+  auto rootNumber = [](const std::string& id) -> long {
+    const std::string head = id.substr(0, id.find('.'));
+    if (head.empty() ||
+        head.find_first_not_of("0123456789") != std::string::npos) {
+      return -1;  // malformed; reported by the parent checks
+    }
+    return std::stol(head);
+  };
+  long previousRoot = 0;
+  std::size_t spanIdx = 0, eventIdx = 0;
+  for (const TraceFile::TimelineEntry& entry : trace.timeline) {
+    std::string owner;
+    if (entry.kind == "span") {
+      owner = trace.spans[spanIdx++].id;
+    } else {
+      owner = trace.events[eventIdx++].span;
+      if (owner.empty()) continue;  // unowned events carry no root
+    }
+    const long root = rootNumber(owner);
+    if (root < 0) continue;
+    if (root < previousRoot) {
+      issues.push_back("non-monotone root ids after merge: record of root " +
+                       std::to_string(root) + " follows root " +
+                       std::to_string(previousRoot));
+    }
+    previousRoot = std::max(previousRoot, root);
   }
 
   double previous = 0.0;

@@ -1,0 +1,111 @@
+#include "core/postproc/chrome_export.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "core/obs/json.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench::postproc {
+
+namespace {
+
+using obs::json::quote;
+
+std::int64_t micros(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+/// Leading root number of a hierarchical span id ("3.1.2" -> 3); the
+/// recorded-timeline thread a record lands on.  0 for unowned events.
+int rootNumber(const std::string& id) {
+  int value = 0;
+  for (const char c : id) {
+    if (c < '0' || c > '9') break;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+void appendArgs(std::ostringstream& out, const obs::AttrMap& attrs) {
+  out << ",\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : attrs) {
+    if (!first) out << ",";
+    first = false;
+    out << quote(key) << ":" << quote(value);
+  }
+  out << "}";
+}
+
+void metadata(std::ostringstream& out, bool& first, int pid, int tid,
+              const char* kind, const std::string& name) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":" << quote(kind) << ",\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) out << ",\"tid\":" << tid;
+  out << ",\"args\":{\"name\":" << quote(name) << "}}";
+}
+
+}  // namespace
+
+std::string renderChromeTrace(const obs::TraceFile& trace,
+                              const TraceProfile& profile) {
+  constexpr int kRecordedPid = 1;
+  constexpr int kScheduledPid = 2;
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  metadata(out, first, kRecordedPid, -1, "process_name",
+           "recorded timeline");
+  metadata(out, first, kScheduledPid, -1, "process_name",
+           "scheduled lanes");
+  // Thread names: one per root campaign (recorded) and per lane
+  // (scheduled).  std::set keeps both deterministic and sorted.
+  std::set<int> roots;
+  for (const obs::SpanRecord& span : trace.spans) {
+    roots.insert(rootNumber(span.id));
+  }
+  for (const int root : roots) {
+    metadata(out, first, kRecordedPid, root, "thread_name",
+             "campaign " + std::to_string(root));
+  }
+  for (const LaneStats& lane : profile.lanes) {
+    metadata(out, first, kScheduledPid, lane.lane, "thread_name",
+             "lane " + std::to_string(lane.lane));
+  }
+
+  for (const obs::SpanRecord& span : trace.spans) {
+    out << ",\n{\"name\":" << quote(span.name)
+        << ",\"ph\":\"X\",\"pid\":" << kRecordedPid
+        << ",\"tid\":" << rootNumber(span.id)
+        << ",\"ts\":" << micros(span.start)
+        << ",\"dur\":" << micros(span.duration());
+    appendArgs(out, span.attrs);
+    out << "}";
+  }
+  for (const obs::EventRecord& event : trace.events) {
+    out << ",\n{\"name\":" << quote(event.name)
+        << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kRecordedPid
+        << ",\"tid\":" << rootNumber(event.span)
+        << ",\"ts\":" << micros(event.time);
+    appendArgs(out, event.attrs);
+    out << "}";
+  }
+  for (const ProfiledUnit& unit : profile.units) {
+    out << ",\n{\"name\":" << quote(unit.label)
+        << ",\"ph\":\"X\",\"pid\":" << kScheduledPid
+        << ",\"tid\":" << unit.lane << ",\"ts\":" << micros(unit.start)
+        << ",\"dur\":" << micros(unit.simSeconds)
+        << ",\"args\":{\"span\":" << quote(unit.spanId)
+        << ",\"blocked_s\":" << quote(str::fixed(unit.blockedSeconds, 6))
+        << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace rebench::postproc

@@ -1,0 +1,30 @@
+// Chrome trace-event (catapult) export (rebench::postproc).
+//
+// Converts a rebench trace into the JSON array format chrome://tracing
+// and Perfetto load, so campaign schedules can be inspected in a real
+// timeline UI.  Two process groups are emitted:
+//
+//   pid 1 "recorded timeline"  — every span as an X (complete) event on
+//                                the thread of its root campaign (tid =
+//                                leading root number of the span id),
+//                                plus trace events as instant events;
+//   pid 2 "scheduled lanes"    — one X event per profiled campaign on
+//                                its canonical virtual lane (tid = lane),
+//                                the Gantt view `rebench profile` prints.
+//
+// Timestamps are microseconds (llround(seconds * 1e6)); serialization is
+// fully deterministic so exports byte-compare across --jobs values.
+#pragma once
+
+#include <string>
+
+#include "core/obs/trace_reader.hpp"
+#include "core/postproc/profile.hpp"
+
+namespace rebench::postproc {
+
+/// Renders the catapult JSON document ({"traceEvents":[...]}).
+std::string renderChromeTrace(const obs::TraceFile& trace,
+                              const TraceProfile& profile);
+
+}  // namespace rebench::postproc

@@ -1,0 +1,150 @@
+#include "core/postproc/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/obs/json.hpp"
+#include "core/util/strings.hpp"
+
+namespace rebench::postproc {
+
+namespace {
+
+/// Children indices per span id, in file order (= span end order, which
+/// is deterministic), plus id -> index.
+struct SpanIndex {
+  std::map<std::string, std::vector<std::size_t>> children;
+  std::map<std::string, std::size_t> byId;
+
+  explicit SpanIndex(const obs::TraceFile& trace) {
+    for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+      byId[trace.spans[i].id] = i;
+      if (!trace.spans[i].parent.empty()) {
+        children[trace.spans[i].parent].push_back(i);
+      }
+    }
+  }
+};
+
+/// Dominant-child descent from `rootId`: at each level, record the
+/// self/child split and step into the child with the largest duration
+/// (first in file order on ties).
+std::vector<SpanAttribution> attribute(const obs::TraceFile& trace,
+                                       const SpanIndex& index,
+                                       const std::string& rootId) {
+  std::vector<SpanAttribution> chain;
+  const auto at = index.byId.find(rootId);
+  if (at == index.byId.end()) return chain;
+  std::size_t current = at->second;
+  int depth = 0;
+  while (true) {
+    const obs::SpanRecord& span = trace.spans[current];
+    SpanAttribution attr;
+    attr.id = span.id;
+    attr.name = span.name;
+    attr.depth = depth;
+    attr.totalSeconds = span.duration();
+
+    const auto kids = index.children.find(span.id);
+    std::size_t dominant = current;
+    double dominantDuration = -1.0;
+    if (kids != index.children.end()) {
+      for (const std::size_t child : kids->second) {
+        const double duration = trace.spans[child].duration();
+        attr.childSeconds += duration;
+        if (duration > dominantDuration) {
+          dominantDuration = duration;
+          dominant = child;
+        }
+      }
+    }
+    attr.selfSeconds =
+        std::max(0.0, attr.totalSeconds - attr.childSeconds);
+    chain.push_back(std::move(attr));
+    if (dominant == current) break;  // leaf
+    current = dominant;
+    ++depth;
+  }
+  return chain;
+}
+
+}  // namespace
+
+CriticalPathReport extractCriticalPath(const obs::TraceFile& trace,
+                                       const TraceProfile& profile) {
+  CriticalPathReport report;
+  // Busiest lane = the one whose last unit ends at the makespan; ties
+  // resolve to the lowest lane (profile.lanes is ascending).
+  double latest = -1.0;
+  for (const LaneStats& lane : profile.lanes) {
+    if (lane.busySeconds > latest) {
+      latest = lane.busySeconds;
+      report.lane = lane.lane;
+    }
+  }
+  const SpanIndex index(trace);
+  for (const ProfiledUnit& unit : profile.units) {
+    if (unit.lane != report.lane) continue;
+    CriticalPathReport::Step step;
+    step.unit = unit;
+    step.attribution = attribute(trace, index, unit.spanId);
+    report.lengthSeconds += unit.simSeconds;
+    report.steps.push_back(std::move(step));
+  }
+  return report;
+}
+
+std::string renderCriticalPath(const CriticalPathReport& report) {
+  std::string out = "critical path (lane " + std::to_string(report.lane) +
+                    "): " + std::to_string(report.steps.size()) +
+                    " campaign(s), " +
+                    str::fixed(report.lengthSeconds, 6) + " s\n";
+  std::size_t number = 0;
+  for (const CriticalPathReport::Step& step : report.steps) {
+    out += "  [" + std::to_string(++number) + "] " + step.unit.label +
+           "  (start " + str::fixed(step.unit.start, 6) + " s, sim " +
+           str::fixed(step.unit.simSeconds, 6) + " s)\n";
+    for (const SpanAttribution& attr : step.attribution) {
+      std::string label(static_cast<std::size_t>(attr.depth) * 2, ' ');
+      label += attr.name;
+      out += "      " + str::padRight(label, 28) + " total " +
+             str::padLeft(str::fixed(attr.totalSeconds, 6), 12) +
+             "  self " +
+             str::padLeft(str::fixed(attr.selfSeconds, 6), 12) +
+             "  children " +
+             str::padLeft(str::fixed(attr.childSeconds, 6), 12) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string criticalPathJson(const CriticalPathReport& report) {
+  using obs::json::quote;
+  std::ostringstream out;
+  out << "{\"lane\":" << report.lane
+      << ",\"length_s\":" << str::fixed(report.lengthSeconds, 6)
+      << ",\"steps\":[";
+  for (std::size_t i = 0; i < report.steps.size(); ++i) {
+    const CriticalPathReport::Step& step = report.steps[i];
+    if (i > 0) out << ",";
+    out << "{\"label\":" << quote(step.unit.label)
+        << ",\"span\":" << quote(step.unit.spanId)
+        << ",\"start_s\":" << str::fixed(step.unit.start, 6)
+        << ",\"sim_s\":" << str::fixed(step.unit.simSeconds, 6)
+        << ",\"attribution\":[";
+    for (std::size_t j = 0; j < step.attribution.size(); ++j) {
+      const SpanAttribution& attr = step.attribution[j];
+      if (j > 0) out << ",";
+      out << "{\"name\":" << quote(attr.name) << ",\"depth\":" << attr.depth
+          << ",\"total_s\":" << str::fixed(attr.totalSeconds, 6)
+          << ",\"self_s\":" << str::fixed(attr.selfSeconds, 6)
+          << ",\"child_s\":" << str::fixed(attr.childSeconds, 6) << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace rebench::postproc

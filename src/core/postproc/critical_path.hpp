@@ -1,0 +1,58 @@
+// Critical-path extraction (rebench::postproc) — the longest dependent
+// chain through a campaign trace, with per-span self-time vs child-time
+// attribution.
+//
+// Under the canonical lane schedule a campaign can only wait on the
+// campaign before it on the same lane, so the longest dependent chain is
+// the busiest lane's unit sequence and its length *is* the simulated
+// makespan the campaign report prints.  Within each campaign on the
+// chain, attribution descends through the dominant child at every level
+// (the stage subtree that contributed most wall time), splitting each
+// span's duration into self time (not covered by children) and child
+// time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/obs/trace_reader.hpp"
+#include "core/postproc/profile.hpp"
+
+namespace rebench::postproc {
+
+/// One span on a campaign's dominant-descent attribution chain.
+struct SpanAttribution {
+  std::string id;
+  std::string name;
+  int depth = 0;         // 0 = the campaign's own span
+  double totalSeconds = 0.0;
+  double selfSeconds = 0.0;   // total - sum(direct children)
+  double childSeconds = 0.0;  // sum(direct children)
+};
+
+/// The critical path: the busiest lane's campaigns in schedule order,
+/// each with its attribution chain.
+struct CriticalPathReport {
+  struct Step {
+    ProfiledUnit unit;
+    std::vector<SpanAttribution> attribution;
+  };
+  std::vector<Step> steps;
+  int lane = 0;
+  /// Sum of the steps' simulated seconds == the profile's makespan (per-
+  /// lane chaining leaves no idle gaps on the busiest lane).
+  double lengthSeconds = 0.0;
+};
+
+/// Extracts the critical path of `profile` (as computed by profileTrace
+/// over the same trace).  Ties between equally-busy lanes resolve to the
+/// lowest lane number.
+CriticalPathReport extractCriticalPath(const obs::TraceFile& trace,
+                                       const TraceProfile& profile);
+
+std::string renderCriticalPath(const CriticalPathReport& report);
+
+/// JSON object fragment shared by `profile --json`.
+std::string criticalPathJson(const CriticalPathReport& report);
+
+}  // namespace rebench::postproc

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <sstream>
 
+#include "core/obs/json.hpp"
 #include "core/util/strings.hpp"
 #include "core/util/table.hpp"
 
@@ -30,14 +32,20 @@ DataFrame traceToDataFrame(const obs::TraceFile& trace) {
   return frame;
 }
 
-std::string renderStageTable(const obs::TraceFile& trace) {
-  struct StageStats {
-    std::size_t count = 0;
-    double total = 0.0;
-    double min = 0.0;
-    double max = 0.0;
-  };
-  std::vector<std::string> order;  // first-appearance order
+namespace {
+
+struct StageStats {
+  std::size_t count = 0;
+  double total = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregates span durations by name; `order` is first-appearance order.
+/// One collector feeds the ASCII table and the JSON fragment so the two
+/// renderings can never drift apart.
+std::map<std::string, StageStats> collectStageStats(
+    const obs::TraceFile& trace, std::vector<std::string>& order) {
   std::map<std::string, StageStats> stats;
   const DataFrame frame = traceToDataFrame(trace);
   if (!frame.empty()) {
@@ -57,6 +65,15 @@ std::string renderStageTable(const obs::TraceFile& trace) {
       s.max = std::max(s.max, durations[i]);
     }
   }
+  return stats;
+}
+
+}  // namespace
+
+std::string renderStageTable(const obs::TraceFile& trace) {
+  std::vector<std::string> order;
+  const std::map<std::string, StageStats> stats =
+      collectStageStats(trace, order);
 
   AsciiTable table("per-stage timing:");
   table.setHeader({"stage", "spans", "total s", "mean s", "min s", "max s"});
@@ -165,6 +182,66 @@ std::string renderMetricsReport(const obs::TraceFile& trace) {
   }
   if (out.empty()) out = "(no metrics recorded)\n";
   return out;
+}
+
+std::string stageTableJson(const obs::TraceFile& trace) {
+  using obs::json::quote;
+  std::vector<std::string> order;
+  const std::map<std::string, StageStats> stats =
+      collectStageStats(trace, order);
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const StageStats& s = stats.at(order[i]);
+    if (i > 0) out << ",";
+    out << "{\"stage\":" << quote(order[i]) << ",\"spans\":" << s.count
+        << ",\"total_s\":" << str::fixed(s.total, 6) << ",\"mean_s\":"
+        << str::fixed(s.total / static_cast<double>(s.count), 6)
+        << ",\"min_s\":" << str::fixed(s.min, 6)
+        << ",\"max_s\":" << str::fixed(s.max, 6) << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string metricsJson(const obs::TraceFile& trace) {
+  using obs::json::quote;
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : trace.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << quote(name) << ":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : trace.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << quote(name) << ":{\"value\":" << str::fixed(gauge.value, 6)
+        << ",\"max\":" << str::fixed(gauge.max, 6) << "}";
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : trace.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << quote(name) << ":{\"count\":" << hist.count
+        << ",\"sum\":" << str::fixed(hist.sum, 6) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      out << str::fixed(hist.bounds[i], 6);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << hist.counts[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
 }
 
 }  // namespace rebench

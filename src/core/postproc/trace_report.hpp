@@ -25,4 +25,12 @@ std::string renderTraceTree(const obs::TraceFile& trace);
 /// Counters, gauges and histograms recorded in the trace.
 std::string renderMetricsReport(const obs::TraceFile& trace);
 
+/// JSON array fragment of the per-stage aggregation (same numbers as
+/// renderStageTable) — the shared machine-readable renderer behind
+/// `trace-report --json` and `rebench profile --json`.
+std::string stageTableJson(const obs::TraceFile& trace);
+
+/// JSON object fragment of the recorded counters/gauges/histograms.
+std::string metricsJson(const obs::TraceFile& trace);
+
 }  // namespace rebench

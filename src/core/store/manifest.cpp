@@ -36,6 +36,7 @@ std::string renderInvocation(const CampaignInvocation& inv) {
       << ",\"backoffMultiplier\":" << str::fixed(inv.backoffMultiplier, 6)
       << ",\"backoffMax\":" << str::fixed(inv.backoffMax, 6)
       << ",\"quarantineAfter\":" << inv.quarantineAfter
+      << ",\"lanes\":" << inv.lanes
       << ",\"withStore\":" << (inv.withStore ? "true" : "false")
       << ",\"cache\":" << (inv.cache ? "true" : "false") << "}";
   return out.str();
@@ -66,6 +67,7 @@ CampaignInvocation parseInvocation(const obs::json::Value& value) {
   inv.backoffMax = value.numberOr("backoffMax", -1.0);
   inv.quarantineAfter =
       static_cast<int>(value.numberOr("quarantineAfter", -1));
+  inv.lanes = static_cast<int>(value.numberOr("lanes", -1));
   inv.withStore =
       value.contains("withStore") && value.at("withStore").boolean;
   inv.cache = !value.contains("cache") || value.at("cache").boolean;

@@ -18,6 +18,9 @@ struct ExecState {
 };
 thread_local ExecState tlsExec;
 
+// Worker-lane id of this thread; -1 off-pool (see currentLane()).
+thread_local int tlsLane = -1;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t numThreads) {
@@ -26,9 +29,11 @@ ThreadPool::ThreadPool(std::size_t numThreads) {
   }
   workers_.reserve(numThreads);
   for (std::size_t i = 0; i < numThreads; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
+
+int ThreadPool::currentLane() { return tlsLane; }
 
 ThreadPool::~ThreadPool() {
   {
@@ -80,7 +85,8 @@ void ThreadPool::runOneJob(std::unique_lock<std::mutex>& lock) {
   progress_.notify_all();
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(std::size_t lane) {
+  tlsLane = static_cast<int>(lane);
   std::unique_lock lock(mutex_);
   while (true) {
     taskReady_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });

@@ -59,6 +59,14 @@ class ThreadPool {
   /// depth is discounted so a single nested wait() cannot deadlock itself.
   void wait();
 
+  /// Worker-lane identity of the calling thread: workers are numbered
+  /// 0..size()-1 at construction; threads outside any pool (including
+  /// helpers draining the queue from wait()) read -1.  Which lane runs
+  /// which task is scheduling-dependent — callers must treat the value
+  /// as diagnostic, never as part of deterministic output (the campaign
+  /// executor stamps *canonical* lanes into traces for that).
+  static int currentLane();
+
   /// Process-wide pool (lazily constructed).  Sized by the
   /// REBENCH_THREADS environment variable when set (0 or unparsable =
   /// hardware_concurrency).
@@ -80,7 +88,7 @@ class ThreadPool {
   /// Pops and runs the front job.  `lock` must hold mutex_ on entry and
   /// is re-held on return (released around the user function).
   void runOneJob(std::unique_lock<std::mutex>& lock);
-  void workerLoop();
+  void workerLoop(std::size_t lane);
 
   std::vector<std::thread> workers_;
   std::queue<Job> jobs_;

@@ -324,5 +324,212 @@ TEST(TraceLint, CleanTracePasses) {
   EXPECT_TRUE(lintTrace(trace).empty());
 }
 
+// ---- absorb (the canonical-merge primitive) -------------------------------
+
+TEST(TracerAbsorb, EmptyShardIsANoOp) {
+  Tracer tracer;
+  tracer.beginSpan("before");
+  tracer.endSpan();
+  const std::string before = tracer.toJsonl();
+
+  Tracer empty;
+  tracer.absorb(empty);
+  EXPECT_EQ(tracer.toJsonl(), before);
+  EXPECT_EQ(tracer.beginSpan("after"), "2");  // root numbering unchanged
+  tracer.endSpan();
+}
+
+TEST(TracerAbsorb, RemapsDeeplyNestedShardRootsPastOurs) {
+  Tracer tracer;
+  tracer.beginSpan("host1");
+  tracer.endSpan();
+  tracer.beginSpan("host2");
+  tracer.endSpan();
+
+  Tracer shard;  // two roots, one deeply nested
+  shard.beginSpan("shardroot1");
+  shard.beginSpan("mid");
+  shard.beginSpan("deep");
+  shard.beginSpan("deeper");
+  shard.endSpan();
+  shard.endSpan();
+  shard.endSpan();
+  shard.endSpan();
+  shard.beginSpan("shardroot2");
+  shard.endSpan();
+
+  tracer.absorb(shard);
+  // Shard roots 1, 2 become 3, 4; nested ids keep their suffixes.
+  std::map<std::string, std::string> parents;
+  std::map<std::string, std::string> names;
+  for (const SpanRecord& span : tracer.spans()) {
+    parents[span.id] = span.parent;
+    names[span.id] = span.name;
+  }
+  EXPECT_EQ(names.at("3"), "shardroot1");
+  EXPECT_EQ(names.at("3.1.1.1"), "deeper");
+  EXPECT_EQ(parents.at("3.1.1.1"), "3.1.1");
+  EXPECT_EQ(names.at("4"), "shardroot2");
+  // The merged trace is structurally clean.
+  EXPECT_TRUE(lintTrace(parseTraceJsonl(tracer.toJsonl())).empty());
+  // And the next root continues after the absorbed ones.
+  EXPECT_EQ(tracer.beginSpan("next"), "5");
+  tracer.endSpan();
+}
+
+TEST(TracerAbsorb, OffsetsShardTimesByOurClockAndAdvancesPastShardEnd) {
+  Tracer tracer;
+  tracer.clock().advance(100.0);
+
+  Tracer shard;
+  shard.beginSpan("work");
+  shard.clock().advance(7.0);
+  shard.endSpan();
+  const double shardStart = shard.spans()[0].start;
+  const double shardEnd = shard.spans()[0].end;
+
+  tracer.absorb(shard);
+  const SpanRecord& merged = tracer.spans().back();
+  // The shard's timeline is replayed relative to our clock position.
+  EXPECT_DOUBLE_EQ(merged.start, 100.0 + shardStart);
+  EXPECT_DOUBLE_EQ(merged.end, 100.0 + shardEnd);
+  // Our clock moved past the shard: the next reading cannot overlap it.
+  EXPECT_GE(tracer.clock().peek(), merged.end);
+}
+
+TEST(TracerAbsorb, RequiresBothTracersToHaveNoOpenSpans) {
+  Tracer open;
+  open.beginSpan("still-open");
+  Tracer closed;
+  EXPECT_THROW(open.absorb(closed), InternalError);
+
+  Tracer host;
+  Tracer openShard;
+  openShard.beginSpan("unfinished");
+  EXPECT_THROW(host.absorb(openShard), InternalError);
+}
+
+TEST(TracerAnnotateCompleted, StampsEndedSpansAndRejectsUnknownIds) {
+  Tracer tracer;
+  const std::string id = tracer.beginSpan("exec.worker");
+  tracer.endSpan();
+  tracer.annotateCompleted(id, "lane", "3");
+  EXPECT_EQ(tracer.spans()[0].attrs.at("lane"), "3");
+  EXPECT_THROW(tracer.annotateCompleted("99", "lane", "0"), InternalError);
+}
+
+// ---- metrics merge hardening ---------------------------------------------
+
+TEST(Metrics, HistogramMergeRejectsMismatchedBoundsWithClearError) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 5.0});
+  a.observe(0.5);
+  b.observe(4.0);
+  try {
+    a.merge(b);
+    FAIL() << "merge accepted mismatched bounds";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(str::contains(what, "mismatched bucket bounds"));
+    EXPECT_TRUE(str::contains(what, "2"));  // our bound...
+    EXPECT_TRUE(str::contains(what, "5"));  // ...vs theirs
+  }
+  // The failed merge corrupted nothing.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5);
+}
+
+TEST(Metrics, RegistryMergeNamesTheOffendingHistogram) {
+  MetricsRegistry ours, theirs;
+  const std::vector<double> boundsA{0.1, 1.0};
+  const std::vector<double> boundsB{0.5, 2.0};
+  ours.histogram("stage_seconds", boundsA).observe(0.05);
+  theirs.histogram("stage_seconds", boundsB).observe(0.7);
+  try {
+    ours.merge(theirs);
+    FAIL() << "merge accepted mismatched bounds";
+  } catch (const Error& e) {
+    EXPECT_TRUE(str::contains(e.what(), "stage_seconds"));
+    EXPECT_TRUE(str::contains(e.what(), "mismatched bucket bounds"));
+  }
+}
+
+// ---- profiling lint contracts --------------------------------------------
+
+TEST(TraceLint, ExecWorkerSpansRequireLaneAndSimSecondsStamps) {
+  Tracer tracer;
+  const std::string id = tracer.beginSpan("exec.worker");
+  tracer.setAttr("campaign", "0");
+  tracer.setAttr("test", "T");
+  tracer.setAttr("target", "sys:part");
+  tracer.setAttr("repeat", "0");
+  tracer.endSpan();
+
+  // Unstamped: both profiling attributes are reported missing.
+  {
+    const std::vector<std::string> issues =
+        lintTrace(parseTraceJsonl(tracer.toJsonl()));
+    const std::string all = str::join(issues, "\n");
+    EXPECT_TRUE(str::contains(all, "lane"));
+    EXPECT_TRUE(str::contains(all, "sim_seconds"));
+  }
+  // A non-numeric lane is rejected...
+  tracer.annotateCompleted(id, "lane", "fast");
+  tracer.annotateCompleted(id, "sim_seconds", "1.000000");
+  {
+    const std::vector<std::string> issues =
+        lintTrace(parseTraceJsonl(tracer.toJsonl()));
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_TRUE(str::contains(issues[0], "lane"));
+  }
+  // ...and a properly stamped worker span passes.
+  tracer.annotateCompleted(id, "lane", "2");
+  EXPECT_TRUE(lintTrace(parseTraceJsonl(tracer.toJsonl())).empty());
+}
+
+TEST(TraceLint, FlagsNonMonotoneRootIdsAfterMerge) {
+  // Hand-build a trace whose roots appear out of order — what a broken
+  // absorb (or a hand-edited file) would produce.
+  TraceFile trace;
+  trace.schema = std::string(kTraceSchema);
+  trace.clockKind = "sim";
+  SpanRecord second;
+  second.id = "2";
+  second.name = "later";
+  trace.spans.push_back(second);
+  SpanRecord first;
+  first.id = "1";
+  first.name = "earlier";
+  trace.spans.push_back(first);
+  trace.timeline = {{"span", 0.0}, {"span", 0.0}};
+
+  const std::vector<std::string> issues = lintTrace(trace);
+  const std::string all = str::join(issues, "\n");
+  EXPECT_TRUE(str::contains(all, "non-monotone root ids"));
+}
+
+TEST(TraceLint, AbsorbedShardsKeepRootIdsUniqueAndMonotone) {
+  Tracer host;
+  std::vector<Tracer> shards(3);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shards[i].beginSpan("exec.worker");
+    shards[i].setAttr("campaign", std::to_string(i));
+    shards[i].setAttr("test", "T" + std::to_string(i));
+    shards[i].setAttr("target", "sys:part");
+    shards[i].setAttr("repeat", "0");
+    shards[i].clock().advance(1.0);
+    shards[i].endSpan();
+    shards[i].annotateCompleted("1", "lane", std::to_string(i));
+    shards[i].annotateCompleted("1", "sim_seconds", "1.000000");
+  }
+  for (const Tracer& shard : shards) host.absorb(shard);
+  const TraceFile merged = parseTraceJsonl(host.toJsonl());
+  EXPECT_TRUE(lintTrace(merged).empty());
+  ASSERT_EQ(merged.spans.size(), 3u);
+  EXPECT_EQ(merged.spans[0].id, "1");
+  EXPECT_EQ(merged.spans[1].id, "2");
+  EXPECT_EQ(merged.spans[2].id, "3");
+}
+
 }  // namespace
 }  // namespace rebench::obs

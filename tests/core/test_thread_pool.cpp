@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <future>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
@@ -121,6 +122,32 @@ TEST(ThreadPoolEnv, GlobalSizeParsesRebenchThreads) {
   EXPECT_EQ(ThreadPool::globalSizeFromEnv(), 0u);
   ThreadPool resolved(ThreadPool::globalSizeFromEnv());
   EXPECT_GE(resolved.size(), 1u);
+}
+
+TEST(ThreadPoolLanes, WorkersSeeTheirLaneAndOutsidersSeeMinusOne) {
+  // Off-pool threads (including the test body) have no lane.
+  EXPECT_EQ(ThreadPool::currentLane(), -1);
+
+  ThreadPool pool(4);
+  std::mutex m;
+  std::set<int> seen;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&m, &seen] {
+      const int lane = ThreadPool::currentLane();
+      std::lock_guard lock(m);
+      seen.insert(lane);
+    });
+  }
+  pool.wait();
+  // Observed lanes are worker indices, or -1 when the waiting caller
+  // helped drain the queue (helpers keep their off-pool lane).
+  ASSERT_FALSE(seen.empty());
+  for (const int lane : seen) {
+    EXPECT_GE(lane, -1);
+    EXPECT_LT(lane, static_cast<int>(pool.size()));
+  }
+  // Still no lane once back outside the pool.
+  EXPECT_EQ(ThreadPool::currentLane(), -1);
 }
 
 }  // namespace
