@@ -23,6 +23,9 @@
 #include "cli/args.hpp"
 #include "core/concretizer/concretizer.hpp"
 #include "core/framework/pipeline.hpp"
+#include "core/history/history.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/openmetrics.hpp"
 #include "core/obs/trace.hpp"
 #include "core/obs/trace_reader.hpp"
 #include "core/postproc/chrome_export.hpp"
@@ -61,15 +64,21 @@ int usage() {
       "      [--trace DIR] [--faults SPEC]  hpcg | hpgmg) through the\n"
       "      [--retries N] [--backoff-base S] [--backoff-max S] pipeline\n"
       "      [--store DIR] [--no-cache]     --store keeps a content-\n"
-      "                                     addressed artifact store +\n"
-      "                                     provenance manifest; builds are\n"
+      "      [--metrics-out FILE]           addressed artifact store +\n"
+      "                                     provenance manifest and appends\n"
+      "                                     the campaign's FOMs to the\n"
+      "                                     performance history; builds are\n"
       "                                     reused only on exact provenance\n"
-      "                                     match (--no-cache disables reuse)\n"
+      "                                     match (--no-cache disables\n"
+      "                                     reuse); --metrics-out exports\n"
+      "                                     the metrics registry + FOMs as\n"
+      "                                     OpenMetrics text\n"
       "  suite --system S [--tag T]       run the builtin suite, ReFrame\n"
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
       "        [--trace DIR] [--faults FILE|SPEC] [--retries N]\n"
       "        [--repeats N] [--resume DIR] [--quarantine-after N]\n"
       "        [--store DIR] [--no-cache] [--jobs N] [--lanes N]\n"
+      "        [--metrics-out FILE]\n"
       "                                     --faults injects deterministic\n"
       "                                     failures (seed=..,crash=..,\n"
       "                                     node=..,preempt=..,build=..,\n"
@@ -111,8 +120,17 @@ int usage() {
       "                                     from stale artifacts)\n"
       "  report --perflog F [--fom NAME]  tabulate/plot perflog contents\n"
       "         [--stats] [--plot]\n"
-      "  history --perflog F [--detect]   performance history + regression\n"
-      "          [--window N] [--sigmas X]  detection\n"
+      "  history [<test> [<target>]]      longitudinal FOM history from a\n"
+      "          --store DIR [--json]       campaign store: per-(test,\n"
+      "          [--window N] [--check]     target, fom) trend tables with\n"
+      "          [--threshold 0.05]         sparklines, rolling mean/stddev\n"
+      "                                     and deterministic changepoint\n"
+      "                                     flags; --check gates the newest\n"
+      "                                     record against the rolling\n"
+      "                                     baseline (exit 0 ok, 1 on\n"
+      "                                     regression, 2 usage/no records)\n"
+      "  history --perflog F [--detect]   legacy perflog history +\n"
+      "          [--window N] [--sigmas X]  regression detection\n"
       "  compare --before A --after B     before/after perflog comparison\n"
       "          [--threshold 0.05]         (CI gate: exit 1 on regression)\n";
   return 2;
@@ -263,20 +281,23 @@ int audit(const Args& args) {
   return findings.empty() ? 0 : 1;
 }
 
-/// Observability state for one CLI invocation; active when --trace DIR was
-/// given.  One trace.jsonl per invocation lands in DIR.
+/// Observability state for one CLI invocation; tracing is active when
+/// --trace DIR was given (one trace.jsonl per invocation lands in DIR),
+/// metrics collection also when --metrics-out FILE asked for an
+/// OpenMetrics export without a trace.
 struct TraceSession {
   std::optional<std::string> dir;
+  std::optional<std::string> metricsOut;
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
 
-  explicit TraceSession(const Args& args) : dir(args.option("trace")) {}
+  explicit TraceSession(const Args& args)
+      : dir(args.option("trace")), metricsOut(args.option("metrics-out")) {}
   bool active() const { return dir.has_value(); }
 
   void attach(PipelineOptions& options) {
-    if (!active()) return;
-    options.tracer = &tracer;
-    options.metrics = &metrics;
+    if (active()) options.tracer = &tracer;
+    if (active() || metricsOut.has_value()) options.metrics = &metrics;
   }
   /// Trace bytes are serialized exactly once per campaign (before any
   /// artifact is stored), so the --trace file and the manifest's "trace"
@@ -290,6 +311,39 @@ struct TraceSession {
     std::ofstream out(path);
     out << bytes;
     std::cout << "trace written to " << path << "\n";
+  }
+
+  /// --metrics-out: the registry plus per-(test, target, fom) aggregates
+  /// as OpenMetrics text.  Registry merge order and aggregate order are
+  /// both canonical, so these bytes are identical at every --jobs width.
+  void writeMetrics(std::span<const history::FomAggregate> foms) {
+    if (!metricsOut.has_value()) return;
+    std::vector<obs::MetricSample> samples;
+    auto labelsFor = [](const history::FomAggregate& fom) {
+      return std::map<std::string, std::string>{
+          {"test", fom.test}, {"target", fom.target}, {"fom", fom.fom}};
+    };
+    // Grouped by family ("rebench_fom_stat" first, then "..._repeats")
+    // because the renderer emits one # TYPE header per run of equal
+    // family names.
+    for (const history::FomAggregate& fom : foms) {
+      for (const auto& [stat, value] :
+           {std::pair<const char*, double>{"mean", fom.mean},
+            {"min", fom.min},
+            {"max", fom.max}}) {
+        auto labels = labelsFor(fom);
+        labels["stat"] = stat;
+        samples.push_back({"rebench_fom_stat", std::move(labels), value});
+      }
+    }
+    for (const history::FomAggregate& fom : foms) {
+      samples.push_back({"rebench_fom_repeats", labelsFor(fom),
+                         static_cast<double>(fom.repeats)});
+    }
+    std::ofstream out(*metricsOut, std::ios::binary);
+    if (!out) throw Error("cannot write metrics file '" + *metricsOut + "'");
+    out << obs::renderOpenMetrics(metrics, samples);
+    std::cout << "metrics written to " << *metricsOut << "\n";
   }
 };
 
@@ -392,6 +446,7 @@ struct StoreSession {
   std::optional<store::ObjectStore> store;
   bool cache = true;
   bool coldStart = true;
+  std::string manifestHash;  // set by writeManifest
 
   explicit StoreSession(const Args& args) : cache(!args.hasFlag("no-cache")) {
     if (auto dir = args.option("store")) {
@@ -432,11 +487,55 @@ struct StoreSession {
     const std::filesystem::path dir =
         std::filesystem::path(store->dir()) / "manifests";
     std::filesystem::create_directories(dir);
+    manifestHash = manifest.contentHash();
     const std::string path =
-        (dir / ("campaign-" + manifest.contentHash() + ".json")).string();
+        (dir / ("campaign-" + manifestHash + ".json")).string();
     manifest.write(path);
     manifest.write((dir / "latest.json").string());
     std::cout << "manifest written to " << path << "\n";
+  }
+
+  /// Appends one history record per (test, target, fom) aggregate to the
+  /// store's hash-chained history (see core/history).  Runs after
+  /// writeManifest so records can cite the manifest hash; runs after
+  /// trace serialization so history store traffic never lands in the
+  /// campaign's trace bytes (the manifest hashes those).
+  void appendHistory(std::span<const history::FomAggregate> foms,
+                     std::span<const TestRunResult> results,
+                     const SystemRegistry& systems) {
+    if (!active() || foms.empty()) return;
+    double simSeconds = 0.0;
+    for (const TestRunResult& result : results) {
+      simSeconds += result.simulatedPipelineSeconds;
+    }
+    std::vector<history::HistoryRecord> records;
+    for (const history::FomAggregate& fom : foms) {
+      history::HistoryRecord record;
+      record.test = fom.test;
+      record.target = fom.target;
+      record.fom = fom.fom;
+      record.manifestHash = manifestHash;
+      record.envFingerprint = store::BuildCache::environmentFingerprint(
+          systems.resolve(fom.target).first->environment);
+      for (const TestRunResult& result : results) {
+        if (result.testName == fom.test &&
+            result.system + ":" + result.partition == fom.target &&
+            result.concreteSpec != nullptr) {
+          record.specHash = result.concreteSpec->dagHash();
+          break;
+        }
+      }
+      record.mean = fom.mean;
+      record.min = fom.min;
+      record.max = fom.max;
+      record.repeats = fom.repeats;
+      record.simTimestamp = simSeconds;
+      records.push_back(std::move(record));
+    }
+    history::HistoryIndex index(*store);
+    const std::string segment = index.appendSegment(records);
+    std::cout << "history: appended " << records.size()
+              << " record(s) in segment " << segment << "\n";
   }
 
   void printSummary(const Pipeline& pipeline) {
@@ -522,10 +621,13 @@ int runBenchmark(const Args& args) {
               << *args.option("perflog") << "\n";
   }
   const std::string traceBytes = trace.active() ? trace.serialize() : "";
+  const auto fomAggregates = history::aggregateFoms(results);
   storeSession.writeManifest(invocation, results, perflog,
                              trace.active() ? &traceBytes : nullptr);
+  storeSession.appendHistory(fomAggregates, results, systems);
   storeSession.printSummary(pipeline);
   trace.write(traceBytes);
+  trace.writeMetrics(fomAggregates);
   return anyFailed ? 1 : 0;
 }
 
@@ -596,10 +698,13 @@ int runSuite(const Args& args) {
               << " worker lane(s) touched)\n";
   }
   const std::string traceBytes = trace.active() ? trace.serialize() : "";
+  const auto fomAggregates = history::aggregateFoms(results);
   storeSession.writeManifest(invocation, results, perflog,
                              trace.active() ? &traceBytes : nullptr);
+  storeSession.appendHistory(fomAggregates, results, systems);
   storeSession.printSummary(pipeline);
   trace.write(traceBytes);
+  trace.writeMetrics(fomAggregates);
   return summary.failed == 0 && summary.quarantined == 0 ? 0 : 1;
 }
 
@@ -896,10 +1001,69 @@ int compare(const Args& args) {
   return regressions == 0 ? 0 : 1;
 }
 
+/// Store-backed `rebench history`: trend view and regression gate over
+/// the hash-chained history the campaigns under --store appended.
+int storeHistory(const Args& args, const std::string& storeDir) {
+  store::ObjectStore store(storeDir);
+  history::HistoryIndex index(store);
+  const std::string test =
+      args.positionals().empty() ? "" : args.positionals()[0];
+  const std::string target =
+      args.positionals().size() < 2 ? "" : args.positionals()[1];
+  const std::vector<history::HistoryRecord> records =
+      index.query(test, target);
+
+  // `--check` is a flag when trailing but swallows a following bare
+  // token as its value; accept both spellings.
+  if (args.hasFlag("check") || args.option("check").has_value()) {
+    if (records.empty()) {
+      std::cerr << "history: no matching records to gate\n";
+      return 2;
+    }
+    history::GateOptions gate;
+    gate.window = static_cast<std::size_t>(
+        std::max(1, args.intOptionOr("window", 5)));
+    gate.threshold = args.doubleOptionOr("threshold", 0.05);
+    int regressions = 0;
+    for (const history::GateResult& verdict :
+         history::checkRegression(records, gate)) {
+      if (verdict.insufficient) {
+        std::cout << "[ -- ] " << verdict.series
+                  << ": insufficient history (need >= 2 records)\n";
+        continue;
+      }
+      if (verdict.regression) ++regressions;
+      std::cout << "[" << (verdict.regression ? "FAIL" : " OK ") << "] "
+                << verdict.series << ": latest "
+                << obs::formatMetricValue(verdict.latest) << " vs baseline "
+                << obs::formatMetricValue(verdict.baseline) << " ("
+                << obs::formatMetricValue(verdict.delta * 100.0) << "%"
+                << ", threshold -" << obs::formatMetricValue(
+                       gate.threshold * 100.0) << "%)\n";
+    }
+    if (regressions > 0) {
+      std::cout << regressions << " regression(s) detected\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  history::RenderOptions options;
+  options.json = args.hasFlag("json");
+  options.window = static_cast<std::size_t>(
+      std::max(1, args.intOptionOr("window", 5)));
+  options.changepoint.relThreshold = args.doubleOptionOr("threshold", 0.05);
+  std::cout << history::renderHistory(records, options);
+  return 0;
+}
+
 int history(const Args& args) {
+  if (auto storeDir = args.option("store")) {
+    return storeHistory(args, *storeDir);
+  }
   const auto path = args.option("perflog");
   if (!path) {
-    std::cerr << "history: --perflog required\n";
+    std::cerr << "history: --store DIR or --perflog F required\n";
     return 2;
   }
   PerfHistory perfHistory;

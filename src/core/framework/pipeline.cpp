@@ -488,6 +488,14 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
       return fail("performance", detail);
     }
     result.foms[pattern.fomName] = value;
+    if (metrics != nullptr) {
+      // Canonical shard merge keeps "last set wins" deterministic, so the
+      // exported gauge is the last repeat in suite order at any --jobs.
+      metrics
+          ->gauge("fom/" + test.name + "/" + targetKey + "/" +
+                  pattern.fomName)
+          .set(value);
+    }
 
     std::optional<ReferenceValue> ref;
     if (auto sysIt = test.references.find(targetKey);

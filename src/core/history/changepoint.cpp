@@ -1,0 +1,84 @@
+#include "core/history/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+namespace rebench::history {
+
+namespace {
+
+double meanOf(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddevOf(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = meanOf(values);
+  double squares = 0.0;
+  for (const double v : values) squares += (v - mean) * (v - mean);
+  return std::sqrt(squares / static_cast<double>(values.size()));
+}
+
+}  // namespace
+
+std::vector<Changepoint> detectChangepoints(std::span<const double> values,
+                                            const ChangepointOptions& options) {
+  std::vector<Changepoint> flags;
+  const std::size_t window = std::max<std::size_t>(options.window, 1);
+  if (values.size() < 2 * window) return flags;
+  for (std::size_t i = window; i + window <= values.size();) {
+    const auto before = values.subspan(i - window, window);
+    const auto after = values.subspan(i, window);
+    const double meanBefore = meanOf(before);
+    const double meanAfter = meanOf(after);
+    const double shift = meanAfter - meanBefore;
+    const double relFloor = options.relThreshold * std::fabs(meanBefore);
+    const double noiseFloor = options.minSigmas * stddevOf(before);
+    if (std::fabs(shift) > std::max(relFloor, noiseFloor)) {
+      flags.push_back({i, meanBefore, meanAfter, shift});
+      i += window;  // one regime change, one flag
+    } else {
+      ++i;
+    }
+  }
+  return flags;
+}
+
+double rollingMean(std::span<const double> values, std::size_t index,
+                   std::size_t window) {
+  if (index >= values.size() || window == 0) return 0.0;
+  const std::size_t begin = index + 1 >= window ? index + 1 - window : 0;
+  return meanOf(values.subspan(begin, index + 1 - begin));
+}
+
+double rollingStddev(std::span<const double> values, std::size_t index,
+                     std::size_t window) {
+  if (index >= values.size() || window == 0) return 0.0;
+  const std::size_t begin = index + 1 >= window ? index + 1 - window : 0;
+  return stddevOf(values.subspan(begin, index + 1 - begin));
+}
+
+std::string sparkline(std::span<const double> values) {
+  static constexpr std::string_view kLevels = " .:-=+*#%@";
+  std::string out;
+  out.reserve(values.size());
+  if (values.empty()) return out;
+  const auto [minIt, maxIt] = std::minmax_element(values.begin(), values.end());
+  const double lo = *minIt;
+  const double span = *maxIt - lo;
+  for (const double v : values) {
+    // Degenerate (flat) series sits mid-scale instead of at zero, so a
+    // steady FOM doesn't render as blank space.
+    double unit = span > 0.0 ? (v - lo) / span : 0.5;
+    const auto level = static_cast<std::size_t>(
+        unit * static_cast<double>(kLevels.size() - 1) + 0.5);
+    out += kLevels[std::min(level, kLevels.size() - 1)];
+  }
+  return out;
+}
+
+}  // namespace rebench::history

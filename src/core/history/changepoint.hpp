@@ -1,0 +1,49 @@
+// Deterministic changepoint detection over FOM series (rebench::history).
+//
+// A sliding-window mean-shift test: at every candidate boundary the means
+// of the `window` points before and after are compared, and a boundary is
+// flagged when the shift clears BOTH a relative threshold (fraction of
+// the before-mean) and a noise floor expressed in before-window standard
+// deviations.  After a flag the scan skips a full window so one regime
+// change yields one changepoint, not `window` echoes.  Everything is
+// plain arithmetic over the input order — the same series always yields
+// the same flags, which is what lets the `cli_history_deterministic`
+// gate compare bytes across `--jobs` widths.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rebench::history {
+
+struct ChangepointOptions {
+  std::size_t window = 3;      // points on each side of the boundary
+  double relThreshold = 0.05;  // min |shift| as a fraction of |meanBefore|
+  double minSigmas = 3.0;      // min |shift| in before-window stddevs
+};
+
+struct Changepoint {
+  std::size_t index = 0;   // first point of the new regime
+  double meanBefore = 0.0;
+  double meanAfter = 0.0;
+  double shift = 0.0;      // meanAfter - meanBefore
+};
+
+std::vector<Changepoint> detectChangepoints(std::span<const double> values,
+                                            const ChangepointOptions& options = {});
+
+/// Mean / population standard deviation of the up-to-`window` values
+/// ending at `index` (inclusive) — the "rolling" columns of the history
+/// table.  An empty effective window reports 0.
+double rollingMean(std::span<const double> values, std::size_t index,
+                   std::size_t window);
+double rollingStddev(std::span<const double> values, std::size_t index,
+                     std::size_t window);
+
+/// ASCII sparkline: one character per value, min..max mapped onto
+/// " .:-=+*#%@" (a constant series sits mid-scale, all '+').
+std::string sparkline(std::span<const double> values);
+
+}  // namespace rebench::history

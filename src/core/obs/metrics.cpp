@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 
 #include "core/util/error.hpp"
 
@@ -92,10 +93,47 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   }
 }
 
+double Histogram::quantile(double q) const {
+  return histogramQuantile(bounds_, counts_, count_, q);
+}
+
 std::span<const double> stageSecondsBounds() {
   static constexpr std::array<double, 9> kBounds{
       0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0};
   return kBounds;
+}
+
+std::string formatMetricValue(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+double histogramQuantile(std::span<const double> bounds,
+                         std::span<const std::uint64_t> counts,
+                         std::uint64_t count, double q) {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]; ceil so q=0.5 of 2 observations lands on
+  // the first, matching the usual nearest-rank convention.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double previous = cumulative;
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative + 1e-12 < rank) continue;
+    if (i >= bounds.size()) {
+      // Open overflow bucket: no finite upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double inBucket = static_cast<double>(counts[i]);
+    if (inBucket <= 0.0) return upper;
+    const double fraction = (rank - previous) / inBucket;
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 }  // namespace rebench::obs

@@ -78,6 +78,9 @@ class Histogram {
   /// Index of the bucket `value` falls into.
   std::size_t bucketFor(double value) const;
 
+  /// Deterministic quantile estimate (see obs::histogramQuantile).
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;         // sorted ascending
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 buckets
@@ -124,5 +127,23 @@ class MetricsRegistry {
 /// Bucket boundaries used for pipeline stage durations and scheduler wait
 /// times (seconds).
 std::span<const double> stageSecondsBounds();
+
+/// The one formatter every metric-value renderer shares (`%.6g`).  Using a
+/// single fixed format in `trace-report --json`, `profile --json` and the
+/// OpenMetrics exporter means no two renderers can drift byte-wise on the
+/// same number.
+std::string formatMetricValue(double value);
+
+/// Deterministic quantile estimate from fixed histogram buckets: walks the
+/// cumulative counts to the bucket containing rank `q * count` and
+/// interpolates linearly inside it (Prometheus `histogram_quantile`
+/// semantics).  The open overflow bucket clamps to the last finite bound;
+/// an empty histogram reports 0.  `q` is clamped to [0, 1].
+double histogramQuantile(std::span<const double> bounds,
+                         std::span<const std::uint64_t> counts,
+                         std::uint64_t count, double q);
+
+/// The quantiles every histogram renderer reports, in emission order.
+inline constexpr double kReportedQuantiles[] = {0.5, 0.9, 0.99};
 
 }  // namespace rebench::obs

@@ -1,0 +1,175 @@
+#include "core/obs/openmetrics.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace rebench::obs {
+
+namespace {
+
+/// Splits a registry name at the first '/' (the conventional
+/// "family/sub" pattern, e.g. "pipeline.stage_seconds/build") and maps
+/// the family part onto the OpenMetrics grammar.
+struct MappedName {
+  std::string family;  // "rebench_pipeline_stage_seconds"
+  std::string sub;     // "build" ("" when the name has no '/')
+};
+
+MappedName mapName(const std::string& raw) {
+  MappedName mapped;
+  const std::size_t slash = raw.find('/');
+  const std::string base = raw.substr(0, slash);
+  mapped.family = "rebench_";
+  for (const char c : base) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    mapped.family += legal ? c : '_';
+  }
+  if (slash != std::string::npos) mapped.sub = raw.substr(slash + 1);
+  return mapped;
+}
+
+/// OpenMetrics label-value escaping: backslash, double quote, newline.
+std::string escapeLabel(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders a label set ({a="x",b="y"}); empty map renders as nothing.
+/// std::map keeps label order sorted by name, so output is stable.
+std::string labelSet(const std::map<std::string, std::string>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + escapeLabel(value) + "\"";
+  }
+  return out + "}";
+}
+
+std::map<std::string, std::string> subLabels(const MappedName& name) {
+  std::map<std::string, std::string> labels;
+  if (!name.sub.empty()) labels["sub"] = name.sub;
+  return labels;
+}
+
+}  // namespace
+
+std::string renderOpenMetrics(const MetricsRegistry& registry,
+                              std::span<const MetricSample> extra) {
+  std::ostringstream out;
+
+  // ---- counters ---------------------------------------------------------
+  // Names sharing a base ("fault.injected", "fault.injected/crash") fold
+  // into one family with distinct sub labels; group first so the # TYPE
+  // header is emitted exactly once per family, in family order.
+  std::map<std::string, std::vector<std::pair<std::string, std::uint64_t>>>
+      counterFamilies;
+  for (const auto& [name, counter] : registry.counters()) {
+    const MappedName mapped = mapName(name);
+    counterFamilies[mapped.family].emplace_back(labelSet(subLabels(mapped)),
+                                                counter.value());
+  }
+  for (const auto& [family, samples] : counterFamilies) {
+    out << "# TYPE " << family << " counter\n";
+    for (const auto& [labels, value] : samples) {
+      out << family << "_total" << labels << " " << value << "\n";
+    }
+  }
+
+  // ---- gauges -----------------------------------------------------------
+  std::map<std::string,
+           std::vector<std::pair<std::string, std::pair<double, double>>>>
+      gaugeFamilies;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    const MappedName mapped = mapName(name);
+    gaugeFamilies[mapped.family].emplace_back(
+        labelSet(subLabels(mapped)),
+        std::make_pair(gauge.value(), gauge.max()));
+  }
+  for (const auto& [family, samples] : gaugeFamilies) {
+    out << "# TYPE " << family << " gauge\n";
+    for (const auto& [labels, value] : samples) {
+      out << family << labels << " " << formatMetricValue(value.first)
+          << "\n";
+    }
+    out << "# TYPE " << family << "_max gauge\n";
+    for (const auto& [labels, value] : samples) {
+      out << family << "_max" << labels << " "
+          << formatMetricValue(value.second) << "\n";
+    }
+  }
+
+  // ---- histograms -------------------------------------------------------
+  struct HistogramSample {
+    std::map<std::string, std::string> labels;
+    const Histogram* histogram;
+  };
+  std::map<std::string, std::vector<HistogramSample>> histogramFamilies;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const MappedName mapped = mapName(name);
+    histogramFamilies[mapped.family].push_back(
+        {subLabels(mapped), &histogram});
+  }
+  for (const auto& [family, samples] : histogramFamilies) {
+    out << "# TYPE " << family << " histogram\n";
+    for (const HistogramSample& sample : samples) {
+      const Histogram& hist = *sample.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < hist.counts().size(); ++i) {
+        cumulative += hist.counts()[i];
+        std::map<std::string, std::string> labels = sample.labels;
+        labels["le"] = i < hist.bounds().size()
+                           ? formatMetricValue(hist.bounds()[i])
+                           : std::string("+Inf");
+        out << family << "_bucket" << labelSet(labels) << " " << cumulative
+            << "\n";
+      }
+      out << family << "_sum" << labelSet(sample.labels) << " "
+          << formatMetricValue(hist.sum()) << "\n";
+      out << family << "_count" << labelSet(sample.labels) << " "
+          << hist.count() << "\n";
+    }
+    // Quantile estimates as a sibling gauge family (histogram sample
+    // suffixes are fixed by the spec, so quantiles cannot ride inside).
+    out << "# TYPE " << family << "_quantile gauge\n";
+    for (const HistogramSample& sample : samples) {
+      for (const double q : kReportedQuantiles) {
+        std::map<std::string, std::string> labels = sample.labels;
+        labels["quantile"] = formatMetricValue(q);
+        out << family << "_quantile" << labelSet(labels) << " "
+            << formatMetricValue(sample.histogram->quantile(q)) << "\n";
+      }
+    }
+  }
+
+  // ---- extra samples (FOMs) --------------------------------------------
+  std::string openFamily;
+  for (const MetricSample& sample : extra) {
+    if (sample.family != openFamily) {
+      out << "# TYPE " << sample.family << " gauge\n";
+      openFamily = sample.family;
+    }
+    out << sample.family << labelSet(sample.labels) << " "
+        << formatMetricValue(sample.value) << "\n";
+  }
+
+  out << "# EOF\n";
+  return out.str();
+}
+
+}  // namespace rebench::obs

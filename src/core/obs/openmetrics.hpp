@@ -1,0 +1,46 @@
+// OpenMetrics / Prometheus text exporter (rebench::obs).
+//
+// Serializes a MetricsRegistry — counters, gauges, histograms (buckets,
+// sum, count, and the shared p50/p90/p99 quantile estimates) — plus
+// caller-supplied extra samples (the campaign's FOMs) into the
+// OpenMetrics text exposition format.  Everything about the rendering is
+// deterministic: metric families are emitted in lexicographic order,
+// labels inside a sample are sorted by label name, and every floating
+// value goes through obs::formatMetricValue (`%.6g`), so the exported
+// bytes are identical at every `--jobs` width and across `rebench
+// replay` (the registry itself merges canonically).
+//
+// Name mapping: a registry name like "fault.injected/crash" becomes the
+// family "rebench_fault_injected" with the generic label sub="crash" (the
+// part after the first '/'); every other non-[a-zA-Z0-9_:] character is
+// replaced by '_'.  Counter samples carry the OpenMetrics "_total"
+// suffix; histograms emit cumulative "_bucket{le=...}" samples with a
+// final le="+Inf", then "_sum"/"_count", then a "<name>_quantile" gauge
+// family with quantile="0.5|0.9|0.99" labels.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/obs/metrics.hpp"
+
+namespace rebench::obs {
+
+/// One extra gauge sample appended after the registry dump (used for
+/// per-campaign FOM values, which live on run results rather than in the
+/// registry).  Samples are emitted grouped by family name in the order
+/// given; callers must pre-sort for byte-stable output.
+struct MetricSample {
+  std::string family;  // full family name, e.g. "rebench_fom"
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Renders the registry (and `extra` samples) as OpenMetrics text,
+/// terminated by the "# EOF" marker the format requires.
+std::string renderOpenMetrics(const MetricsRegistry& registry,
+                              std::span<const MetricSample> extra = {});
+
+}  // namespace rebench::obs

@@ -250,6 +250,27 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
                            "' has non-numeric lane '" + text + "'");
         }
       }
+    } else if (span.name == "history.append" ||
+               span.name == "history.query") {
+      // History spans identify the series they touched and how many
+      // records were involved; `records` must count.
+      for (const char* required : {"test", "target", "fom", "records"}) {
+        if (span.attrs.find(required) == span.attrs.end()) {
+          issues.push_back(span.name + " span '" + span.id + "' without a '" +
+                           required + "' attribute");
+        }
+      }
+      if (const auto records = span.attrs.find("records");
+          records != span.attrs.end()) {
+        const std::string& text = records->second;
+        const bool numeric =
+            !text.empty() &&
+            text.find_first_not_of("0123456789") == std::string::npos;
+        if (!numeric) {
+          issues.push_back(span.name + " span '" + span.id +
+                           "' has non-numeric records '" + text + "'");
+        }
+      }
     }
   }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/obs/json.hpp"
+#include "core/obs/metrics.hpp"
 #include "core/util/strings.hpp"
 #include "core/util/table.hpp"
 
@@ -238,7 +239,17 @@ std::string metricsJson(const obs::TraceFile& trace) {
       if (i > 0) out << ",";
       out << hist.counts[i];
     }
-    out << "]}";
+    out << "],\"quantiles\":{";
+    // Shared estimator + shared `%.6g` formatter: these bytes cannot
+    // drift from `profile --json` or the OpenMetrics exporter.
+    for (std::size_t i = 0; i < std::size(obs::kReportedQuantiles); ++i) {
+      if (i > 0) out << ",";
+      const double q = obs::kReportedQuantiles[i];
+      out << quote(obs::formatMetricValue(q)) << ":"
+          << obs::formatMetricValue(
+                 obs::histogramQuantile(hist.bounds, hist.counts, hist.count, q));
+    }
+    out << "}}";
   }
   out << "}}";
   return out.str();

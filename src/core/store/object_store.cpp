@@ -1,8 +1,10 @@
 #include "core/store/object_store.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/obs/json.hpp"
 #include "core/obs/metrics.hpp"
@@ -77,6 +79,10 @@ ObjectStore::ObjectStore(std::string dir, StoreOptions options)
       refs_[record.stringOr("name", "")] = record.stringOr("hash", "");
     } else if (kind == "evict") {
       entries_.erase(record.stringOr("hash", ""));
+    } else if (kind == "pin") {
+      pinned_.insert(record.stringOr("hash", ""));
+    } else if (kind == "unpin") {
+      pinned_.erase(record.stringOr("hash", ""));
     }
   }
   // Drop entries whose blob vanished behind our back (manual deletion);
@@ -86,6 +92,14 @@ ObjectStore::ObjectStore(std::string dir, StoreOptions options)
       it = entries_.erase(it);
     } else {
       totalBytes_ += it->second.bytes;
+      ++it;
+    }
+  }
+  // A pin on a vanished object protects nothing.
+  for (auto it = pinned_.begin(); it != pinned_.end();) {
+    if (!entries_.contains(*it)) {
+      it = pinned_.erase(it);
+    } else {
       ++it;
     }
   }
@@ -120,17 +134,18 @@ void ObjectStore::evictToFit(std::uint64_t incoming,
                              const std::string& protect) {
   if (options_.maxBytes == 0) return;
   while (totalBytes_ + incoming > options_.maxBytes && !entries_.empty()) {
-    // Least-recently-used victim, skipping the object being protected.
+    // Least-recently-used victim, skipping the object being protected
+    // and anything pinned.
     const Entry* oldest = nullptr;
     std::string victim;
     for (const auto& [hash, entry] : entries_) {
-      if (hash == protect) continue;
+      if (hash == protect || pinned_.contains(hash)) continue;
       if (oldest == nullptr || entry.lastUse < oldest->lastUse) {
         oldest = &entry;
         victim = hash;
       }
     }
-    if (oldest == nullptr) return;  // only the protected object remains
+    if (oldest == nullptr) return;  // only protected/pinned objects remain
     const std::uint64_t victimBytes = oldest->bytes;
     removeObject(victim);
     ++stats_.evictions;
@@ -241,6 +256,77 @@ std::optional<std::string> ObjectStore::ref(std::string_view name) const {
   // A ref whose target was evicted or deleted reads as unset.
   if (!entries_.contains(it->second)) return std::nullopt;
   return it->second;
+}
+
+void ObjectStore::pin(const std::string& hash) {
+  std::lock_guard lock(mutex_);
+  if (!entries_.contains(hash)) return;  // nothing to protect
+  if (!pinned_.insert(hash).second) return;
+  appendIndex("{\"kind\":\"pin\",\"hash\":" + obs::json::quote(hash) + "}");
+}
+
+void ObjectStore::unpin(const std::string& hash) {
+  std::lock_guard lock(mutex_);
+  if (pinned_.erase(hash) == 0) return;
+  appendIndex("{\"kind\":\"unpin\",\"hash\":" + obs::json::quote(hash) + "}");
+}
+
+bool ObjectStore::pinned(const std::string& hash) const {
+  std::lock_guard lock(mutex_);
+  return pinned_.contains(hash);
+}
+
+std::size_t ObjectStore::compactIndex() {
+  std::lock_guard lock(mutex_);
+  // Puts must be replayed in tick order so a future reopen reconstructs
+  // the same LRU ordering the live store has now.
+  std::vector<std::pair<std::uint64_t, const std::string*>> byTick;
+  byTick.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_) {
+    byTick.emplace_back(entry.lastUse, &hash);
+  }
+  std::sort(byTick.begin(), byTick.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : *a.second < *b.second;
+            });
+  std::ostringstream out;
+  std::size_t lines = 0;
+  out << "{\"kind\":\"meta\",\"schema\":" << obs::json::quote(kStoreSchema)
+      << "}\n";
+  ++lines;
+  for (const auto& [tick, hash] : byTick) {
+    out << "{\"kind\":\"put\",\"hash\":" << obs::json::quote(*hash)
+        << ",\"bytes\":" << entries_.at(*hash).bytes
+        << ",\"tick\":" << tick << "}\n";
+    ++lines;
+  }
+  for (const auto& [name, hash] : refs_) {
+    out << "{\"kind\":\"ref\",\"name\":" << obs::json::quote(name)
+        << ",\"hash\":" << obs::json::quote(hash) << "}\n";
+    ++lines;
+  }
+  for (const std::string& hash : pinned_) {
+    out << "{\"kind\":\"pin\",\"hash\":" << obs::json::quote(hash) << "}\n";
+    ++lines;
+  }
+  // Same tmp + atomic-rename discipline as blob publication: a crash
+  // mid-compaction leaves either the old index or the new one, never a
+  // torn file.
+  const std::string tmp = indexPath_ + ".compact";
+  {
+    std::ofstream file(tmp, std::ios::binary);
+    if (!file) throw Error("cannot write compacted index '" + tmp + "'");
+    file << out.str();
+  }
+  std::error_code ec;
+  fs::rename(tmp, indexPath_, ec);
+  if (ec) {
+    fs::remove(tmp);
+    throw Error("cannot replace store index '" + indexPath_ +
+                "': " + ec.message());
+  }
+  return lines;
 }
 
 }  // namespace rebench::store

@@ -11,19 +11,24 @@
 //                        {"kind":"touch","hash":H,"tick":T}
 //                        {"kind":"ref","name":K,"hash":H}
 //                        {"kind":"evict","hash":H}
+//                        {"kind":"pin","hash":H}   /  {"kind":"unpin","hash":H}
 //
 // Reads are *verified*: `get` re-hashes the blob and a mismatch (a
 // truncated or tampered file) deletes the object and reports a miss, so a
 // corrupt cache degrades to a rebuild instead of a wrong result.  A
 // size cap (`maxBytes`) evicts least-recently-used objects; named refs
 // (the build cache's provenance keys) are unpinned automatically when
-// their target is evicted.
+// their target is evicted.  Pinned objects (history segments, anything
+// the caller cannot afford to lose to cache pressure) are exempt from
+// LRU eviction until unpinned.  The append-only index grows one line per
+// touch; `compactIndex` rewrites it down to the live state.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -79,6 +84,19 @@ class ObjectStore {
   void setRef(std::string_view name, const std::string& hash);
   std::optional<std::string> ref(std::string_view name) const;
 
+  /// Exempts an object from LRU eviction until `unpin`.  Pinning an
+  /// absent hash is a no-op (nothing to protect); pins persist in the
+  /// index across reopen.
+  void pin(const std::string& hash);
+  void unpin(const std::string& hash);
+  bool pinned(const std::string& hash) const;
+
+  /// Rewrites the append-only index down to the live state (meta + one
+  /// put per surviving object + refs + pins), discarding the touch /
+  /// evict / superseded-ref churn.  Tick order — and therefore LRU
+  /// order — is preserved.  Returns the number of index lines written.
+  std::size_t compactIndex();
+
   struct Stats {
     std::uint64_t puts = 0;           // total put() calls
     std::uint64_t dedupedPuts = 0;    // puts that found the blob present
@@ -125,6 +143,7 @@ class ObjectStore {
   obs::MetricsRegistry* metrics_ = nullptr;
   std::map<std::string, Entry> entries_;
   std::map<std::string, std::string, std::less<>> refs_;  // name -> hash
+  std::set<std::string, std::less<>> pinned_;             // eviction-exempt
   std::uint64_t totalBytes_ = 0;
   std::uint64_t tick_ = 0;
   Stats stats_;

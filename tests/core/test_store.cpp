@@ -174,6 +174,96 @@ TEST_F(StoreTest, ToleratesTruncatedIndexTail) {
   EXPECT_TRUE(reopened.get(hash).has_value());
 }
 
+TEST_F(StoreTest, PinnedObjectSurvivesEvictionPressure) {
+  ObjectStore store(dir_, {.maxBytes = 30});
+  const std::string pinned = store.put(std::string(10, 'a'));
+  store.pin(pinned);
+  EXPECT_TRUE(store.pinned(pinned));
+  // Three younger puts would normally push `pinned` (the LRU entry) out.
+  store.put(std::string(10, 'b'));
+  store.put(std::string(10, 'c'));
+  store.put(std::string(10, 'd'));
+  EXPECT_TRUE(store.contains(pinned));
+  EXPECT_GT(store.stats().evictions, 0u);
+}
+
+TEST_F(StoreTest, UnpinMakesObjectEvictableAgain) {
+  ObjectStore store(dir_, {.maxBytes = 30});
+  const std::string hash = store.put(std::string(10, 'a'));
+  store.pin(hash);
+  store.put(std::string(10, 'b'));
+  store.put(std::string(10, 'c'));
+  store.put(std::string(10, 'd'));
+  EXPECT_TRUE(store.contains(hash));
+  store.unpin(hash);
+  EXPECT_FALSE(store.pinned(hash));
+  store.put(std::string(10, 'e'));
+  EXPECT_FALSE(store.contains(hash));
+}
+
+TEST_F(StoreTest, EvictionStopsWhenOnlyPinnedObjectsRemain) {
+  ObjectStore store(dir_, {.maxBytes = 12});
+  const std::string a = store.put("first pinned");
+  store.pin(a);
+  // Over the cap with no unpinned victim: the put must still land and
+  // the pinned object must still be there.
+  const std::string b = store.put("second blob over cap");
+  EXPECT_TRUE(store.contains(a));
+  EXPECT_TRUE(store.contains(b));
+}
+
+TEST_F(StoreTest, PinPersistsAcrossReopen) {
+  std::string hash;
+  {
+    ObjectStore store(dir_, {.maxBytes = 30});
+    hash = store.put(std::string(10, 'a'));
+    store.pin(hash);
+  }
+  ObjectStore reopened(dir_, {.maxBytes = 30});
+  EXPECT_TRUE(reopened.pinned(hash));
+  reopened.put(std::string(10, 'b'));
+  reopened.put(std::string(10, 'c'));
+  reopened.put(std::string(10, 'd'));
+  EXPECT_TRUE(reopened.contains(hash));
+}
+
+TEST_F(StoreTest, CompactIndexPreservesEntriesRefsPinsAndLruOrder) {
+  ObjectStore store(dir_, {.maxBytes = 0});
+  const std::string a = store.put("object a");
+  const std::string b = store.put("object b");
+  const std::string c = store.put("object c");
+  store.setRef("latest", c);
+  store.pin(b);
+  // Touch `a` so it is the *newest* entry; after compaction + reopen the
+  // LRU victim under pressure must still be `c` (oldest unpinned).
+  EXPECT_TRUE(store.get(a).has_value());
+  const std::size_t lines = store.compactIndex();
+  // meta + 3 puts + 1 ref + 1 pin.
+  EXPECT_EQ(lines, 6u);
+
+  ObjectStore reopened(dir_, {.maxBytes = 26});
+  EXPECT_EQ(reopened.objectCount(), 3u);
+  EXPECT_TRUE(reopened.pinned(b));
+  ASSERT_TRUE(reopened.ref("latest").has_value());
+  EXPECT_EQ(*reopened.ref("latest"), c);
+  reopened.put("object d!");
+  EXPECT_FALSE(reopened.contains(c));
+  EXPECT_TRUE(reopened.contains(a));
+  EXPECT_TRUE(reopened.contains(b));
+}
+
+TEST_F(StoreTest, CompactIndexDropsTouchAndEvictChurn) {
+  ObjectStore store(dir_);
+  const std::string hash = store.put("churny object");
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(store.get(hash).has_value());
+  const auto sizeBefore = fs::file_size(fs::path(dir_) / "index.jsonl");
+  EXPECT_EQ(store.compactIndex(), 2u);  // meta + one put
+  const auto sizeAfter = fs::file_size(fs::path(dir_) / "index.jsonl");
+  EXPECT_LT(sizeAfter, sizeBefore);
+  ObjectStore reopened(dir_);
+  EXPECT_TRUE(reopened.get(hash).has_value());
+}
+
 class BuildCacheTest : public StoreTest {
  protected:
   BuildPlan planFor(const std::string& system) {
