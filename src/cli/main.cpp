@@ -11,6 +11,7 @@
 //   rebench history --perflog perf.log --detect
 #include <algorithm>
 #include <array>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -37,6 +38,9 @@
 #include "core/postproc/hygiene.hpp"
 #include "core/postproc/regression.hpp"
 #include "core/postproc/stats.hpp"
+#include "core/service/queue.hpp"
+#include "core/service/record.hpp"
+#include "core/service/service.hpp"
 #include "core/store/build_cache.hpp"
 #include "core/store/manifest.hpp"
 #include "core/store/object_store.hpp"
@@ -132,7 +136,23 @@ int usage() {
       "  history --perflog F [--detect]   legacy perflog history +\n"
       "          [--window N] [--sigmas X]  regression detection\n"
       "  compare --before A --after B     before/after perflog comparison\n"
-      "          [--threshold 0.05]         (CI gate: exit 1 on regression)\n";
+      "          [--threshold 0.05]         (CI gate: exit 1 on regression)\n"
+      "  submit --queue DIR ...           enqueue a run/suite invocation\n"
+      "                                     for `serve` (same flags as\n"
+      "                                     run/suite; atomic + idempotent\n"
+      "                                     by content hash)\n"
+      "  serve --queue DIR --store DIR    crash-safe continuous-\n"
+      "        [--once] [--jobs N]          benchmarking daemon: drains the\n"
+      "        [--stage-timeout S]          queue with run-level\n"
+      "        [--submission-timeout S]     memoization (verdicts: cached |\n"
+      "        [--quarantine-after N]       ran:clean | ran:regressed |\n"
+      "        [--trace DIR]                failed:<class>), write-ahead\n"
+      "        [--metrics-out FILE]         journal for exactly-once crash\n"
+      "        [--request-drain]            resume, watchdogs, crash-loop\n"
+      "        [--clear-drain]              quarantine and graceful drain\n"
+      "                                     (SIGTERM or --request-drain);\n"
+      "                                     health snapshot in\n"
+      "                                     QUEUE/health.json\n";
   return 2;
 }
 
@@ -368,75 +388,23 @@ store::CampaignInvocation invocationFromArgs(const Args& args,
   inv.backoffMultiplier = args.doubleOptionOr("backoff-mult", -1.0);
   inv.backoffMax = args.doubleOptionOr("backoff-max", -1.0);
   inv.quarantineAfter = args.intOptionOr("quarantine-after", -1);
+  inv.stageTimeout = args.doubleOptionOr("stage-timeout", -1.0);
   inv.lanes = args.intOptionOr("lanes", -1);
   inv.withStore = args.option("store").has_value();
   inv.cache = !args.hasFlag("no-cache");
   return inv;
 }
 
-/// Expands an invocation into pipeline options; unset sentinel fields
-/// (-1 / "") keep the pipeline defaults, so a replayed manifest resolves
-/// to exactly the options the original flags did.
+/// Expands an invocation into pipeline options (shared with the serve
+/// daemon so both resolve flags identically — see service/record).
 PipelineOptions optionsFromInvocation(const store::CampaignInvocation& inv) {
-  PipelineOptions options;
-  options.account = inv.account;
-  if (inv.repeats > 0) options.numRepeats = inv.repeats;
-  if (inv.retries >= 0) options.retry.maxRetries = inv.retries;
-  if (inv.backoffBase >= 0.0) options.retry.backoffBase = inv.backoffBase;
-  if (inv.backoffMultiplier >= 0.0) {
-    options.retry.backoffMultiplier = inv.backoffMultiplier;
-  }
-  if (inv.backoffMax >= 0.0) options.retry.backoffMax = inv.backoffMax;
-  if (!inv.faults.empty()) {
-    options.faults = loadFaultConfig(inv.faults);
-    // One seed governs both the injected faults and the backoff jitter.
-    options.retry.seed = options.faults.seed;
-  }
-  if (inv.quarantineAfter >= 0) {
-    options.breaker.pairThreshold = inv.quarantineAfter;
-  }
-  if (inv.lanes > 0) options.profileLanes = inv.lanes;
-  return options;
+  return service::pipelineOptionsFor(inv);
 }
 
-/// Serializes perflog lines to the byte stream a manifest hashes.
+/// Serializes perflog lines to the byte stream a manifest hashes
+/// (shared with the serve daemon — see service/record).
 std::string perflogBytes(const PerfLog& perflog) {
-  std::string out;
-  for (const std::string& line : perflog.lines()) {
-    out += line;
-    out += "\n";
-  }
-  return out;
-}
-
-/// Provenance record for one executed pipeline run.  The build plan is
-/// re-derived from the concretized spec so the manifest lists the exact
-/// reproduction commands (Principle 4) without the pipeline having to
-/// thread them through.
-store::RunManifest runManifestFor(const TestRunResult& result, int repeat) {
-  store::RunManifest run;
-  run.test = result.testName;
-  run.target = result.system + ":" + result.partition;
-  run.repeat = repeat;
-  run.environ = result.environ;
-  if (result.concreteSpec != nullptr) {
-    run.spec = result.concreteSpec->shortForm();
-    run.specHash = result.concreteSpec->dagHash();
-    const BuildPlan plan = makeBuildPlan(*result.concreteSpec);
-    run.planHash = plan.planHash();
-    for (const BuildStep& step : plan.steps) {
-      run.buildSteps.push_back(step.command);
-    }
-  }
-  run.binaryId = result.build.binaryId;
-  run.launchCommand = result.launchCommand;
-  run.jobId = std::to_string(result.jobId);
-  run.outcome = result.quarantined ? "quarantined"
-                : result.passed   ? "pass"
-                                  : "fail";
-  run.failureStage = result.failure.stage;
-  run.attempts = result.attempts;
-  return run;
+  return service::perflogBytes(perflog);
 }
 
 /// Store state for one CLI invocation; active when --store DIR was given.
@@ -472,27 +440,10 @@ struct StoreSession {
                      std::span<const TestRunResult> results,
                      const PerfLog& perflog, const std::string* traceBytes) {
     if (!active()) return;
-    store::CampaignManifest manifest;
-    manifest.invocation = inv;
-    std::map<std::string, int> repeatsSeen;
-    for (const TestRunResult& result : results) {
-      const std::string pair =
-          result.testName + "@" + result.system + ":" + result.partition;
-      manifest.runs.push_back(runManifestFor(result, repeatsSeen[pair]++));
-    }
-    addArtifact(manifest, "perflog", perflogBytes(perflog));
-    if (traceBytes != nullptr && (coldStart || !cache)) {
-      addArtifact(manifest, "trace", *traceBytes);
-    }
-    const std::filesystem::path dir =
-        std::filesystem::path(store->dir()) / "manifests";
-    std::filesystem::create_directories(dir);
-    manifestHash = manifest.contentHash();
-    const std::string path =
-        (dir / ("campaign-" + manifestHash + ".json")).string();
-    manifest.write(path);
-    manifest.write((dir / "latest.json").string());
-    std::cout << "manifest written to " << path << "\n";
+    const service::ManifestWrite written = service::writeCampaignManifest(
+        *store, inv, results, perflog, traceBytes, coldStart || !cache);
+    manifestHash = written.hash;
+    std::cout << "manifest written to " << written.path << "\n";
   }
 
   /// Appends one history record per (test, target, fom) aggregate to the
@@ -504,38 +455,15 @@ struct StoreSession {
                      std::span<const TestRunResult> results,
                      const SystemRegistry& systems) {
     if (!active() || foms.empty()) return;
-    double simSeconds = 0.0;
-    for (const TestRunResult& result : results) {
-      simSeconds += result.simulatedPipelineSeconds;
-    }
-    std::vector<history::HistoryRecord> records;
-    for (const history::FomAggregate& fom : foms) {
-      history::HistoryRecord record;
-      record.test = fom.test;
-      record.target = fom.target;
-      record.fom = fom.fom;
-      record.manifestHash = manifestHash;
-      record.envFingerprint = store::BuildCache::environmentFingerprint(
-          systems.resolve(fom.target).first->environment);
-      for (const TestRunResult& result : results) {
-        if (result.testName == fom.test &&
-            result.system + ":" + result.partition == fom.target &&
-            result.concreteSpec != nullptr) {
-          record.specHash = result.concreteSpec->dagHash();
-          break;
-        }
-      }
-      record.mean = fom.mean;
-      record.min = fom.min;
-      record.max = fom.max;
-      record.repeats = fom.repeats;
-      record.simTimestamp = simSeconds;
-      records.push_back(std::move(record));
-    }
-    history::HistoryIndex index(*store);
-    const std::string segment = index.appendSegment(records);
-    std::cout << "history: appended " << records.size()
-              << " record(s) in segment " << segment << "\n";
+    const service::ExecutedRecord outcome = service::summarizeCampaignOutcome(
+        results, foms, manifestHash, /*perflogHash=*/"");
+    // skipIfCited=false: on the CLI path repeated identical campaigns
+    // are distinct observations (the serve daemon passes true).
+    const service::HistoryAppendResult appended =
+        service::appendCampaignHistory(*store, outcome, systems,
+                                       /*skipIfCited=*/false);
+    std::cout << "history: appended " << appended.records
+              << " record(s) in segment " << appended.segment << "\n";
   }
 
   void printSummary(const Pipeline& pipeline) {
@@ -552,16 +480,6 @@ struct StoreSession {
     } else {
       std::cout << "store: build caching disabled (--no-cache)\n";
     }
-  }
-
- private:
-  void addArtifact(store::CampaignManifest& manifest,
-                   const std::string& name, const std::string& bytes) {
-    store::ArtifactRecord record;
-    record.name = name;
-    record.hash = store->put(bytes);
-    record.bytes = bytes.size();
-    manifest.artifacts.push_back(std::move(record));
   }
 };
 
@@ -1089,6 +1007,108 @@ int history(const Args& args) {
   return events.empty() ? 0 : 1;
 }
 
+/// Maps a queued invocation to its tests — injected into the service
+/// layer so core stays free of benchmark dependencies.
+std::vector<RegressionTest> resolveSubmissionTests(
+    const store::CampaignInvocation& inv) {
+  if (inv.mode == "run") return {buildTest(inv)};
+  const TestSuite suite = builtinSuite();
+  return suite.select(inv.tag, inv.namePattern, inv.excludePattern, nullptr,
+                      nullptr);
+}
+
+/// `rebench submit` — drops one campaign invocation into a serve queue
+/// (tmp + atomic rename; idempotent by content hash).
+int submitCommand(const Args& args) {
+  const auto queueDir = args.option("queue");
+  if (!queueDir) {
+    std::cerr << "submit: --queue DIR required\n";
+    return 2;
+  }
+  const std::string mode = args.option("benchmark") ? "run" : "suite";
+  store::CampaignInvocation inv = invocationFromArgs(args, mode);
+  // Submissions always execute against the daemon's store; only build
+  // reuse stays configurable.
+  inv.withStore = true;
+  inv.cache = !args.hasFlag("no-cache");
+  const service::Submission sub = service::enqueueSubmission(*queueDir, inv);
+  std::cout << "submitted " << sub.id << " (" << mode << " @ " << inv.system
+            << ") -> " << sub.path << "\n";
+  return 0;
+}
+
+/// `rebench serve` — the crash-safe continuous-benchmarking daemon (see
+/// service/service.hpp and DESIGN.md §14).
+int serveCommand(const Args& args) {
+  const auto queueDir = args.option("queue");
+  if (queueDir && args.hasFlag("request-drain")) {
+    service::requestDrain(*queueDir);
+    std::cout << "serve: drain requested for " << *queueDir << "\n";
+    return 0;
+  }
+  if (queueDir && args.hasFlag("clear-drain")) {
+    service::clearDrainRequest(*queueDir);
+    std::cout << "serve: drain request cleared for " << *queueDir << "\n";
+    return 0;
+  }
+  const auto storeDir = args.option("store");
+  if (!queueDir || !storeDir) {
+    std::cerr << "serve: --queue DIR and --store DIR required\n";
+    return 2;
+  }
+  const SystemRegistry systems = builtinSystems();
+  const PackageRepository repo = builtinRepository();
+  TraceSession trace(args);
+
+  service::ServeOptions options;
+  options.queueDir = *queueDir;
+  options.storeDir = *storeDir;
+  options.once = args.hasFlag("once");
+  options.jobs = std::max(1, args.intOptionOr("jobs", 1));
+  options.quarantineAfter =
+      std::max(1, args.intOptionOr("quarantine-after", 3));
+  options.stageTimeout = args.doubleOptionOr("stage-timeout", -1.0);
+  options.submissionTimeout =
+      args.doubleOptionOr("submission-timeout", -1.0);
+  options.crashAfter = args.optionOr("crash-after", "");
+  if (trace.active()) options.tracer = &trace.tracer;
+  if (trace.active() || trace.metricsOut.has_value()) {
+    options.metrics = &trace.metrics;
+  }
+  options.log = &std::cout;
+
+  // SIGTERM/SIGINT = graceful drain: finish the submission in flight,
+  // snapshot health, exit.
+  std::signal(SIGTERM, [](int) { service::Service::requestShutdown(); });
+  std::signal(SIGINT, [](int) { service::Service::requestShutdown(); });
+  service::Service daemon(systems, repo, std::move(options),
+                          resolveSubmissionTests);
+  const service::ServeReport report = daemon.run();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  if (report.crashed) {
+    // The crash-after test hook: behave like a killed process — no
+    // summary, no trace, distinctive exit code for the harness.
+    std::cout << "serve: crashed (crash-after hook)\n";
+    return 3;
+  }
+  const std::string traceBytes = trace.active() ? trace.serialize() : "";
+  trace.write(traceBytes);
+  trace.writeMetrics({});
+  std::cout << "serve: " << report.processed
+            << " submission(s) processed - " << report.cached << " cached, "
+            << report.executed << " executed (" << report.clean << " clean, "
+            << report.regressed << " regressed), " << report.failed
+            << " failed, " << report.quarantined << " quarantined, "
+            << report.degraded << " degraded\n";
+  if (report.drained) {
+    std::cout << "serve: drained, " << report.queueDepth
+              << " submission(s) remaining in queue\n";
+  }
+  return 0;
+}
+
 int dispatch(const Args& args) {
   if (args.subcommand() == "list-systems") return listSystems();
   if (args.subcommand() == "list-packages") return listPackages();
@@ -1103,6 +1123,8 @@ int dispatch(const Args& args) {
   if (args.subcommand() == "profile") return profileCommand(args);
   if (args.subcommand() == "history") return history(args);
   if (args.subcommand() == "compare") return compare(args);
+  if (args.subcommand() == "submit") return submitCommand(args);
+  if (args.subcommand() == "serve") return serveCommand(args);
   return usage();
 }
 

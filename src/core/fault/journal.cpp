@@ -1,13 +1,70 @@
 #include "core/fault/journal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "core/obs/json.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 
 namespace rebench {
+
+namespace {
+
+/// Writes all of `bytes` to `fd`, retrying short writes.
+void writeAll(int fd, const std::string& path, std::string_view bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      throw Error("cannot write journal '" + path + "'");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void durableAppendLine(const std::string& path, std::string_view line) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw Error("cannot open journal '" + path + "' for append");
+  }
+  std::string bytes(line);
+  if (bytes.empty() || bytes.back() != '\n') bytes += '\n';
+  writeAll(fd, path, bytes);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw Error("cannot fsync journal '" + path + "'");
+  }
+  ::close(fd);
+}
+
+void durableWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw Error("cannot create file '" + tmp + "'");
+  writeAll(fd, tmp, bytes);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw Error("cannot fsync file '" + tmp + "'");
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw Error("cannot rename '" + tmp + "' to '" + path +
+                "': " + ec.message());
+  }
+}
 
 std::string RunJournal::pathFor(const std::string& dir) {
   return (std::filesystem::path(dir) / "journal.jsonl").string();
@@ -22,30 +79,41 @@ std::string RunJournal::key(std::string_view test, std::string_view target,
 RunJournal::RunJournal(const std::string& dir) : path_(pathFor(dir)) {
   std::filesystem::create_directories(dir);
   if (!std::filesystem::exists(path_)) {
-    std::ofstream out(path_);
-    if (!out) throw Error("cannot create run journal '" + path_ + "'");
-    out << "{\"kind\":\"meta\",\"schema\":"
-        << obs::json::quote(kJournalSchema) << "}\n";
+    durableAppendLine(path_, "{\"kind\":\"meta\",\"schema\":" +
+                                 obs::json::quote(kJournalSchema) + "}");
     return;
   }
   std::ifstream in(path_);
   if (!in) throw Error("cannot read run journal '" + path_ + "'");
   std::string line;
+  std::vector<std::string> intact;
   while (std::getline(in, line)) {
     if (str::trim(line).empty()) continue;
     obs::json::Value record;
     try {
       record = obs::json::parse(line);
     } catch (const ParseError&) {
-      // A killed campaign may leave a truncated final line; skipping it
+      // A killed campaign may leave a truncated final line; dropping it
       // just reruns that one tuple.
       ++corruptLines_;
       continue;
     }
+    intact.push_back(line);
     if (!record.isObject() || record.stringOr("kind", "") != "run") continue;
     keys_.insert(key(record.stringOr("test", ""),
                      record.stringOr("target", ""),
                      static_cast<int>(record.numberOr("repeat", 0))));
+  }
+  in.close();
+  if (corruptLines_ > 0) {
+    // Truncate the torn tail so the file is parseable end to end again;
+    // the next append lands after the last intact record.
+    std::string rewritten;
+    for (const std::string& keep : intact) {
+      rewritten += keep;
+      rewritten += '\n';
+    }
+    durableWriteFile(path_, rewritten);
   }
 }
 
@@ -57,14 +125,13 @@ bool RunJournal::contains(std::string_view test, std::string_view target,
 void RunJournal::record(std::string_view test, std::string_view target,
                         int repeat, std::string_view outcome,
                         std::string_view stage, int attempts) {
-  std::ofstream out(path_, std::ios::app);
-  if (!out) throw Error("cannot append to run journal '" + path_ + "'");
-  out << "{\"kind\":\"run\",\"test\":" << obs::json::quote(test)
-      << ",\"target\":" << obs::json::quote(target)
-      << ",\"repeat\":" << repeat
-      << ",\"outcome\":" << obs::json::quote(outcome)
-      << ",\"stage\":" << obs::json::quote(stage)
-      << ",\"attempts\":" << attempts << "}\n";
+  durableAppendLine(
+      path_, "{\"kind\":\"run\",\"test\":" + obs::json::quote(test) +
+                 ",\"target\":" + obs::json::quote(target) +
+                 ",\"repeat\":" + std::to_string(repeat) +
+                 ",\"outcome\":" + obs::json::quote(outcome) +
+                 ",\"stage\":" + obs::json::quote(stage) +
+                 ",\"attempts\":" + std::to_string(attempts) + "}");
   keys_.insert(key(test, target, repeat));
 }
 

@@ -3,9 +3,13 @@
 // A suite run appends one JSONL record per completed (test, target,
 // repeat) tuple to DIR/journal.jsonl; a killed campaign restarted with
 // --resume DIR loads the journal and executes only the tuples that are
-// not yet recorded.  Appends happen one fsync-sized line at a time, and
-// the loader tolerates a truncated final line (the crash that motivates
-// resuming is exactly what produces one).
+// not yet recorded.  Appends are *durable*: each line is written and
+// fsynced before record() returns, so a crash can lose at most the line
+// being written — never a previously acknowledged one (losing an
+// acknowledged tuple would double-execute it on resume).  The loader
+// tolerates a torn final line (the crash that motivates resuming is
+// exactly what produces one) and truncates it away so the file is clean
+// again for the next append.
 //
 // Schema (one JSON object per line):
 //   {"kind":"meta","schema":"rebench.journal/1"}
@@ -22,11 +26,26 @@ namespace rebench {
 
 inline constexpr std::string_view kJournalSchema = "rebench.journal/1";
 
+/// Appends `line` (a trailing '\n' is added when missing) to `path` and
+/// flushes it to stable storage (write + fsync) before returning, so an
+/// acknowledged journal record survives a crash.  Creates the file when
+/// absent.  Throws rebench::Error on I/O failure.
+void durableAppendLine(const std::string& path, std::string_view line);
+
+/// Writes `bytes` to `path` durably and atomically: the content lands in
+/// `path + ".tmp"`, is fsynced, and is renamed over `path`, so readers
+/// observe either the old file or the complete new one — never a torn
+/// write.  Throws rebench::Error on I/O failure.
+void durableWriteFile(const std::string& path, std::string_view bytes);
+
 class RunJournal {
  public:
   /// Opens DIR/journal.jsonl, creating DIR and the meta line when absent,
-  /// and loads already-recorded tuples.  Throws rebench::Error when the
-  /// directory or file cannot be created/read.
+  /// and loads already-recorded tuples.  A corrupt tail (torn lines from
+  /// a crash mid-append) is counted in corruptLines() and truncated away:
+  /// the file is rewritten (tmp + atomic rename) holding only the intact
+  /// lines.  Throws rebench::Error when the directory or file cannot be
+  /// created/read.
   explicit RunJournal(const std::string& dir);
 
   static std::string pathFor(const std::string& dir);
@@ -34,7 +53,7 @@ class RunJournal {
   bool contains(std::string_view test, std::string_view target,
                 int repeat) const;
 
-  /// Appends one completed tuple (crash-safe: open/append/close).
+  /// Appends one completed tuple durably (write + fsync per line).
   void record(std::string_view test, std::string_view target, int repeat,
               std::string_view outcome, std::string_view stage,
               int attempts);
@@ -42,7 +61,7 @@ class RunJournal {
   /// Number of completed tuples currently journaled.
   std::size_t size() const { return keys_.size(); }
 
-  /// Unparseable lines skipped while loading (e.g. a truncated tail).
+  /// Unparseable lines dropped while loading (e.g. a truncated tail).
   std::size_t corruptLines() const { return corruptLines_; }
 
   const std::string& path() const { return path_; }

@@ -1,0 +1,76 @@
+// Deadline watchdogs (rebench::fault).
+//
+// A permanently hung stage — a job the scheduler never finishes, a build
+// that spins forever — must not block an executor lane (or the serve
+// daemon) indefinitely, and it must not be *retried*: retrying a hang
+// just hangs again.  The watchdog therefore turns a stage that exceeds
+// its (simulated) wall-clock deadline into a classified
+// FailureClass::kInfrastructure failure, which the retry ladder refuses
+// to retry and the circuit breaker counts toward quarantine.  The same
+// policy caps the retry ladder itself: when the cumulative backoff for a
+// stage would blow its deadline, the transient failure is promoted to
+// infrastructure instead of backing off forever.
+//
+// Deadlines are expressed in simulated seconds (the only clock modelled
+// runs have), so watchdog decisions are byte-deterministic like every
+// other pipeline outcome.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/fault/failure.hpp"
+
+namespace rebench {
+
+struct WatchdogPolicy {
+  /// Default simulated-seconds deadline per pipeline stage; <= 0 means no
+  /// deadline.  (--stage-timeout)
+  double stageTimeoutSeconds = -1.0;
+  /// Per-stage overrides keyed by stage name ("build", "run", ...).
+  std::map<std::string, double, std::less<>> stageOverrides;
+
+  bool enabled() const;
+  /// Deadline for `stage` (override, else default); <= 0 = none.
+  double limitFor(std::string_view stage) const;
+};
+
+/// One deadline violation.
+struct WatchdogFire {
+  std::string stage;
+  double limitSeconds = 0.0;
+  double elapsedSeconds = 0.0;
+
+  /// The classified failure a fired watchdog becomes: infrastructure —
+  /// the platform hung, not the test — so it is never retried in place
+  /// and feeds the quarantine circuit breaker.
+  FailureInfo failure() const;
+};
+
+/// Checks one stage's elapsed simulated seconds against the policy;
+/// nullopt when the stage finished within its deadline (or has none).
+std::optional<WatchdogFire> checkStageDeadline(const WatchdogPolicy& policy,
+                                               std::string_view stage,
+                                               double elapsedSeconds);
+
+/// Stateful wrapper counting fires — the serve daemon's health snapshot
+/// reports how often its watchdogs tripped.
+class StageWatchdog {
+ public:
+  explicit StageWatchdog(WatchdogPolicy policy) : policy_(std::move(policy)) {}
+
+  std::optional<WatchdogFire> check(std::string_view stage,
+                                    double elapsedSeconds);
+
+  std::size_t fires() const { return fires_; }
+  const WatchdogPolicy& policy() const { return policy_; }
+
+ private:
+  WatchdogPolicy policy_;
+  std::size_t fires_ = 0;
+};
+
+}  // namespace rebench

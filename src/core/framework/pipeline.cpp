@@ -85,6 +85,7 @@ TestRunResult Pipeline::runCampaign(const RegressionTest& test,
   // budget, with exponentially growing (deterministically jittered)
   // backoff that consumes simulated time.
   std::map<std::string, int> retriesPerStage;
+  std::map<std::string, double> backoffPerStage;
   double backoffTotal = 0.0;
   while (!result.passed &&
          result.failure.klass == FailureClass::kTransient) {
@@ -96,6 +97,30 @@ TestRunResult Pipeline::runCampaign(const RegressionTest& test,
                                    "|" + std::to_string(repeatIndex) + "|" +
                                    stage;
     const double wait = options_.retry.backoffSeconds(backoffKey, used);
+    // Watchdog cap on the ladder itself: when the cumulative backoff for
+    // this stage would blow its deadline, the stage is effectively hung —
+    // promote the transient failure to infrastructure instead of backing
+    // off forever.
+    const double stageLimit = options_.watchdog.limitFor(stage);
+    if (stageLimit > 0.0 && backoffPerStage[stage] + wait > stageLimit) {
+      const double elapsed = backoffPerStage[stage] + wait;
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->event("fault.watchdog",
+                          {{"stage", stage},
+                           {"limit_seconds", str::fixed(stageLimit, 6)},
+                           {"elapsed_seconds", str::fixed(elapsed, 6)}});
+      }
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->counter("fault.watchdog_fired").inc();
+        ctx.metrics->counter("fault.watchdog_fired/" + stage).inc();
+      }
+      result.failure.klass = FailureClass::kInfrastructure;
+      result.failure.detail = "watchdog: retry backoff for stage '" + stage +
+                              "' exceeded its " + str::fixed(stageLimit, 1) +
+                              "s deadline";
+      break;
+    }
+    backoffPerStage[stage] += wait;
     {
       obs::ScopedSpan backoff(ctx.tracer, "backoff");
       backoff.attr("attempt", std::to_string(attempts + 1));
@@ -175,6 +200,19 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     }
   };
 
+  auto noteWatchdog = [tracer, metrics](const WatchdogFire& fire) {
+    if (tracer != nullptr) {
+      tracer->event("fault.watchdog",
+                    {{"stage", fire.stage},
+                     {"limit_seconds", str::fixed(fire.limitSeconds, 6)},
+                     {"elapsed_seconds", str::fixed(fire.elapsedSeconds, 6)}});
+    }
+    if (metrics != nullptr) {
+      metrics->counter("fault.watchdog_fired").inc();
+      metrics->counter("fault.watchdog_fired/" + fire.stage).inc();
+    }
+  };
+
   auto fail = [&result, &attemptSpan](
                   std::string stage, std::string detail,
                   std::optional<FailureClass> klass = std::nullopt) {
@@ -243,6 +281,13 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
       span.attr("result", "error");
       return fail("build", "injected transient build failure",
                   FailureClass::kTransient);
+    }
+    if (auto fired = checkStageDeadline(options_.watchdog, "build",
+                                        result.build.buildSeconds)) {
+      noteWatchdog(*fired);
+      span.attr("result", "error");
+      return fail("build", fired->failure().detail,
+                  FailureClass::kInfrastructure);
     }
   }
 
@@ -400,6 +445,15 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     entry.extras["failure_class"] = std::string(failureClassName(klass));
     appendPerflog(entry);
   };
+
+  // A hung simulated stage: queue wait + execution blew the run deadline.
+  if (auto fired = checkStageDeadline(options_.watchdog, "run",
+                                      job->endTime - job->submitTime)) {
+    noteWatchdog(*fired);
+    const std::string detail = fired->failure().detail;
+    logFailure("run", detail, FailureClass::kInfrastructure);
+    return fail("run", detail, FailureClass::kInfrastructure);
+  }
 
   // --- Telemetry capture (paper §4 future work) ---------------------------
   bool telemetryDropped = false;

@@ -21,6 +21,7 @@
 #include "core/fault/journal.hpp"
 #include "core/fault/quarantine.hpp"
 #include "core/fault/retry.hpp"
+#include "core/fault/watchdog.hpp"
 #include "core/framework/perflog.hpp"
 #include "core/framework/regression_test.hpp"
 #include "core/framework/telemetry.hpp"
@@ -57,6 +58,12 @@ struct PipelineOptions {
   RetryPolicy retry;
   /// Deterministic fault injection (all-zero probabilities = off).
   FaultConfig faults;
+  /// Per-stage deadlines in simulated seconds (--stage-timeout; disabled
+  /// by default).  A stage that exceeds its deadline — or a retry ladder
+  /// whose cumulative backoff would — fails as kInfrastructure: never
+  /// retried in place, counted by the circuit breaker, and visible as a
+  /// `fault.watchdog` trace event.
+  WatchdogPolicy watchdog;
   /// Circuit-breaker thresholds used by runAll to quarantine (test,
   /// target) pairs / whole partitions after consecutive infrastructure
   /// failures.

@@ -271,6 +271,40 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
                            "' has non-numeric records '" + text + "'");
         }
       }
+    } else if (span.name == "serve.submission") {
+      // The daemon's per-submission record names the submission it
+      // answered and the verdict it filed.
+      for (const char* required : {"submission", "verdict"}) {
+        if (span.attrs.find(required) == span.attrs.end()) {
+          issues.push_back("serve.submission span '" + span.id +
+                           "' without a '" + required + "' attribute");
+        }
+      }
+    } else if (span.name == "serve.watchdog") {
+      // A fired serve watchdog records what it guarded and both sides of
+      // the comparison that tripped it.
+      for (const char* required :
+           {"stage", "limit_seconds", "elapsed_seconds"}) {
+        if (span.attrs.find(required) == span.attrs.end()) {
+          issues.push_back("serve.watchdog span '" + span.id +
+                           "' without a '" + required + "' attribute");
+        }
+      }
+    } else if (span.name == "store.runcache") {
+      if (span.attrs.find("key") == span.attrs.end()) {
+        issues.push_back("store.runcache span '" + span.id +
+                         "' without a 'key' attribute");
+      }
+      const auto outcome = span.attrs.find("outcome");
+      if (outcome == span.attrs.end()) {
+        issues.push_back("store.runcache span '" + span.id +
+                         "' without an 'outcome' attribute");
+      } else if (outcome->second != "hit" && outcome->second != "miss" &&
+                 outcome->second != "corrupt" &&
+                 outcome->second != "stale") {
+        issues.push_back("store.runcache span '" + span.id +
+                         "' has invalid outcome '" + outcome->second + "'");
+      }
     }
   }
 

@@ -1,0 +1,103 @@
+// Campaign execution as a library (rebench::service).
+//
+// Everything the CLI's run/suite tail used to do inline — expand an
+// invocation into pipeline options, write the campaign manifest, append
+// history, gate the newest records — factored out so the serve daemon
+// and the CLI drive the exact same code paths and therefore produce the
+// exact same bytes.  Also home of `runKeyFor`, the run-memoization key:
+// a campaign whose key is unchanged would reproduce its recorded
+// artifacts byte-for-byte, so serve answers it from the RunCache instead
+// of re-executing.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/framework/pipeline.hpp"
+#include "core/history/history.hpp"
+#include "core/service/journal.hpp"
+#include "core/store/manifest.hpp"
+
+namespace rebench::store {
+class ObjectStore;
+}  // namespace rebench::store
+
+namespace rebench::service {
+
+/// Expands an invocation into pipeline options; unset sentinel fields
+/// (-1 / "") keep the pipeline defaults, so a replayed manifest or a
+/// queued submission resolves to exactly the options the original flags
+/// did.
+PipelineOptions pipelineOptionsFor(const store::CampaignInvocation& inv);
+
+/// Serializes perflog lines to the byte stream a manifest hashes.
+std::string perflogBytes(const PerfLog& perflog);
+
+/// Provenance record for one executed pipeline run; the build plan is
+/// re-derived from the concretized spec so the manifest lists the exact
+/// reproduction commands without the pipeline threading them through.
+store::RunManifest runManifestFor(const TestRunResult& result, int repeat);
+
+/// Outcome of writing a campaign manifest into a store.
+struct ManifestWrite {
+  std::string hash;  // manifest contentHash
+  std::string path;  // DIR/manifests/campaign-<hash>.json
+};
+
+/// Stores campaign artifacts and writes the manifest (plus the
+/// latest.json convenience copy).  `traceBytes` may be null; when given
+/// it is recorded only if `pinTrace` (cache-cold or caching-off
+/// campaigns — warm store.* spans are not replayable).
+ManifestWrite writeCampaignManifest(store::ObjectStore& store,
+                                    const store::CampaignInvocation& inv,
+                                    std::span<const TestRunResult> results,
+                                    const PerfLog& perflog,
+                                    const std::string* traceBytes,
+                                    bool pinTrace);
+
+/// Reduces finished campaign results to the journal's executed record:
+/// full-precision aggregates, total simulated seconds and the first
+/// failure (if any).
+ExecutedRecord summarizeCampaignOutcome(std::span<const TestRunResult> results,
+                                        std::span<const history::FomAggregate> foms,
+                                        const std::string& manifestHash,
+                                        const std::string& perflogHash);
+
+struct HistoryAppendResult {
+  std::string segment;  // "" when nothing was appended
+  int records = 0;
+  bool appended = false;
+};
+
+/// Appends one history record per aggregate in `outcome`, citing its
+/// manifest hash.  With `skipIfCited` (the serve daemon's exactly-once
+/// guard) the append is idempotent: when the history already cites this
+/// manifest hash nothing is appended.  The CLI passes false — repeated
+/// identical campaigns are distinct observations there.  Throws
+/// rebench::Error when the history head is unreadable (degraded-mode
+/// trigger for serve).
+HistoryAppendResult appendCampaignHistory(store::ObjectStore& store,
+                                          const ExecutedRecord& outcome,
+                                          const SystemRegistry& systems,
+                                          bool skipIfCited);
+
+/// Runs the PR-6 regression gate over the series this campaign touched:
+/// reads the full history and checks each (test, target, fom) series the
+/// outcome's aggregates name.  Returns the per-series results (only for
+/// touched series).  Throws rebench::Error when the history is
+/// unreadable.
+std::vector<history::GateResult> gateCampaign(store::ObjectStore& store,
+                                              const ExecutedRecord& outcome,
+                                              const history::GateOptions& options);
+
+/// The run-memoization key: hash(invocation bytes + environment
+/// fingerprint + system/partition configuration + concretized spec DAG
+/// hashes).  Everything that could change recorded bytes is in here;
+/// anything not in here (e.g. --jobs) is byte-invariant by construction.
+std::string runKeyFor(const store::CampaignInvocation& inv,
+                      const SystemRegistry& systems,
+                      const PackageRepository& repo,
+                      std::span<const RegressionTest> tests);
+
+}  // namespace rebench::service

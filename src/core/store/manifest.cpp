@@ -11,8 +11,8 @@
 namespace rebench::store {
 
 namespace {
-
 using obs::json::quote;
+}  // namespace
 
 std::string renderInvocation(const CampaignInvocation& inv) {
   std::ostringstream out;
@@ -36,6 +36,7 @@ std::string renderInvocation(const CampaignInvocation& inv) {
       << ",\"backoffMultiplier\":" << str::fixed(inv.backoffMultiplier, 6)
       << ",\"backoffMax\":" << str::fixed(inv.backoffMax, 6)
       << ",\"quarantineAfter\":" << inv.quarantineAfter
+      << ",\"stageTimeout\":" << str::fixed(inv.stageTimeout, 6)
       << ",\"lanes\":" << inv.lanes
       << ",\"withStore\":" << (inv.withStore ? "true" : "false")
       << ",\"cache\":" << (inv.cache ? "true" : "false") << "}";
@@ -67,12 +68,15 @@ CampaignInvocation parseInvocation(const obs::json::Value& value) {
   inv.backoffMax = value.numberOr("backoffMax", -1.0);
   inv.quarantineAfter =
       static_cast<int>(value.numberOr("quarantineAfter", -1));
+  inv.stageTimeout = value.numberOr("stageTimeout", -1.0);
   inv.lanes = static_cast<int>(value.numberOr("lanes", -1));
   inv.withStore =
       value.contains("withStore") && value.at("withStore").boolean;
   inv.cache = !value.contains("cache") || value.at("cache").boolean;
   return inv;
 }
+
+namespace {
 
 std::string renderRun(const RunManifest& run) {
   std::ostringstream out;

@@ -12,6 +12,7 @@
 #include "core/fault/journal.hpp"
 #include "core/fault/quarantine.hpp"
 #include "core/fault/retry.hpp"
+#include "core/fault/watchdog.hpp"
 #include "core/framework/perflog.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
@@ -280,6 +281,74 @@ TEST(RunJournal, ToleratesTruncatedTailLine) {
   EXPECT_EQ(journal.corruptLines(), 1u);
   EXPECT_TRUE(journal.contains("T", "sys", 0));
   std::filesystem::remove_all(dir);
+}
+
+TEST(RunJournal, TruncatesCorruptTailOnDisk) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "journal_rewrite")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    RunJournal journal(dir);
+    journal.record("T", "sys", 0, "pass", "", 1);
+  }
+  {
+    std::ofstream out(RunJournal::pathFor(dir), std::ios::app);
+    out << "{\"kind\":\"run\",\"test\":\"T\",\"ta";
+  }
+  // Opening truncates the torn tail away on disk (tmp + atomic rename),
+  // so the next crash cannot stack corruption on top of corruption: a
+  // second open sees a fully intact file.
+  {
+    RunJournal journal(dir);
+    EXPECT_EQ(journal.corruptLines(), 1u);
+  }
+  RunJournal clean(dir);
+  EXPECT_EQ(clean.corruptLines(), 0u);
+  EXPECT_EQ(clean.size(), 1u);
+  EXPECT_TRUE(clean.contains("T", "sys", 0));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Watchdog, LimitResolutionAndFiring) {
+  WatchdogPolicy policy;
+  EXPECT_FALSE(policy.enabled());
+  EXPECT_FALSE(checkStageDeadline(policy, "run", 1e9).has_value());
+
+  policy.stageTimeoutSeconds = 10.0;
+  policy.stageOverrides["build"] = 2.0;
+  EXPECT_TRUE(policy.enabled());
+  EXPECT_EQ(policy.limitFor("run"), 10.0);
+  EXPECT_EQ(policy.limitFor("build"), 2.0);
+
+  // Finishing exactly on the deadline is within budget.
+  EXPECT_FALSE(checkStageDeadline(policy, "run", 10.0).has_value());
+  const auto fired = checkStageDeadline(policy, "build", 2.5);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->stage, "build");
+  EXPECT_EQ(fired->limitSeconds, 2.0);
+  EXPECT_EQ(fired->elapsedSeconds, 2.5);
+}
+
+TEST(Watchdog, FireClassifiesAsInfrastructure) {
+  WatchdogPolicy policy;
+  policy.stageTimeoutSeconds = 1.0;
+  const auto fired = checkStageDeadline(policy, "run", 3.0);
+  ASSERT_TRUE(fired.has_value());
+  const FailureInfo failure = fired->failure();
+  EXPECT_EQ(failure.klass, FailureClass::kInfrastructure);
+  EXPECT_EQ(failureClassName(failure.klass), "infrastructure");
+  EXPECT_NE(failure.detail.find("watchdog"), std::string::npos);
+}
+
+TEST(Watchdog, StatefulWrapperCountsFires) {
+  WatchdogPolicy policy;
+  policy.stageTimeoutSeconds = 1.0;
+  StageWatchdog watchdog(policy);
+  EXPECT_FALSE(watchdog.check("run", 0.5).has_value());
+  EXPECT_TRUE(watchdog.check("run", 1.5).has_value());
+  EXPECT_TRUE(watchdog.check("build", 2.0).has_value());
+  EXPECT_EQ(watchdog.fires(), 2u);
 }
 
 TEST(PerfLogLenient, SkipsAndCountsCorruptLines) {
