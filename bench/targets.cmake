@@ -27,3 +27,4 @@ rebench_add_bench(ablation_hygiene.cpp)
 rebench_add_bench(ablation_parallel.cpp)
 rebench_add_bench(ablation_profile.cpp)
 rebench_add_bench(ablation_history.cpp)
+rebench_add_bench(ablation_infer.cpp)

@@ -25,6 +25,8 @@
 #include "core/concretizer/concretizer.hpp"
 #include "core/framework/pipeline.hpp"
 #include "core/history/history.hpp"
+#include "core/infer/controller.hpp"
+#include "core/obs/json.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/openmetrics.hpp"
 #include "core/obs/trace.hpp"
@@ -77,12 +79,19 @@ int usage() {
       "                                     reuse); --metrics-out exports\n"
       "                                     the metrics registry + FOMs as\n"
       "                                     OpenMetrics text\n"
+      "      [--ci-halfwidth R]             adaptive run-length control:\n"
+      "      [--min-repeats N]              repeat each test until every\n"
+      "      [--max-repeats N]              FOM mean's 95% CI (ESS-\n"
+      "                                     corrected) is within +/-R\n"
+      "                                     relative half-width, between\n"
+      "                                     N_min and N_max repeats\n"
       "  suite --system S [--tag T]       run the builtin suite, ReFrame\n"
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
       "        [--trace DIR] [--faults FILE|SPEC] [--retries N]\n"
       "        [--repeats N] [--resume DIR] [--quarantine-after N]\n"
       "        [--store DIR] [--no-cache] [--jobs N] [--lanes N]\n"
-      "        [--metrics-out FILE]\n"
+      "        [--metrics-out FILE] [--ci-halfwidth R]\n"
+      "        [--min-repeats N] [--max-repeats N]\n"
       "                                     --faults injects deterministic\n"
       "                                     failures (seed=..,crash=..,\n"
       "                                     node=..,preempt=..,build=..,\n"
@@ -131,8 +140,15 @@ int usage() {
       "                                     and deterministic changepoint\n"
       "                                     flags; --check gates the newest\n"
       "                                     record against the rolling\n"
-      "                                     baseline (exit 0 ok, 1 on\n"
-      "                                     regression, 2 usage/no records)\n"
+      "                                     baseline: a threshold-sized\n"
+      "                                     drop regresses only when it is\n"
+      "                                     statistically significant\n"
+      "                                     (baseline CI band), justified\n"
+      "                                     by an EDM changepoint scan;\n"
+      "                                     --json emits the machine-\n"
+      "                                     readable verdicts (exit 0 ok,\n"
+      "                                     1 on regression, 2 usage/no\n"
+      "                                     records)\n"
       "  history --perflog F [--detect]   legacy perflog history +\n"
       "          [--window N] [--sigmas X]  regression detection\n"
       "  compare --before A --after B     before/after perflog comparison\n"
@@ -343,9 +359,9 @@ struct TraceSession {
       return std::map<std::string, std::string>{
           {"test", fom.test}, {"target", fom.target}, {"fom", fom.fom}};
     };
-    // Grouped by family ("rebench_fom_stat" first, then "..._repeats")
-    // because the renderer emits one # TYPE header per run of equal
-    // family names.
+    // Grouped by family ("rebench_fom_stat", then "..._repeats", then
+    // the inference gauges "..._ci_halfwidth" / "..._ess") because the
+    // renderer emits one # TYPE header per run of equal family names.
     for (const history::FomAggregate& fom : foms) {
       for (const auto& [stat, value] :
            {std::pair<const char*, double>{"mean", fom.mean},
@@ -360,12 +376,68 @@ struct TraceSession {
       samples.push_back({"rebench_fom_repeats", labelsFor(fom),
                          static_cast<double>(fom.repeats)});
     }
+    for (const history::FomAggregate& fom : foms) {
+      samples.push_back(
+          {"rebench_fom_ci_halfwidth", labelsFor(fom), fom.ciHalfwidth});
+    }
+    for (const history::FomAggregate& fom : foms) {
+      samples.push_back({"rebench_fom_ess", labelsFor(fom), fom.ess});
+    }
     std::ofstream out(*metricsOut, std::ios::binary);
     if (!out) throw Error("cannot write metrics file '" + *metricsOut + "'");
     out << obs::renderOpenMetrics(metrics, samples);
     std::cout << "metrics written to " << *metricsOut << "\n";
   }
 };
+
+/// Validates the run-length flags shared by run/suite/submit: --repeats
+/// and the adaptive --min-repeats/--max-repeats/--ci-halfwidth family
+/// must be positive.  A negative value such as `--repeats -1` parses as
+/// a valueless flag (the '-1' token looks like an option to the
+/// parser), so both spellings are rejected here.  Returns the error
+/// message, or nullopt when the flags are sound.
+std::optional<std::string> runLengthFlagError(const Args& args) {
+  for (const std::string_view name :
+       {"repeats", "min-repeats", "max-repeats"}) {
+    if (args.hasFlag(name)) {
+      return "--" + std::string(name) + " expects a positive integer";
+    }
+    if (args.option(name).has_value() && args.intOptionOr(name, 1) <= 0) {
+      return "--" + std::string(name) + " must be >= 1 (got " +
+             *args.option(name) + ")";
+    }
+  }
+  if (args.hasFlag("ci-halfwidth")) {
+    return std::string(
+        "--ci-halfwidth expects a positive relative half-width "
+        "(e.g. 0.05)");
+  }
+  if (args.option("ci-halfwidth").has_value() &&
+      args.doubleOptionOr("ci-halfwidth", 1.0) <= 0.0) {
+    return "--ci-halfwidth must be > 0 (got " +
+           *args.option("ci-halfwidth") + ")";
+  }
+  const int minRepeats = args.intOptionOr("min-repeats", -1);
+  const int maxRepeats = args.intOptionOr("max-repeats", -1);
+  if (minRepeats > 0 && maxRepeats > 0 && maxRepeats < minRepeats) {
+    return std::string("--max-repeats must be >= --min-repeats");
+  }
+  return std::nullopt;
+}
+
+/// Prints the adaptive controller's per-(test, target, fom) decisions.
+void printInferenceDecisions(const infer::ControllerReport& inference) {
+  for (const infer::FomDecision& d : inference.decisions) {
+    std::cout << "infer: " << d.test << " @ " << d.target << " " << d.fom
+              << ": mean " << str::fixed(d.estimate.mean, 2) << " +/- "
+              << str::fixed(d.estimate.ciHalfwidth, 2) << " ("
+              << str::fixed(d.estimate.ciRelative * 100.0, 2)
+              << "% rel, ess " << str::fixed(d.estimate.ess, 1)
+              << ") after " << d.estimate.n << " repeat(s) in " << d.rounds
+              << " round(s)" << (d.converged ? "" : " [hit --max-repeats]")
+              << "\n";
+  }
+}
 
 /// Normalizes the run/suite CLI flags into the invocation record a
 /// campaign manifest stores (and `rebench replay` re-executes).
@@ -390,6 +462,9 @@ store::CampaignInvocation invocationFromArgs(const Args& args,
   inv.quarantineAfter = args.intOptionOr("quarantine-after", -1);
   inv.stageTimeout = args.doubleOptionOr("stage-timeout", -1.0);
   inv.lanes = args.intOptionOr("lanes", -1);
+  inv.ciHalfwidth = args.doubleOptionOr("ci-halfwidth", -1.0);
+  inv.minRepeats = args.intOptionOr("min-repeats", -1);
+  inv.maxRepeats = args.intOptionOr("max-repeats", -1);
   inv.withStore = args.option("store").has_value();
   inv.cache = !args.hasFlag("no-cache");
   return inv;
@@ -484,6 +559,10 @@ struct StoreSession {
 };
 
 int runBenchmark(const Args& args) {
+  if (const auto error = runLengthFlagError(args)) {
+    std::cerr << "run: " << *error << "\n";
+    return usage();
+  }
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
   const store::CampaignInvocation invocation = invocationFromArgs(args, "run");
@@ -500,38 +579,63 @@ int runBenchmark(const Args& args) {
 
   std::vector<TestRunResult> results;
   bool anyFailed = false;
-  for (int repeat = 0; repeat < options.numRepeats; ++repeat) {
-    const TestRunResult result =
-        pipeline.runOne(test, target, &perflog, repeat);
-    results.push_back(result);
-    std::cout << "[" << (result.passed ? " OK " : "FAIL") << "] "
-              << result.testName << " @ " << result.system << ":"
-              << result.partition << " (" << result.environ << ")\n";
-    if (args.hasFlag("verbose")) {
-      std::cout << "  spec:   " << result.concreteSpec->shortForm() << "\n";
-      std::cout << "  launch: " << result.launchCommand << "\n";
-    }
-    if (!result.passed) {
-      std::cout << "  " << result.failure.stage << " ["
-                << failureClassName(result.failure.klass)
-                << "]: " << result.failure.detail;
-      if (result.attempts > 1) {
-        std::cout << " (after " << result.attempts << " attempts)";
+  std::optional<infer::ControllerReport> inference;
+  if (invocation.ciHalfwidth > 0.0) {
+    // Adaptive run-length control (rebench::infer): the controller
+    // decides the repeat count per FOM series; the campaign runs through
+    // the same service::executeCampaign path as suite/serve/replay.
+    const std::vector<RegressionTest> tests{test};
+    const std::vector<std::string> targets{target};
+    service::CampaignExecution execution = service::executeCampaign(
+        pipeline, tests, targets, invocation, &perflog, nullptr, nullptr);
+    results = std::move(execution.results);
+    inference = std::move(execution.inference);
+    for (const TestRunResult& result : results) {
+      std::cout << "[" << (result.passed ? " OK " : "FAIL") << "] "
+                << result.testName << " @ " << result.system << ":"
+                << result.partition << " (" << result.environ << ")\n";
+      if (!result.passed) {
+        std::cout << "  " << result.failure.stage << " ["
+                  << failureClassName(result.failure.klass)
+                  << "]: " << result.failure.detail << "\n";
+        anyFailed = true;
       }
-      std::cout << "\n";
-      anyFailed = true;
-      continue;
     }
-    for (const auto& [fom, value] : result.foms) {
-      std::cout << "  " << str::padRight(fom, 8) << " = "
-                << str::fixed(value, 2) << "\n";
-    }
-    if (!result.telemetry.empty()) {
-      std::cout << "  energy   = "
-                << str::fixed(result.telemetry.energyJoules(), 0) << " J ("
-                << str::fixed(result.telemetry.meanPowerWatts(), 0)
-                << " W mean, " << result.contentionFlags.size()
-                << " contended samples)\n";
+    printInferenceDecisions(*inference);
+  } else {
+    for (int repeat = 0; repeat < options.numRepeats; ++repeat) {
+      const TestRunResult result =
+          pipeline.runOne(test, target, &perflog, repeat);
+      results.push_back(result);
+      std::cout << "[" << (result.passed ? " OK " : "FAIL") << "] "
+                << result.testName << " @ " << result.system << ":"
+                << result.partition << " (" << result.environ << ")\n";
+      if (args.hasFlag("verbose")) {
+        std::cout << "  spec:   " << result.concreteSpec->shortForm() << "\n";
+        std::cout << "  launch: " << result.launchCommand << "\n";
+      }
+      if (!result.passed) {
+        std::cout << "  " << result.failure.stage << " ["
+                  << failureClassName(result.failure.klass)
+                  << "]: " << result.failure.detail;
+        if (result.attempts > 1) {
+          std::cout << " (after " << result.attempts << " attempts)";
+        }
+        std::cout << "\n";
+        anyFailed = true;
+        continue;
+      }
+      for (const auto& [fom, value] : result.foms) {
+        std::cout << "  " << str::padRight(fom, 8) << " = "
+                  << str::fixed(value, 2) << "\n";
+      }
+      if (!result.telemetry.empty()) {
+        std::cout << "  energy   = "
+                  << str::fixed(result.telemetry.energyJoules(), 0) << " J ("
+                  << str::fixed(result.telemetry.meanPowerWatts(), 0)
+                  << " W mean, " << result.contentionFlags.size()
+                  << " contended samples)\n";
+      }
     }
   }
   if (perflog.size() > 0 && args.option("perflog")) {
@@ -550,6 +654,10 @@ int runBenchmark(const Args& args) {
 }
 
 int runSuite(const Args& args) {
+  if (const auto error = runLengthFlagError(args)) {
+    std::cerr << "suite: " << *error << "\n";
+    return usage();
+  }
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
   const store::CampaignInvocation invocation =
@@ -586,9 +694,10 @@ int runSuite(const Args& args) {
   }
   const std::vector<std::string> targets{invocation.system};
   CampaignReport report;
-  const auto results = pipeline.runAll(selected, targets, &perflog,
-                                       journal ? &*journal : nullptr,
-                                       &report);
+  service::CampaignExecution execution = service::executeCampaign(
+      pipeline, selected, targets, invocation, &perflog,
+      journal ? &*journal : nullptr, &report);
+  const std::vector<TestRunResult>& results = execution.results;
   for (const TestRunResult& result : results) {
     const char* marker = result.passed       ? " OK "
                          : result.quarantined ? "QUAR"
@@ -615,6 +724,7 @@ int runSuite(const Args& args) {
               << "s makespan (" << report.workerLanesTouched
               << " worker lane(s) touched)\n";
   }
+  if (execution.adaptive) printInferenceDecisions(execution.inference);
   const std::string traceBytes = trace.active() ? trace.serialize() : "";
   const auto fomAggregates = history::aggregateFoms(results);
   storeSession.writeManifest(invocation, results, perflog,
@@ -675,11 +785,18 @@ int replay(const Args& args) {
 
   Pipeline pipeline(systems, repo, options);
   PerfLog perflog;
-  if (invocation.mode == "run") {
+  if (invocation.mode == "run" && invocation.ciHalfwidth <= 0.0) {
+    // Fixed-repeat run mode replays through runOne so the regenerated
+    // trace reproduces the original's span structure exactly.
     const RegressionTest test = buildTest(invocation);
     for (int repeat = 0; repeat < options.numRepeats; ++repeat) {
       pipeline.runOne(test, invocation.system, &perflog, repeat);
     }
+  } else if (invocation.mode == "run") {
+    const std::vector<RegressionTest> tests{buildTest(invocation)};
+    const std::vector<std::string> targets{invocation.system};
+    service::executeCampaign(pipeline, tests, targets, invocation, &perflog,
+                             nullptr, nullptr);
   } else {
     const TestSuite suite = builtinSuite();
     const std::vector<RegressionTest> selected =
@@ -687,7 +804,8 @@ int replay(const Args& args) {
                      invocation.excludePattern, options.tracer,
                      options.metrics);
     const std::vector<std::string> targets{invocation.system};
-    pipeline.runAll(selected, targets, &perflog);
+    service::executeCampaign(pipeline, selected, targets, invocation,
+                             &perflog, nullptr, nullptr);
   }
 
   std::map<std::string, std::string> replayed;
@@ -839,6 +957,9 @@ int report(const Args& args) {
     std::cout << "\nstatistics per series (Hoefler-Belli reporting):\n";
     std::map<std::string, std::vector<double>> series;
     for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+      // Summary rows are already statistics; folding them into the
+      // per-repeat series would double-count the mean.
+      if (frame.strings("result")[i] == "summary") continue;
       const std::string key = frame.strings("system")[i] + "/" +
                               frame.strings("test")[i] + "/" +
                               frame.strings("fom")[i];
@@ -857,6 +978,7 @@ int report(const Args& args) {
     std::vector<std::string> labels;
     std::vector<double> values;
     for (std::size_t i = 0; i < frame.rowCount(); ++i) {
+      if (frame.strings("result")[i] == "summary") continue;
       labels.push_back(frame.strings("system")[i] + "/" +
                        frame.strings("fom")[i]);
       values.push_back(frame.numeric("value")[i]);
@@ -879,7 +1001,9 @@ int compare(const Args& args) {
   auto collect = [](const std::string& path) {
     std::map<std::string, std::vector<double>> series;
     for (const PerfLogEntry& entry : PerfLog::readFile(path)) {
-      if (entry.result == "error") continue;
+      // Adaptive campaigns append result=summary aggregate rows; only
+      // the raw per-repeat observations feed the median comparison.
+      if (entry.result == "error" || entry.result == "summary") continue;
       series[entry.system + ":" + entry.partition + "/" + entry.testName +
              "/" + entry.fomName]
           .push_back(entry.value);
@@ -942,22 +1066,55 @@ int storeHistory(const Args& args, const std::string& storeDir) {
     gate.window = static_cast<std::size_t>(
         std::max(1, args.intOptionOr("window", 5)));
     gate.threshold = args.doubleOptionOr("threshold", 0.05);
+    const std::vector<history::GateResult> verdicts =
+        history::checkRegression(records, gate);
     int regressions = 0;
-    for (const history::GateResult& verdict :
-         history::checkRegression(records, gate)) {
+    for (const history::GateResult& verdict : verdicts) {
+      if (verdict.regression) ++regressions;
+    }
+    if (args.hasFlag("json")) {
+      std::cout << "{\"schema\":\"rebench.history_gate/1\",\"window\":"
+                << gate.window << ",\"threshold\":"
+                << str::fixed(gate.threshold, 6)
+                << ",\"regressions\":" << regressions << ",\"series\":[";
+      bool first = true;
+      for (const history::GateResult& verdict : verdicts) {
+        if (!first) std::cout << ",";
+        first = false;
+        std::cout << "{\"series\":" << obs::json::quote(verdict.series)
+                  << ",\"insufficient\":"
+                  << (verdict.insufficient ? "true" : "false")
+                  << ",\"regression\":"
+                  << (verdict.regression ? "true" : "false")
+                  << ",\"latest\":" << obs::formatMetricValue(verdict.latest)
+                  << ",\"baseline\":"
+                  << obs::formatMetricValue(verdict.baseline)
+                  << ",\"delta\":" << obs::formatMetricValue(verdict.delta)
+                  << ",\"baseline_ci\":"
+                  << obs::formatMetricValue(verdict.baselineCi)
+                  << ",\"latest_ci\":"
+                  << obs::formatMetricValue(verdict.latestCi)
+                  << ",\"latest_ess\":"
+                  << obs::formatMetricValue(verdict.latestEss)
+                  << ",\"significant\":"
+                  << (verdict.significant ? "true" : "false")
+                  << ",\"changepoint\":"
+                  << (verdict.changepoint ? "true" : "false")
+                  << ",\"changepoint_index\":" << verdict.changepointIndex
+                  << ",\"justification\":"
+                  << obs::json::quote(verdict.justification) << "}";
+      }
+      std::cout << "]}\n";
+      return regressions > 0 ? 1 : 0;
+    }
+    for (const history::GateResult& verdict : verdicts) {
       if (verdict.insufficient) {
-        std::cout << "[ -- ] " << verdict.series
-                  << ": insufficient history (need >= 2 records)\n";
+        std::cout << "[ -- ] " << verdict.series << ": "
+                  << verdict.justification << "\n";
         continue;
       }
-      if (verdict.regression) ++regressions;
       std::cout << "[" << (verdict.regression ? "FAIL" : " OK ") << "] "
-                << verdict.series << ": latest "
-                << obs::formatMetricValue(verdict.latest) << " vs baseline "
-                << obs::formatMetricValue(verdict.baseline) << " ("
-                << obs::formatMetricValue(verdict.delta * 100.0) << "%"
-                << ", threshold -" << obs::formatMetricValue(
-                       gate.threshold * 100.0) << "%)\n";
+                << verdict.series << ": " << verdict.justification << "\n";
     }
     if (regressions > 0) {
       std::cout << regressions << " regression(s) detected\n";
@@ -985,7 +1142,13 @@ int history(const Args& args) {
     return 2;
   }
   PerfHistory perfHistory;
-  perfHistory.addAll(PerfLog::readFile(*path));
+  std::vector<PerfLogEntry> entries;
+  for (PerfLogEntry& entry : PerfLog::readFile(*path)) {
+    // result=summary aggregate rows are derived statistics, not
+    // longitudinal observations.
+    if (entry.result != "summary") entries.push_back(std::move(entry));
+  }
+  perfHistory.addAll(entries);
 
   DetectorOptions options;
   options.window = args.intOptionOr("window", 8);
@@ -1020,6 +1183,10 @@ std::vector<RegressionTest> resolveSubmissionTests(
 /// `rebench submit` — drops one campaign invocation into a serve queue
 /// (tmp + atomic rename; idempotent by content hash).
 int submitCommand(const Args& args) {
+  if (const auto error = runLengthFlagError(args)) {
+    std::cerr << "submit: " << *error << "\n";
+    return usage();
+  }
   const auto queueDir = args.option("queue");
   if (!queueDir) {
     std::cerr << "submit: --queue DIR required\n";

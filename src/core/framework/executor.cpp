@@ -18,6 +18,25 @@ std::vector<TestRunResult> Pipeline::runAll(
   return executor.run(tests, targets, perflog, journal, report);
 }
 
+std::vector<TestRunResult> Pipeline::runWindows(
+    std::span<const RegressionTest> tests,
+    std::span<const std::string> targets,
+    const std::map<std::string, RepeatWindow>& windows,
+    std::optional<RepeatWindow> defaultWindow, PerfLog* perflog,
+    RunJournal* journal, CampaignReport* report) {
+  CampaignExecutor executor(*this, options_.jobs);
+  executor.setWindows(&windows, defaultWindow);
+  return executor.run(tests, targets, perflog, journal, report);
+}
+
+void CampaignExecutor::setWindows(
+    const std::map<std::string, RepeatWindow>* windows,
+    std::optional<RepeatWindow> defaultWindow) {
+  windows_ = windows;
+  defaultWindow_ = defaultWindow;
+  windowed_ = true;
+}
+
 CampaignExecutor::CampaignExecutor(Pipeline& pipeline, int jobs)
     : pipeline_(pipeline),
       jobs_(std::max(1, jobs)),
@@ -31,8 +50,21 @@ void CampaignExecutor::enumerate(std::span<const RegressionTest> tests,
     const std::string partitionKey = system->name + ":" + partition->name;
     for (const RegressionTest& test : tests) {
       if (!test.matchesTarget(system->name, partition->name)) continue;
-      for (int repeat = 0; repeat < pipeline_.options_.numRepeats;
-           ++repeat) {
+      int repeatBegin = 0;
+      int repeatEnd = pipeline_.options_.numRepeats;
+      if (windowed_) {
+        const auto window = windows_->find(test.name + "@" + partitionKey);
+        if (window != windows_->end()) {
+          repeatBegin = window->second.begin;
+          repeatEnd = window->second.end;
+        } else if (defaultWindow_) {
+          repeatBegin = defaultWindow_->begin;
+          repeatEnd = defaultWindow_->end;
+        } else {
+          continue;
+        }
+      }
+      for (int repeat = repeatBegin; repeat < repeatEnd; ++repeat) {
         if (journal_ != nullptr &&
             journal_->contains(test.name, target, repeat)) {
           ++report_->skippedJournaled;

@@ -56,6 +56,13 @@ class CampaignExecutor {
                                  PerfLog* perflog, RunJournal* journal,
                                  CampaignReport* report);
 
+  /// Restricts enumeration to per-pair repeat windows (see
+  /// Pipeline::runWindows).  Must be called before run(); `windows`
+  /// must outlive it.  Pairs without an entry use `defaultWindow` when
+  /// set and are skipped otherwise.
+  void setWindows(const std::map<std::string, RepeatWindow>* windows,
+                  std::optional<RepeatWindow> defaultWindow);
+
  private:
   struct Unit {
     std::size_t index = 0;
@@ -106,6 +113,9 @@ class CampaignExecutor {
 
   Pipeline& pipeline_;
   int jobs_;
+  const std::map<std::string, RepeatWindow>* windows_ = nullptr;
+  std::optional<RepeatWindow> defaultWindow_;
+  bool windowed_ = false;
 
   std::mutex mutex_;
   std::vector<Unit> units_;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -200,6 +201,13 @@ struct CampaignReport {
   std::size_t workerLanesTouched = 0;
 };
 
+/// Half-open repeat range for one (test, target) pair — the adaptive
+/// run-length controller's unit of scheduling (rebench::infer).
+struct RepeatWindow {
+  int begin = 0;
+  int end = 0;  // exclusive
+};
+
 /// Drives regression tests through the full pipeline on simulated systems.
 class Pipeline {
  public:
@@ -225,8 +233,31 @@ class Pipeline {
                                     RunJournal* journal = nullptr,
                                     CampaignReport* report = nullptr);
 
+  /// runAll restricted to explicit per-pair repeat windows: each
+  /// (test, target) pair runs repeats [begin, end) from `windows`
+  /// (keyed "test@system:partition"); pairs without an entry fall back
+  /// to `defaultWindow` when provided and are skipped entirely
+  /// otherwise.  The adaptive run-length controller (rebench::infer)
+  /// grows sampling round by round through this; every executor
+  /// guarantee (canonical merge order, byte-identical output at any
+  /// --jobs width) holds per call, and timestamps stay monotone across
+  /// calls because the logical clock lives on the pipeline.
+  std::vector<TestRunResult> runWindows(
+      std::span<const RegressionTest> tests,
+      std::span<const std::string> targets,
+      const std::map<std::string, RepeatWindow>& windows,
+      std::optional<RepeatWindow> defaultWindow = std::nullopt,
+      PerfLog* perflog = nullptr, RunJournal* journal = nullptr,
+      CampaignReport* report = nullptr);
+
   /// Monotone stamp used for perflog timestamps (deterministic).
   std::string nextTimestamp();
+
+  /// Observability hooks from the options (nullable) — exposed so the
+  /// adaptive controller can emit `infer.*` spans and gauges into the
+  /// same canonical stream the executor merges into.
+  obs::Tracer* tracer() const { return options_.tracer; }
+  obs::MetricsRegistry* metrics() const { return options_.metrics; }
 
   /// The store-backed build cache, when a store is attached and caching
   /// is enabled (hit/miss stats for campaign summaries); else null.

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "core/framework/pipeline.hpp"
+#include "core/infer/changepoint_edm.hpp"
+#include "core/infer/estimator.hpp"
 #include "core/obs/json.hpp"
 #include "core/obs/metrics.hpp"
 #include "core/obs/trace.hpp"
@@ -21,6 +23,7 @@ std::vector<FomAggregate> aggregateFoms(
     double min = 0.0;
     double max = 0.0;
     int repeats = 0;
+    std::vector<double> samples;  // repeat order, for the CI/ESS view
   };
   // Keyed (test, target, fom) so output order is canonical regardless of
   // the (already canonical) result order.
@@ -40,6 +43,7 @@ std::vector<FomAggregate> aggregateFoms(
       acc.sum += value;
       acc.min = std::min(acc.min, value);
       acc.max = std::max(acc.max, value);
+      acc.samples.push_back(value);
       ++acc.repeats;
     }
   }
@@ -51,6 +55,12 @@ std::vector<FomAggregate> aggregateFoms(
     aggregate.min = acc.min;
     aggregate.max = acc.max;
     aggregate.repeats = acc.repeats;
+    const infer::SeriesEstimate est = infer::estimateSeries(acc.samples);
+    // A single repeat has no defined interval; record 0 = "unknown"
+    // rather than an unserializable infinity.
+    aggregate.ciHalfwidth = est.n >= 2 ? est.ciHalfwidth : 0.0;
+    aggregate.ess = est.ess;
+    aggregate.autocorr = est.autocorr;
     out.push_back(std::move(aggregate));
   }
   return out;
@@ -74,6 +84,8 @@ std::string serializeSegment(std::span<const HistoryRecord> records,
         << ",\"mean\":" << str::fixed(record.mean, 6)
         << ",\"min\":" << str::fixed(record.min, 6)
         << ",\"max\":" << str::fixed(record.max, 6)
+        << ",\"ci\":" << str::fixed(record.ci, 6)
+        << ",\"ess\":" << str::fixed(record.ess, 3)
         << ",\"repeats\":" << record.repeats
         << ",\"sim_timestamp\":" << str::fixed(record.simTimestamp, 6)
         << "}\n";
@@ -115,6 +127,8 @@ std::vector<HistoryRecord> parseSegment(std::string_view bytes,
       record.mean = value.numberOr("mean", 0);
       record.min = value.numberOr("min", 0);
       record.max = value.numberOr("max", 0);
+      record.ci = value.numberOr("ci", 0);
+      record.ess = value.numberOr("ess", 0);
       record.repeats = static_cast<int>(value.numberOr("repeats", 0));
       record.simTimestamp = value.numberOr("sim_timestamp", 0);
       records.push_back(std::move(record));
@@ -336,6 +350,8 @@ std::string renderHistoryJson(
           << ",\"mean\":" << obs::formatMetricValue(record.mean)
           << ",\"min\":" << obs::formatMetricValue(record.min)
           << ",\"max\":" << obs::formatMetricValue(record.max)
+          << ",\"ci\":" << obs::formatMetricValue(record.ci)
+          << ",\"ess\":" << obs::formatMetricValue(record.ess)
           << ",\"repeats\":" << record.repeats << ",\"sim_timestamp\":"
           << obs::formatMetricValue(record.simTimestamp)
           << ",\"rolling_mean\":"
@@ -377,21 +393,76 @@ std::vector<GateResult> checkRegression(std::span<const HistoryRecord> records,
     if (series.size() < 2) {
       verdict.insufficient = true;
       verdict.latest = series.empty() ? 0.0 : series.back().mean;
+      verdict.justification = "insufficient history (need >= 2 records)";
       verdicts.push_back(std::move(verdict));
       continue;
     }
     const std::size_t window = std::max<std::size_t>(options.window, 1);
     const std::size_t newest = series.size() - 1;
     const std::size_t begin = newest >= window ? newest - window : 0;
+    std::vector<double> baselineMeans;
+    baselineMeans.reserve(newest - begin);
+    for (std::size_t i = begin; i < newest; ++i) {
+      baselineMeans.push_back(series[i].mean);
+    }
     double sum = 0.0;
-    for (std::size_t i = begin; i < newest; ++i) sum += series[i].mean;
-    verdict.baseline = sum / static_cast<double>(newest - begin);
+    for (double mean : baselineMeans) sum += mean;
+    verdict.baseline = sum / static_cast<double>(baselineMeans.size());
     verdict.latest = series[newest].mean;
+    verdict.latestCi = series[newest].ci;
+    verdict.latestEss = series[newest].ess;
     verdict.delta = verdict.baseline != 0.0
                         ? (verdict.latest - verdict.baseline) / verdict.baseline
                         : 0.0;
-    // Higher FOM = better: only a *drop* beyond the threshold regresses.
-    verdict.regression = verdict.delta < -options.threshold;
+    // Higher FOM = better: only a *drop* beyond the threshold can
+    // regress (candidate test, the pre-infer behaviour)...
+    const bool candidate = verdict.delta < -options.threshold;
+    // ...and only when it is also significant: the latest mean must
+    // fall below the baseline window's own 95% confidence band.  A
+    // single-record baseline has no band — fall back to the candidate
+    // test alone, exactly the old semantics.
+    const infer::SeriesEstimate baseEst = infer::estimateSeries(baselineMeans);
+    if (baseEst.n >= 2) {
+      verdict.baselineCi = baseEst.ciHalfwidth;
+      verdict.significant =
+          verdict.latest < verdict.baseline - verdict.baselineCi;
+    } else {
+      verdict.significant = candidate;
+    }
+    verdict.regression = candidate && verdict.significant;
+
+    // EDM changepoint scan over the whole series for justification:
+    // the most recent accepted split, if any.
+    std::vector<double> means;
+    means.reserve(series.size());
+    for (const HistoryRecord& record : series) means.push_back(record.mean);
+    const auto flags = infer::detectChangepointsEdm(means);
+    if (!flags.empty()) {
+      verdict.changepoint = true;
+      verdict.changepointIndex = flags.back().index;
+    }
+
+    std::ostringstream why;
+    if (verdict.regression) {
+      why << "drop " << str::fixed(-verdict.delta * 100.0, 1)
+          << "% exceeds threshold " << str::fixed(options.threshold * 100.0, 1)
+          << "% and latest "
+          << obs::formatMetricValue(verdict.latest) << " is below baseline-CI "
+          << obs::formatMetricValue(verdict.baseline - verdict.baselineCi);
+    } else if (candidate) {
+      why << "drop " << str::fixed(-verdict.delta * 100.0, 1)
+          << "% exceeds threshold but stays within the baseline CI half-width "
+          << obs::formatMetricValue(verdict.baselineCi) << " (not significant)";
+    } else {
+      why << "delta " << str::fixed(verdict.delta * 100.0, 1)
+          << "% within threshold "
+          << str::fixed(options.threshold * 100.0, 1) << "%";
+    }
+    if (verdict.changepoint) {
+      why << "; EDM changepoint at seq "
+          << series[verdict.changepointIndex].seq;
+    }
+    verdict.justification = why.str();
     verdicts.push_back(std::move(verdict));
   }
   return verdicts;

@@ -65,6 +65,8 @@ struct HistoryRecord {
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double ci = 0.0;   // 95% CI half-width of the mean (0 = unknown)
+  double ess = 0.0;  // autocorrelation-corrected effective sample size
   int repeats = 0;
   double simTimestamp = 0.0;  // cumulative simulated seconds at append
 };
@@ -80,6 +82,12 @@ struct FomAggregate {
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Statistical view of the per-repeat samples (rebench::infer): 95%
+  /// CI half-width of the mean (0 when a single repeat leaves it
+  /// undefined), effective sample size and lag-1 autocorrelation.
+  double ciHalfwidth = 0.0;
+  double ess = 0.0;
+  double autocorr = 0.0;
   int repeats = 0;
 };
 std::vector<FomAggregate> aggregateFoms(std::span<const TestRunResult> results);
@@ -160,11 +168,25 @@ struct GateResult {
   double delta = 0.0;      // (latest - baseline) / baseline
   bool regression = false;
   bool insufficient = false;  // < 2 records: nothing to compare
+
+  // Statistical justification (rebench::infer): a threshold-sized drop
+  // only regresses when it is also *significant* — the latest mean
+  // falls below the baseline minus the baseline window's own 95% CI
+  // half-width — so same-variance wobble stays clean.
+  double baselineCi = 0.0;  // CI half-width of the baseline window mean
+  double latestCi = 0.0;    // latest record's own CI half-width
+  double latestEss = 0.0;   // latest record's effective sample size
+  bool significant = false;
+  bool changepoint = false;  // EDM flags a down-shift over the series
+  std::size_t changepointIndex = 0;  // series index; valid when changepoint
+  std::string justification;  // deterministic human-readable reason
 };
 
 /// Gates every series in `records`: the newest record against the
 /// rolling mean of its predecessors.  Higher FOM = better (rates);
-/// a relative drop beyond `threshold` is a regression.
+/// a relative drop beyond `threshold` that is also statistically
+/// significant (see GateResult) is a regression.  An EDM changepoint
+/// scan over the series means justifies series-level regime shifts.
 std::vector<GateResult> checkRegression(std::span<const HistoryRecord> records,
                                         const GateOptions& options);
 

@@ -1,0 +1,80 @@
+#include "core/infer/changepoint_edm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rebench::infer {
+
+namespace {
+
+/// Median absolute deviation about the series median, scaled by 1.4826
+/// to be consistent with the standard deviation under normal noise.
+double madScale(std::span<const double> values, double median) {
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - median));
+  return 1.4826 * medianOf(deviations);
+}
+
+void segment(std::span<const double> values, std::size_t offset,
+             const EdmOptions& options, std::vector<EdmChangepoint>* out) {
+  const std::size_t n = values.size();
+  if (n < 2 * options.minSegment) return;
+
+  const double seriesMedian = medianOf(values);
+  double scale = madScale(values, seriesMedian);
+  // A constant (or near-constant) segment has zero MAD; fall back to a
+  // tiny relative scale so an exact-zero shift still reports stat 0
+  // while a real step in a noiseless series scores astronomically.
+  if (scale <= 0.0) {
+    scale = std::fabs(seriesMedian) > 0.0 ? 1e-9 * std::fabs(seriesMedian)
+                                          : 1e-12;
+  }
+
+  std::size_t bestSplit = 0;
+  double bestStat = 0.0;
+  double bestBefore = 0.0;
+  double bestAfter = 0.0;
+  for (std::size_t t = options.minSegment; t + options.minSegment <= n; ++t) {
+    const double left = medianOf(values.subspan(0, t));
+    const double right = medianOf(values.subspan(t));
+    const double weight =
+        static_cast<double>(t) * static_cast<double>(n - t) /
+        static_cast<double>(n);
+    const double stat = weight * std::fabs(right - left) / scale;
+    if (stat > bestStat) {
+      bestStat = stat;
+      bestSplit = t;
+      bestBefore = left;
+      bestAfter = right;
+    }
+  }
+  if (bestSplit == 0 || bestStat < options.threshold) return;
+  const double floor =
+      options.relFloor * std::max(std::fabs(bestBefore), 1e-300);
+  if (std::fabs(bestAfter - bestBefore) < floor) return;
+
+  segment(values.subspan(0, bestSplit), offset, options, out);
+  out->push_back({offset + bestSplit, bestBefore, bestAfter, bestStat});
+  segment(values.subspan(bestSplit), offset + bestSplit, options, out);
+}
+
+}  // namespace
+
+double medianOf(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+std::vector<EdmChangepoint> detectChangepointsEdm(
+    std::span<const double> values, const EdmOptions& options) {
+  std::vector<EdmChangepoint> flags;
+  segment(values, 0, options, &flags);
+  return flags;
+}
+
+}  // namespace rebench::infer

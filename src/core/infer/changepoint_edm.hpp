@@ -1,0 +1,46 @@
+// E-divisive-with-medians (EDM) changepoint detection (rebench::infer).
+//
+// pilot-bench's detect_changepoint_edm: a robust alternative to the
+// sliding-window mean-shift scan in history/changepoint.  EDM splits a
+// series at the point that maximizes a scaled between-segment median
+// distance, normalized by a robust (MAD-based) scale estimate, then
+// recurses on both sides (binary segmentation).  Medians make it blind
+// to the occasional outlier repeat that wrecks mean-based tests, and
+// the scaled statistic
+//
+//   stat(t) = (t * (n - t) / n) * |median(left) - median(right)| / scale
+//
+// peaks at a genuine regime boundary rather than at the series edges.
+// A split is accepted only when the statistic clears `threshold` AND
+// the raw median shift clears a relative floor, so flat-but-noisy
+// series yield no changepoints.  Deterministic: no permutation test —
+// plain arithmetic in input order, same series, same flags.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rebench::infer {
+
+struct EdmOptions {
+  std::size_t minSegment = 3;  // min points on each side of a split
+  double threshold = 2.0;      // min scaled statistic to accept a split
+  double relFloor = 0.02;      // min |shift| as a fraction of |medianBefore|
+};
+
+struct EdmChangepoint {
+  std::size_t index = 0;  // first point of the new regime
+  double medianBefore = 0.0;
+  double medianAfter = 0.0;
+  double statistic = 0.0;  // scaled EDM statistic at the split
+};
+
+/// All accepted changepoints, ascending by index.
+std::vector<EdmChangepoint> detectChangepointsEdm(
+    std::span<const double> values, const EdmOptions& options = {});
+
+/// Median of `values` (empty input reports 0).  Exposed for tests.
+double medianOf(std::span<const double> values);
+
+}  // namespace rebench::infer

@@ -1,0 +1,94 @@
+// Adaptive run-length controller (rebench::infer) — pilot-bench's core
+// idea as a campaign driver.
+//
+// Instead of a fixed `--repeats N`, the controller samples each
+// (test, target) pair in rounds until every FOM mean's 95% confidence
+// interval (autocorrelation-corrected, see estimator.hpp) is within the
+// requested relative half-width, or the repeat budget runs out:
+//
+//   round 0:  every pair runs repeats [0, minRepeats)
+//   round k:  each unconverged pair runs a window [n, n') where n' is
+//             the projected sample count to reach the target CI,
+//             clamped to at most double per round and to maxRepeats
+//
+// Each round is one Pipeline::runWindows call, so the parallel
+// executor's guarantees hold: within a round output is canonical and
+// byte-identical at every --jobs width, and because the next round's
+// windows are a pure function of the accumulated FOM samples — which
+// are themselves pure functions of (test, target, repeatIndex) under
+// the sim's seeded noise — the whole adaptive schedule is deterministic
+// and jobs-invariant.  Perflog order is round-major (canonical within
+// each round), timestamps stay monotone via the pipeline's logical
+// clock, and the returned results are re-assembled in canonical
+// (target, test, repeat) order so manifests number repeats exactly as a
+// fixed-repeat campaign would.
+//
+// After the loop the controller appends one `result=summary` perflog
+// row per (test, target, fom) carrying mean/CI/ESS/autocorrelation,
+// emits one `infer.controller` span per decision (trace_lint contract:
+// test, target, fom, repeats, ess, ci_halfwidth) and sets
+// `infer.ci_halfwidth/...` / `infer.ess/...` gauges plus `infer.*`
+// counters on the pipeline's metrics registry.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/infer/estimator.hpp"
+
+namespace rebench {
+class Pipeline;
+class PerfLog;
+class RunJournal;
+struct CampaignReport;
+struct RegressionTest;
+struct TestRunResult;
+}  // namespace rebench
+
+namespace rebench::infer {
+
+struct InferenceOptions {
+  /// Requested relative CI half-width (e.g. 0.05 = ±5% of the mean).
+  /// <= 0 disables adaptive control entirely.
+  double ciHalfwidth = 0.0;
+  int minRepeats = 3;
+  int maxRepeats = 64;
+
+  bool active() const { return ciHalfwidth > 0.0; }
+};
+
+/// Outcome of the controller for one (test, target, fom) series.
+struct FomDecision {
+  std::string test;
+  std::string target;  // "system:partition"
+  std::string fom;
+  SeriesEstimate estimate;
+  int rounds = 0;          // rounds the pair participated in
+  bool converged = false;  // CI met within the budget, no drift
+};
+
+struct ControllerReport {
+  std::vector<FomDecision> decisions;  // canonical (target, test, fom) order
+  int rounds = 0;
+  std::size_t totalRuns = 0;  // results produced across all rounds
+};
+
+/// Runs the adaptive campaign described above.  Results come back in
+/// canonical (target, test, repeat) order; `controller` (nullable)
+/// receives the per-series decisions.  `report` accumulates executor
+/// accounting across rounds.
+std::vector<TestRunResult> runAdaptive(
+    Pipeline& pipeline, std::span<const RegressionTest> tests,
+    std::span<const std::string> targets, const InferenceOptions& options,
+    PerfLog* perflog = nullptr, RunJournal* journal = nullptr,
+    CampaignReport* report = nullptr, ControllerReport* controller = nullptr);
+
+/// The window-growth rule, exposed for unit tests: given the worst
+/// series estimate over a pair and the target relative half-width,
+/// returns how many additional repeats to schedule next round (>= 1,
+/// at most doubling the `executed` count).
+int nextWindowGrowth(const SeriesEstimate& worst, double targetRelHalfwidth,
+                     int executed);
+
+}  // namespace rebench::infer

@@ -1,0 +1,108 @@
+#include "core/infer/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace rebench::infer {
+
+namespace {
+
+// t(0.975, df) for df = 1..30; beyond that the normal quantile is
+// within 0.3% and we use 1.96.
+constexpr double kT975[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+double meanOf(std::span<const double> xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+/// Biased (1/n) lag-k autocovariance about `mean` — the standard
+/// spectral estimator; the bias keeps the Geyer sum stable.
+double autocovariance(std::span<const double> xs, double mean,
+                      std::size_t lag) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    sum += (xs[i] - mean) * (xs[i + lag] - mean);
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double tQuantile975(int df) {
+  if (df <= 0) df = 1;
+  if (df <= 30) return kT975[df - 1];
+  return 1.96;
+}
+
+SeriesEstimate estimateSeries(std::span<const double> samples) {
+  SeriesEstimate est;
+  est.n = static_cast<int>(samples.size());
+  if (est.n == 0) {
+    est.ciHalfwidth = HUGE_VAL;
+    est.ciRelative = HUGE_VAL;
+    return est;
+  }
+  est.mean = meanOf(samples);
+  if (est.n < 2) {
+    est.ess = 1.0;
+    est.ciHalfwidth = HUGE_VAL;
+    est.ciRelative = HUGE_VAL;
+    return est;
+  }
+
+  double ss = 0.0;
+  for (double x : samples) ss += (x - est.mean) * (x - est.mean);
+  est.stddev = std::sqrt(ss / static_cast<double>(est.n - 1));
+
+  // Geyer initial-positive-sequence ESS: act = 1 + 2*sum(rho_k) while
+  // rho_k stays positive, truncated at lag n/2.  Too-short series carry
+  // no usable autocorrelation signal, so n < 4 keeps ess = n.
+  est.ess = static_cast<double>(est.n);
+  const double gamma0 = ss / static_cast<double>(est.n);
+  if (est.n >= 4 && gamma0 > 0.0) {
+    double act = 1.0;
+    for (std::size_t lag = 1; lag <= samples.size() / 2; ++lag) {
+      const double rho = autocovariance(samples, est.mean, lag) / gamma0;
+      if (lag == 1) est.autocorr = rho;
+      if (rho <= 0.0) break;
+      act += 2.0 * rho;
+    }
+    est.ess = std::clamp(static_cast<double>(est.n) / act, 1.0,
+                         static_cast<double>(est.n));
+  }
+
+  const int df = std::max(1, static_cast<int>(est.ess) - 1);
+  est.ciHalfwidth = tQuantile975(df) * est.stddev / std::sqrt(est.ess);
+  est.ciRelative = est.mean != 0.0 ? est.ciHalfwidth / std::fabs(est.mean)
+                                   : (est.ciHalfwidth == 0.0 ? 0.0 : HUGE_VAL);
+
+  // Half-split drift guard: warmup trends shrink within-half variance
+  // while the halves' means diverge, which a plain CI cannot see.
+  if (est.n >= 6) {
+    const std::size_t half = samples.size() / 2;
+    const auto first = samples.subspan(0, half);
+    const auto second = samples.subspan(half);
+    const double m1 = meanOf(first);
+    const double m2 = meanOf(second);
+    double v1 = 0.0;
+    for (double x : first) v1 += (x - m1) * (x - m1);
+    v1 /= static_cast<double>(first.size() - 1);
+    double v2 = 0.0;
+    for (double x : second) v2 += (x - m2) * (x - m2);
+    v2 /= static_cast<double>(second.size() - 1);
+    const double se = std::sqrt(v1 / static_cast<double>(first.size()) +
+                                v2 / static_cast<double>(second.size()));
+    est.drift = std::fabs(m1 - m2) > 3.0 * se && se > 0.0
+                    ? true
+                    : (se == 0.0 && m1 != m2);
+  }
+  return est;
+}
+
+}  // namespace rebench::infer

@@ -1,0 +1,52 @@
+// Statistical estimators for FOM sample series (rebench::infer).
+//
+// The adaptive run-length controller and the history regression gate
+// both need an honest answer to "how well do we know this mean?".  A
+// naive s/sqrt(n) confidence interval is wrong twice over for benchmark
+// repeats: consecutive repeats can be autocorrelated (warm caches,
+// shared daemons), and early repeats can drift while the system warms
+// up.  `estimateSeries` therefore reports, from plain arithmetic over
+// the sample order:
+//
+//   * mean and sample standard deviation (n-1 denominator),
+//   * lag-k autocovariance folded into an effective sample size (ESS)
+//     via Geyer's initial-positive-sequence rule — the integrated
+//     autocorrelation time is 1 + 2*sum(rho_k) truncated at the first
+//     non-positive rho_k (and at lag n/2),
+//   * a 95% CI half-width t(0.975, ess-1) * s / sqrt(ess) using the
+//     ESS instead of n, so correlated samples don't fake convergence,
+//   * a half-split drift guard: the means of the first and second half
+//     must agree within 3 combined standard errors, otherwise warmup
+//     drift is still underway and the series must not be declared
+//     converged regardless of its CI.
+//
+// Everything is deterministic in the input order — no RNG, no wall
+// clock — which is what lets the controller produce byte-identical
+// perflogs at every --jobs width.
+#pragma once
+
+#include <span>
+
+namespace rebench::infer {
+
+struct SeriesEstimate {
+  int n = 0;                 // raw sample count
+  double mean = 0.0;
+  double stddev = 0.0;       // sample stddev (n-1); 0 when n < 2
+  double autocorr = 0.0;     // lag-1 autocorrelation estimate (0 when n < 4)
+  double ess = 0.0;          // effective sample size, clamped to [1, n]
+  double ciHalfwidth = 0.0;  // absolute 95% half-width (HUGE_VAL when n < 2)
+  double ciRelative = 0.0;   // ciHalfwidth / |mean| (HUGE_VAL when mean == 0)
+  bool drift = false;        // half-split means disagree beyond noise
+};
+
+/// Estimates the series statistics described above.  Empty input yields
+/// the zero-initialized struct with an infinite CI.
+SeriesEstimate estimateSeries(std::span<const double> samples);
+
+/// Two-sided 97.5% Student-t quantile (the 95% CI multiplier) for `df`
+/// degrees of freedom; df <= 0 is treated as 1 and df > 30 decays to
+/// the normal quantile 1.96.
+double tQuantile975(int df);
+
+}  // namespace rebench::infer

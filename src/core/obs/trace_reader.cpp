@@ -305,6 +305,29 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
         issues.push_back("store.runcache span '" + span.id +
                          "' has invalid outcome '" + outcome->second + "'");
       }
+    } else if (span.name == "infer.controller" ||
+               span.name == "infer.changepoint") {
+      // Inference spans carry the statistical evidence behind a
+      // run-length decision (controller) or a gate verdict
+      // (changepoint): the series identity plus the estimator outputs.
+      for (const char* required :
+           {"test", "target", "fom", "repeats", "ess", "ci_halfwidth"}) {
+        if (span.attrs.find(required) == span.attrs.end()) {
+          issues.push_back(span.name + " span '" + span.id + "' without a '" +
+                           required + "' attribute");
+        }
+      }
+      if (const auto repeats = span.attrs.find("repeats");
+          repeats != span.attrs.end()) {
+        const std::string& text = repeats->second;
+        const bool numeric =
+            !text.empty() &&
+            text.find_first_not_of("0123456789") == std::string::npos;
+        if (!numeric) {
+          issues.push_back(span.name + " span '" + span.id +
+                           "' has non-numeric repeats '" + text + "'");
+        }
+      }
     }
   }
 

@@ -36,6 +36,8 @@ std::string renderExecuted(const std::string& submission,
         << ",\"mean\":" << formatExact(agg.mean)
         << ",\"min\":" << formatExact(agg.min)
         << ",\"max\":" << formatExact(agg.max)
+        << ",\"ci\":" << formatExact(agg.ci)
+        << ",\"ess\":" << formatExact(agg.ess)
         << ",\"repeats\":" << agg.repeats << "}";
   }
   out << "],\"failedStage\":" << quote(record.failedStage)
@@ -61,6 +63,8 @@ ExecutedRecord parseExecuted(const obs::json::Value& value) {
       agg.mean = item.numberOr("mean", 0.0);
       agg.min = item.numberOr("min", 0.0);
       agg.max = item.numberOr("max", 0.0);
+      agg.ci = item.numberOr("ci", 0.0);
+      agg.ess = item.numberOr("ess", 0.0);
       agg.repeats = static_cast<int>(item.numberOr("repeats", 0));
       record.aggregates.push_back(std::move(agg));
     }

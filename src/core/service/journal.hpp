@@ -45,6 +45,8 @@ struct AggregateRecord {
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double ci = 0.0;   // 95% CI half-width of the mean (rebench::infer)
+  double ess = 0.0;  // effective sample size
   int repeats = 0;
 };
 

@@ -5,9 +5,12 @@
 
 #include "core/concretizer/concretizer.hpp"
 #include "core/fault/fault.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/obs/trace.hpp"
 #include "core/store/build_cache.hpp"
 #include "core/store/object_store.hpp"
 #include "core/util/hash.hpp"
+#include "core/util/strings.hpp"
 
 namespace rebench::service {
 
@@ -34,6 +37,35 @@ PipelineOptions pipelineOptionsFor(const store::CampaignInvocation& inv) {
   }
   if (inv.lanes > 0) options.profileLanes = inv.lanes;
   return options;
+}
+
+infer::InferenceOptions inferenceOptionsFor(
+    const store::CampaignInvocation& inv) {
+  infer::InferenceOptions options;
+  options.ciHalfwidth = inv.ciHalfwidth > 0.0 ? inv.ciHalfwidth : 0.0;
+  if (inv.minRepeats > 0) options.minRepeats = inv.minRepeats;
+  if (inv.maxRepeats > 0) options.maxRepeats = inv.maxRepeats;
+  return options;
+}
+
+CampaignExecution executeCampaign(Pipeline& pipeline,
+                                  std::span<const RegressionTest> tests,
+                                  std::span<const std::string> targets,
+                                  const store::CampaignInvocation& inv,
+                                  PerfLog* perflog, RunJournal* journal,
+                                  CampaignReport* report) {
+  CampaignExecution execution;
+  const infer::InferenceOptions inference = inferenceOptionsFor(inv);
+  if (inference.active()) {
+    execution.adaptive = true;
+    execution.results =
+        infer::runAdaptive(pipeline, tests, targets, inference, perflog,
+                           journal, report, &execution.inference);
+  } else {
+    execution.results =
+        pipeline.runAll(tests, targets, perflog, journal, report);
+  }
+  return execution;
 }
 
 std::string perflogBytes(const PerfLog& perflog) {
@@ -84,6 +116,18 @@ ManifestWrite writeCampaignManifest(store::ObjectStore& store,
     const std::string pair =
         result.testName + "@" + result.system + ":" + result.partition;
     manifest.runs.push_back(runManifestFor(result, repeatsSeen[pair]++));
+  }
+  for (const history::FomAggregate& fom : history::aggregateFoms(results)) {
+    store::FomManifest record;
+    record.test = fom.test;
+    record.target = fom.target;
+    record.fom = fom.fom;
+    record.mean = fom.mean;
+    record.ciHalfwidth = fom.ciHalfwidth;
+    record.ess = fom.ess;
+    record.autocorr = fom.autocorr;
+    record.repeats = fom.repeats;
+    manifest.foms.push_back(std::move(record));
   }
   auto addArtifact = [&](const std::string& name, const std::string& bytes) {
     store::ArtifactRecord record;
@@ -142,6 +186,8 @@ ExecutedRecord summarizeCampaignOutcome(
     agg.mean = fom.mean;
     agg.min = fom.min;
     agg.max = fom.max;
+    agg.ci = fom.ciHalfwidth;
+    agg.ess = fom.ess;
     agg.repeats = fom.repeats;
     outcome.aggregates.push_back(std::move(agg));
   }
@@ -176,6 +222,8 @@ HistoryAppendResult appendCampaignHistory(store::ObjectStore& store,
     record.mean = agg.mean;
     record.min = agg.min;
     record.max = agg.max;
+    record.ci = agg.ci;
+    record.ess = agg.ess;
     record.repeats = agg.repeats;
     record.simTimestamp = outcome.simSeconds;
     records.push_back(std::move(record));
@@ -188,17 +236,38 @@ HistoryAppendResult appendCampaignHistory(store::ObjectStore& store,
 
 std::vector<history::GateResult> gateCampaign(
     store::ObjectStore& store, const ExecutedRecord& outcome,
-    const history::GateOptions& options) {
+    const history::GateOptions& options, obs::Tracer* tracer,
+    obs::MetricsRegistry* metrics) {
   history::HistoryIndex index(store);
   const std::vector<history::HistoryRecord> all = index.readAll();
   std::vector<history::GateResult> touched;
   for (const history::GateResult& gate :
        history::checkRegression(all, options)) {
     for (const AggregateRecord& agg : outcome.aggregates) {
-      if (gate.series == agg.test + "|" + agg.target + "|" + agg.fom) {
-        touched.push_back(gate);
-        break;
+      if (gate.series != agg.test + "|" + agg.target + "|" + agg.fom) {
+        continue;
       }
+      if (tracer != nullptr) {
+        tracer->beginSpan("infer.changepoint");
+        tracer->setAttr("test", agg.test);
+        tracer->setAttr("target", agg.target);
+        tracer->setAttr("fom", agg.fom);
+        tracer->setAttr("repeats", std::to_string(agg.repeats));
+        tracer->setAttr("ess", str::fixed(gate.latestEss, 3));
+        tracer->setAttr("ci_halfwidth", str::fixed(gate.latestCi, 6));
+        tracer->setAttr("baseline_ci", str::fixed(gate.baselineCi, 6));
+        tracer->setAttr("regression", gate.regression ? "true" : "false");
+        tracer->setAttr("significant", gate.significant ? "true" : "false");
+        tracer->setAttr("changepoint", gate.changepoint ? "true" : "false");
+        tracer->endSpan();
+      }
+      if (metrics != nullptr) {
+        metrics->counter("infer.gated_series").inc();
+        if (gate.regression) metrics->counter("infer.regressions").inc();
+        if (gate.changepoint) metrics->counter("infer.changepoints").inc();
+      }
+      touched.push_back(gate);
+      break;
     }
   }
   return touched;

@@ -16,6 +16,7 @@
 
 #include "core/framework/pipeline.hpp"
 #include "core/history/history.hpp"
+#include "core/infer/controller.hpp"
 #include "core/service/journal.hpp"
 #include "core/store/manifest.hpp"
 
@@ -30,6 +31,30 @@ namespace rebench::service {
 /// queued submission resolves to exactly the options the original flags
 /// did.
 PipelineOptions pipelineOptionsFor(const store::CampaignInvocation& inv);
+
+/// The invocation's adaptive run-length settings (--ci-halfwidth /
+/// --min-repeats / --max-repeats); inactive (ciHalfwidth 0) when the
+/// invocation asked for fixed repeats.
+infer::InferenceOptions inferenceOptionsFor(const store::CampaignInvocation& inv);
+
+/// One campaign execution, fixed-repeat or adaptive.
+struct CampaignExecution {
+  std::vector<TestRunResult> results;
+  infer::ControllerReport inference;  // empty unless adaptive
+  bool adaptive = false;
+};
+
+/// Dispatches the campaign: adaptive invocations run the rebench::infer
+/// controller (sample-until-converged, summary perflog rows,
+/// infer.controller spans), fixed-repeat ones run Pipeline::runAll.
+/// The CLI suite/replay tails and the serve daemon all execute through
+/// here so their bytes agree.
+CampaignExecution executeCampaign(Pipeline& pipeline,
+                                  std::span<const RegressionTest> tests,
+                                  std::span<const std::string> targets,
+                                  const store::CampaignInvocation& inv,
+                                  PerfLog* perflog, RunJournal* journal,
+                                  CampaignReport* report);
 
 /// Serializes perflog lines to the byte stream a manifest hashes.
 std::string perflogBytes(const PerfLog& perflog);
@@ -82,14 +107,18 @@ HistoryAppendResult appendCampaignHistory(store::ObjectStore& store,
                                           const SystemRegistry& systems,
                                           bool skipIfCited);
 
-/// Runs the PR-6 regression gate over the series this campaign touched:
-/// reads the full history and checks each (test, target, fom) series the
-/// outcome's aggregates name.  Returns the per-series results (only for
-/// touched series).  Throws rebench::Error when the history is
-/// unreadable.
-std::vector<history::GateResult> gateCampaign(store::ObjectStore& store,
-                                              const ExecutedRecord& outcome,
-                                              const history::GateOptions& options);
+/// Runs the statistically-grounded regression gate over the series this
+/// campaign touched: reads the full history and checks each (test,
+/// target, fom) series the outcome's aggregates name.  Returns the
+/// per-series results (only for touched series).  With a tracer
+/// attached, one `infer.changepoint` span per gated series carries the
+/// decision evidence (test/target/fom/repeats/ess/ci_halfwidth — the
+/// trace_lint contract — plus regression/changepoint flags).  Throws
+/// rebench::Error when the history is unreadable.
+std::vector<history::GateResult> gateCampaign(
+    store::ObjectStore& store, const ExecutedRecord& outcome,
+    const history::GateOptions& options, obs::Tracer* tracer = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// The run-memoization key: hash(invocation bytes + environment
 /// fingerprint + system/partition configuration + concretized spec DAG

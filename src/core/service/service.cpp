@@ -221,8 +221,9 @@ void processSubmission(const RunContextState& ctx,
     PerfLog perflog;
     const std::vector<std::string> targets{inv.system};
     CampaignReport campaignReport;
-    const std::vector<TestRunResult> results =
-        pipeline.runAll(tests, targets, &perflog, nullptr, &campaignReport);
+    const CampaignExecution execution = executeCampaign(
+        pipeline, tests, targets, inv, &perflog, nullptr, &campaignReport);
+    const std::vector<TestRunResult>& results = execution.results;
     ++ctx.report.executed;
     for (const TestRunResult& result : results) {
       if (result.failure.detail.rfind("watchdog:", 0) == 0) {
@@ -281,7 +282,8 @@ void processSubmission(const RunContextState& ctx,
       appendCampaignHistory(ctx.store, outcome, systems,
                             /*skipIfCited=*/true);
       for (const history::GateResult& gate :
-           gateCampaign(ctx.store, outcome, history::GateOptions{})) {
+           gateCampaign(ctx.store, outcome, history::GateOptions{},
+                        ctx.options.tracer, ctx.options.metrics)) {
         if (gate.regression) ++regressions;
       }
       verdict.verdict = regressions > 0 ? "ran:regressed" : "ran:clean";

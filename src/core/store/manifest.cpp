@@ -38,6 +38,9 @@ std::string renderInvocation(const CampaignInvocation& inv) {
       << ",\"quarantineAfter\":" << inv.quarantineAfter
       << ",\"stageTimeout\":" << str::fixed(inv.stageTimeout, 6)
       << ",\"lanes\":" << inv.lanes
+      << ",\"ciHalfwidth\":" << str::fixed(inv.ciHalfwidth, 6)
+      << ",\"minRepeats\":" << inv.minRepeats
+      << ",\"maxRepeats\":" << inv.maxRepeats
       << ",\"withStore\":" << (inv.withStore ? "true" : "false")
       << ",\"cache\":" << (inv.cache ? "true" : "false") << "}";
   return out.str();
@@ -70,6 +73,9 @@ CampaignInvocation parseInvocation(const obs::json::Value& value) {
       static_cast<int>(value.numberOr("quarantineAfter", -1));
   inv.stageTimeout = value.numberOr("stageTimeout", -1.0);
   inv.lanes = static_cast<int>(value.numberOr("lanes", -1));
+  inv.ciHalfwidth = value.numberOr("ciHalfwidth", -1.0);
+  inv.minRepeats = static_cast<int>(value.numberOr("minRepeats", -1));
+  inv.maxRepeats = static_cast<int>(value.numberOr("maxRepeats", -1));
   inv.withStore =
       value.contains("withStore") && value.at("withStore").boolean;
   inv.cache = !value.contains("cache") || value.at("cache").boolean;
@@ -133,6 +139,18 @@ std::string CampaignManifest::render() const {
     if (i > 0) out << ",";
     out << renderRun(runs[i]);
   }
+  out << "],\"foms\":[";
+  for (std::size_t i = 0; i < foms.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"test\":" << quote(foms[i].test)
+        << ",\"target\":" << quote(foms[i].target)
+        << ",\"fom\":" << quote(foms[i].fom)
+        << ",\"mean\":" << str::fixed(foms[i].mean, 6)
+        << ",\"ci\":" << str::fixed(foms[i].ciHalfwidth, 6)
+        << ",\"ess\":" << str::fixed(foms[i].ess, 3)
+        << ",\"autocorr\":" << str::fixed(foms[i].autocorr, 6)
+        << ",\"repeats\":" << foms[i].repeats << "}";
+  }
   out << "],\"artifacts\":[";
   for (std::size_t i = 0; i < artifacts.size(); ++i) {
     if (i > 0) out << ",";
@@ -160,6 +178,20 @@ CampaignManifest CampaignManifest::parse(const std::string& text) {
   if (value.contains("runs")) {
     for (const obs::json::Value& run : value.at("runs").array) {
       manifest.runs.push_back(parseRun(run));
+    }
+  }
+  if (value.contains("foms")) {
+    for (const obs::json::Value& fom : value.at("foms").array) {
+      FomManifest record;
+      record.test = fom.stringOr("test", "");
+      record.target = fom.stringOr("target", "");
+      record.fom = fom.stringOr("fom", "");
+      record.mean = fom.numberOr("mean", 0);
+      record.ciHalfwidth = fom.numberOr("ci", 0);
+      record.ess = fom.numberOr("ess", 0);
+      record.autocorr = fom.numberOr("autocorr", 0);
+      record.repeats = static_cast<int>(fom.numberOr("repeats", 0));
+      manifest.foms.push_back(std::move(record));
     }
   }
   if (value.contains("artifacts")) {

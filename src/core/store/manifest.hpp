@@ -61,6 +61,15 @@ struct CampaignInvocation {
   /// shapes trace bytes, which replay must reproduce exactly.
   int lanes = -1;
 
+  /// Adaptive run-length control (rebench::infer, --ci-halfwidth /
+  /// --min-repeats / --max-repeats); ciHalfwidth <= 0 = fixed repeats.
+  /// Recorded so replay re-runs the same adaptive schedule and the run
+  /// memoization key (which hashes the rendered invocation) separates
+  /// adaptive from fixed-repeat campaigns.
+  double ciHalfwidth = -1.0;
+  int minRepeats = -1;
+  int maxRepeats = -1;
+
   // store configuration: whether a --store was attached and whether
   // build caching was enabled (--no-cache clears it).  Replay uses these
   // to reproduce the same store.* observability with a fresh store.
@@ -101,10 +110,25 @@ struct ArtifactRecord {
   std::uint64_t bytes = 0;
 };
 
+/// Statistical summary of one (test, target, fom) series across the
+/// campaign's repeats (rebench::infer estimators) — the manifest view
+/// of what the history index records.
+struct FomManifest {
+  std::string test;
+  std::string target;
+  std::string fom;
+  double mean = 0.0;
+  double ciHalfwidth = 0.0;  // 95%, autocorrelation-corrected
+  double ess = 0.0;
+  double autocorr = 0.0;
+  int repeats = 0;
+};
+
 struct CampaignManifest {
   std::string schema = std::string(kManifestSchema);
   CampaignInvocation invocation;
   std::vector<RunManifest> runs;
+  std::vector<FomManifest> foms;  // canonical (test, target, fom) order
   std::vector<ArtifactRecord> artifacts;
 
   /// Deterministic JSON rendering (stable key order).

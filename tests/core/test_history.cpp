@@ -266,6 +266,41 @@ TEST(ChangepointTest, RollingStatsAndSparkline) {
   EXPECT_TRUE(sparkline({}).empty());
 }
 
+TEST(ChangepointTest, SeriesShorterThanTwoWindowsYieldsNoFlags) {
+  // A boundary needs a full `window` on each side, so anything shorter
+  // than 2*window has no candidate boundary at all — even with a clear
+  // regime shift inside it.
+  const ChangepointOptions options;  // window = 3
+  EXPECT_TRUE(detectChangepoints({}, options).empty());
+  EXPECT_TRUE(
+      detectChangepoints(std::vector<double>{100.0}, options).empty());
+  EXPECT_TRUE(
+      detectChangepoints(std::vector<double>(5, 100.0), options).empty());
+  EXPECT_TRUE(detectChangepoints(
+                  std::vector<double>{100.0, 100.0, 50.0, 50.0, 50.0},
+                  options)
+                  .empty());
+}
+
+TEST(ChangepointTest, ConstantSeriesNeverFlags) {
+  // Identical values at any length: zero shift, zero stddev — the
+  // detector must not divide by the zero noise floor or flag anything.
+  for (const std::size_t n : {6u, 7u, 16u, 64u}) {
+    EXPECT_TRUE(
+        detectChangepoints(std::vector<double>(n, 42.0), {}).empty());
+  }
+}
+
+TEST(ChangepointTest, SinglePointShiftAtFinalRecordCannotFlag) {
+  // The newest record dropping alone cannot be flagged: the last full
+  // after-window dilutes the one shifted point to a third of its
+  // magnitude, below the relative threshold.  (That is the regression
+  // gate's job — see HistoryGateTest — not the changepoint scan's.)
+  std::vector<double> series(12, 100.0);
+  series.back() = 94.0;
+  EXPECT_TRUE(detectChangepoints(series, {}).empty());
+}
+
 TEST(HistoryRenderTest, TextViewShowsTrendTableAndChangepoints) {
   std::vector<HistoryRecord> records;
   for (int i = 0; i < 12; ++i) {
