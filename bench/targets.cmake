@@ -28,3 +28,4 @@ rebench_add_bench(ablation_parallel.cpp)
 rebench_add_bench(ablation_profile.cpp)
 rebench_add_bench(ablation_history.cpp)
 rebench_add_bench(ablation_infer.cpp)
+rebench_add_bench(ablation_dataframe.cpp)

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <vector>
@@ -131,8 +132,11 @@ int usage() {
       "  audit --perflog F [--strict]     Bailey/Hoefler-Belli hygiene audit\n"
       "        [--manifest M]               (--manifest also flags results\n"
       "                                     from stale artifacts)\n"
-      "  report --perflog F [--fom NAME]  tabulate/plot perflog contents\n"
-      "         [--stats] [--plot]\n"
+      "  report --perflog F [--fom NAME]  tabulate/plot perflog contents;\n"
+      "         [--stats] [--plot]           --frame-cache keeps a verified\n"
+      "         [--frame-cache DIR]          columnar copy of the perflog\n"
+      "                                     (content-hash keyed; reused\n"
+      "                                     until the file changes)\n"
       "  history [<test> [<target>]]      longitudinal FOM history from a\n"
       "          --store DIR [--json]       campaign store: per-(test,\n"
       "          [--window N] [--check]     target, fom) trend tables with\n"
@@ -151,8 +155,10 @@ int usage() {
       "                                     records)\n"
       "  history --perflog F [--detect]   legacy perflog history +\n"
       "          [--window N] [--sigmas X]  regression detection\n"
+      "          [--frame-cache DIR]\n"
       "  compare --before A --after B     before/after perflog comparison\n"
       "          [--threshold 0.05]         (CI gate: exit 1 on regression)\n"
+      "          [--frame-cache DIR]\n"
       "  submit --queue DIR ...           enqueue a run/suite invocation\n"
       "                                     for `serve` (same flags as\n"
       "                                     run/suite; atomic + idempotent\n"
@@ -421,6 +427,16 @@ std::optional<std::string> runLengthFlagError(const Args& args) {
   const int maxRepeats = args.intOptionOr("max-repeats", -1);
   if (minRepeats > 0 && maxRepeats > 0 && maxRepeats < minRepeats) {
     return std::string("--max-repeats must be >= --min-repeats");
+  }
+  return std::nullopt;
+}
+
+/// A valueless `--frame-cache` parses as a flag; reject it explicitly so a
+/// forgotten DIR doesn't silently fall back to parsing the perflog every
+/// invocation.
+std::optional<std::string> frameCacheFlagError(const Args& args) {
+  if (args.hasFlag("frame-cache")) {
+    return std::string("--frame-cache expects a directory");
   }
   return std::nullopt;
 }
@@ -932,7 +948,20 @@ int report(const Args& args) {
     std::cerr << "report: --perflog required\n";
     return 2;
   }
-  DataFrame frame = perflogToDataFrame(PerfLog::readFile(*path));
+  if (const auto error = frameCacheFlagError(args)) {
+    std::cerr << "report: " << *error << "\n";
+    return 2;
+  }
+  DataFrame frame;
+  if (const auto cacheDir = args.option("frame-cache")) {
+    // Columnar cache path: same bytes out, but repeat reads of a large
+    // unchanged perflog skip the parse entirely (content-hash keyed,
+    // verified read — corruption degrades to a re-parse).
+    store::ObjectStore cache(*cacheDir);
+    frame = analysisFrameFromTable(loadOrConvertPerflog(cache, *path).table);
+  } else {
+    frame = perflogToDataFrame(PerfLog::readFile(*path));
+  }
   if (auto fom = args.option("fom")) {
     frame = frame.filterEquals("fom", *fom);
   }
@@ -995,12 +1024,24 @@ int compare(const Args& args) {
     std::cerr << "compare: --before and --after perflogs required\n";
     return 2;
   }
+  if (const auto error = frameCacheFlagError(args)) {
+    std::cerr << "compare: " << *error << "\n";
+    return 2;
+  }
   const double threshold =
       std::stod(args.optionOr("threshold", "0.05"));
 
-  auto collect = [](const std::string& path) {
+  std::optional<store::ObjectStore> frameCache;
+  if (const auto cacheDir = args.option("frame-cache")) {
+    frameCache.emplace(*cacheDir);
+  }
+  auto collect = [&frameCache](const std::string& path) {
+    const std::vector<PerfLogEntry> entries =
+        frameCache
+            ? tableToPerflogEntries(loadOrConvertPerflog(*frameCache, path).table)
+            : PerfLog::readFile(path);
     std::map<std::string, std::vector<double>> series;
-    for (const PerfLogEntry& entry : PerfLog::readFile(path)) {
+    for (const PerfLogEntry& entry : entries) {
       // Adaptive campaigns append result=summary aggregate rows; only
       // the raw per-repeat observations feed the median comparison.
       if (entry.result == "error" || entry.result == "summary") continue;
@@ -1141,9 +1182,20 @@ int history(const Args& args) {
     std::cerr << "history: --store DIR or --perflog F required\n";
     return 2;
   }
+  if (const auto error = frameCacheFlagError(args)) {
+    std::cerr << "history: " << *error << "\n";
+    return 2;
+  }
+  std::vector<PerfLogEntry> all;
+  if (const auto cacheDir = args.option("frame-cache")) {
+    store::ObjectStore cache(*cacheDir);
+    all = tableToPerflogEntries(loadOrConvertPerflog(cache, *path).table);
+  } else {
+    all = PerfLog::readFile(*path);
+  }
   PerfHistory perfHistory;
   std::vector<PerfLogEntry> entries;
-  for (PerfLogEntry& entry : PerfLog::readFile(*path)) {
+  for (PerfLogEntry& entry : all) {
     // result=summary aggregate rows are derived statistics, not
     // longitudinal observations.
     if (entry.result != "summary") entries.push_back(std::move(entry));

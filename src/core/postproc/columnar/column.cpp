@@ -1,0 +1,144 @@
+#include "core/postproc/columnar/column.hpp"
+
+#include <algorithm>
+
+namespace rebench::columnar {
+
+void NullBitmap::append(bool valid) {
+  if (!valid && !tracked_) materialize();
+  if (tracked_) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (valid) words_[size_ >> 6] |= std::uint64_t{1} << (size_ & 63);
+  }
+  if (!valid) ++nullCount_;
+  ++size_;
+}
+
+void NullBitmap::appendRun(std::size_t count, bool valid) {
+  if (valid && !tracked_) {
+    size_ += count;
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) append(valid);
+}
+
+void NullBitmap::materialize() {
+  // Backfill: every row appended so far was valid.  Bits past size_ stay
+  // clear so serialized bitmaps are deterministic.
+  words_.assign((size_ + 63) / 64, ~std::uint64_t{0});
+  if (size_ % 64 != 0) {
+    words_.back() = (std::uint64_t{1} << (size_ % 64)) - 1;
+  }
+  tracked_ = true;
+}
+
+NullBitmap NullBitmap::fromWords(std::vector<std::uint64_t> words,
+                                 std::size_t size) {
+  NullBitmap out;
+  out.words_ = std::move(words);
+  out.size_ = size;
+  out.tracked_ = true;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (out.valid(i)) ++valid;
+  }
+  out.nullCount_ = size - valid;
+  return out;
+}
+
+std::uint32_t Dictionary::encode(std::string_view value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const auto code = static_cast<std::uint32_t>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+std::optional<std::uint32_t> Dictionary::find(std::string_view value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<NumericZone>& DoubleColumn::zones() const {
+  if (!zones_) {
+    auto built = std::make_shared<std::vector<NumericZone>>();
+    built->reserve(values.size() / kChunkRows + 1);
+    for (std::size_t base = 0; base < values.size(); base += kChunkRows) {
+      const std::size_t end = std::min(base + kChunkRows, values.size());
+      NumericZone zone;
+      zone.count = static_cast<std::uint32_t>(end - base);
+      bool any = false;
+      for (std::size_t i = base; i < end; ++i) {
+        if (!validity.valid(i)) {
+          ++zone.nulls;
+          continue;
+        }
+        const double v = values[i];
+        if (!any) {
+          zone.min = zone.max = v;
+          any = true;
+        } else {
+          zone.min = std::min(zone.min, v);
+          zone.max = std::max(zone.max, v);
+        }
+      }
+      built->push_back(zone);
+    }
+    zones_ = std::move(built);
+  }
+  return *zones_;
+}
+
+void DoubleColumn::setZones(std::vector<NumericZone> zones) const {
+  zones_ = std::make_shared<const std::vector<NumericZone>>(std::move(zones));
+}
+
+const std::vector<CodeZone>& StringColumn::zones() const {
+  if (!zones_) {
+    auto built = std::make_shared<std::vector<CodeZone>>();
+    built->reserve(codes.size() / kChunkRows + 1);
+    for (std::size_t base = 0; base < codes.size(); base += kChunkRows) {
+      const std::size_t end = std::min(base + kChunkRows, codes.size());
+      CodeZone zone;
+      zone.count = static_cast<std::uint32_t>(end - base);
+      bool any = false;
+      for (std::size_t i = base; i < end; ++i) {
+        const std::uint32_t c = codes[i];
+        if (c == kNullCode) {
+          ++zone.nulls;
+          continue;
+        }
+        if (!any) {
+          zone.minCode = zone.maxCode = c;
+          any = true;
+        } else {
+          zone.minCode = std::min(zone.minCode, c);
+          zone.maxCode = std::max(zone.maxCode, c);
+        }
+      }
+      built->push_back(zone);
+    }
+    zones_ = std::move(built);
+  }
+  return *zones_;
+}
+
+void StringColumn::setZones(std::vector<CodeZone> zones) const {
+  zones_ = std::make_shared<const std::vector<CodeZone>>(std::move(zones));
+}
+
+const std::vector<std::string>& StringColumn::materialize() const {
+  if (!cache_) {
+    auto built = std::make_shared<std::vector<std::string>>();
+    built->reserve(codes.size());
+    for (const std::uint32_t c : codes) {
+      built->push_back(c == kNullCode ? std::string() : dict->at(c));
+    }
+    cache_ = std::move(built);
+  }
+  return *cache_;
+}
+
+}  // namespace rebench::columnar

@@ -1,0 +1,144 @@
+// Typed column store (rebench::columnar layer 0).
+//
+// The row-oriented DataFrame kept every cell as an owned value —
+// `vector<string>` per string column — which made million-row perflog
+// frames allocation-bound.  The columnar engine stores one contiguous
+// buffer per column instead:
+//
+//   numeric  : contiguous `double` values (+ a null bitmap; null slots
+//              hold NaN so plain kernels need no branches)
+//   string   : dictionary-encoded `uint32_t` codes into an append-only,
+//              first-seen-order dictionary shared across derived frames
+//              (filter/sort/gather copy codes, never strings); the code
+//              0xffffffff is the null sentinel
+//
+// Every column lazily carries per-chunk zone maps (min/max/count over
+// kChunkRows rows) so equality and range predicates can skip chunks whose
+// range excludes the probe — see kernels.hpp.  Zone maps and the string
+// materialization cache are memoized on the column; builders must call
+// invalidate() after appending.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rebench::columnar {
+
+/// Rows per zone-map chunk.  Matches the streaming-merge chunk size so a
+/// converted shard's zones line up with its read granularity.
+inline constexpr std::size_t kChunkRows = 65536;
+
+/// Dictionary code reserved for null string cells.
+inline constexpr std::uint32_t kNullCode =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Validity bitmap: bit i set means row i holds a real value.  An empty
+/// bitmap (size 0) means "all rows valid" — the common perflog case costs
+/// no memory and no branches.
+class NullBitmap {
+ public:
+  void append(bool valid);
+  /// Appends `count` rows of the same validity; O(1) for valid runs on an
+  /// untracked bitmap (the bulk-concat fast path).
+  void appendRun(std::size_t count, bool valid);
+  /// Valid when no bitmap is tracked or the bit is set.
+  bool valid(std::size_t i) const {
+    return !tracked_ || ((words_[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+  std::size_t size() const { return size_; }
+  /// True while every row is valid (no bitmap storage allocated).
+  bool empty() const { return !tracked_; }
+  std::size_t nullCount() const { return nullCount_; }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Rebuilds from raw words (colfile reads).
+  static NullBitmap fromWords(std::vector<std::uint64_t> words,
+                              std::size_t size);
+
+ private:
+  void materialize();  // backfills all-valid words when first null arrives
+
+  bool tracked_ = false;
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::size_t nullCount_ = 0;
+};
+
+/// Per-chunk statistics for a numeric column; min/max ignore null slots.
+struct NumericZone {
+  std::uint32_t count = 0;
+  std::uint32_t nulls = 0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Per-chunk statistics for a dictionary column; min/max over codes.
+struct CodeZone {
+  std::uint32_t count = 0;
+  std::uint32_t nulls = 0;
+  std::uint32_t minCode = 0;
+  std::uint32_t maxCode = 0;
+};
+
+/// Append-only string dictionary; codes are assigned in first-seen order,
+/// which is what keeps group-by / pivot label order identical to the row
+/// engine's first-seen scan.
+class Dictionary {
+ public:
+  std::uint32_t encode(std::string_view value);
+  std::optional<std::uint32_t> find(std::string_view value) const;
+  const std::string& at(std::uint32_t code) const { return values_[code]; }
+  std::size_t size() const { return values_.size(); }
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::map<std::string, std::uint32_t, std::less<>> index_;
+};
+
+struct DoubleColumn {
+  std::vector<double> values;
+  NullBitmap validity;  // empty -> all valid
+
+  std::size_t nullCount() const { return validity.nullCount(); }
+  /// Lazily built, cached zone maps (one per kChunkRows rows).
+  const std::vector<NumericZone>& zones() const;
+  void setZones(std::vector<NumericZone> zones) const;
+  void invalidate() { zones_.reset(); }
+
+ private:
+  mutable std::shared_ptr<const std::vector<NumericZone>> zones_;
+};
+
+struct StringColumn {
+  std::vector<std::uint32_t> codes;
+  std::shared_ptr<Dictionary> dict = std::make_shared<Dictionary>();
+
+  std::size_t nullCount() const { return nullCount_; }
+  void setNullCount(std::size_t n) { nullCount_ = n; }
+
+  const std::vector<CodeZone>& zones() const;
+  void setZones(std::vector<CodeZone> zones) const;
+
+  /// Decoded `vector<string>` view, built on first use and cached — this
+  /// is what keeps `DataFrame::strings()` returning a reference without
+  /// storing row-wise strings on the hot path.  Null cells decode to "".
+  const std::vector<std::string>& materialize() const;
+  void invalidate() {
+    zones_.reset();
+    cache_.reset();
+  }
+
+ private:
+  std::size_t nullCount_ = 0;
+  mutable std::shared_ptr<const std::vector<CodeZone>> zones_;
+  mutable std::shared_ptr<const std::vector<std::string>> cache_;
+};
+
+}  // namespace rebench::columnar

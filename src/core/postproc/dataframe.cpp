@@ -1,12 +1,12 @@
 #include "core/postproc/dataframe.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
-#include <numeric>
+#include <utility>
 
-#include "core/postproc/stats.hpp"
+#include "core/obs/trace.hpp"
+#include "core/postproc/columnar/merge.hpp"
+#include "core/service/journal.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 
@@ -14,297 +14,281 @@ namespace rebench {
 
 namespace {
 
-double aggregate(std::span<const double> values, Agg agg) {
-  REBENCH_REQUIRE(!values.empty());
-  switch (agg) {
-    case Agg::kMean:
-      return std::accumulate(values.begin(), values.end(), 0.0) /
-             static_cast<double>(values.size());
-    case Agg::kMin: return *std::min_element(values.begin(), values.end());
-    case Agg::kMax: return *std::max_element(values.begin(), values.end());
-    case Agg::kSum:
-      return std::accumulate(values.begin(), values.end(), 0.0);
-    case Agg::kCount: return static_cast<double>(values.size());
-    case Agg::kFirst: return values.front();
-  }
-  throw InternalError("unhandled aggregation");
+void emitKernelSpan(obs::Tracer* tracer, std::string_view kernel,
+                    const columnar::KernelStats& stats) {
+  if (tracer == nullptr) return;
+  obs::ScopedSpan span(tracer, "postproc.columnar.kernel");
+  span.attr("kernel", std::string(kernel));
+  span.attr("rows", std::to_string(stats.rows));
+  span.attr("chunks", std::to_string(stats.chunks));
+  span.attr("skipped_chunks", std::to_string(stats.skippedChunks));
 }
 
 }  // namespace
 
 void DataFrame::addNumeric(std::string name, NumericColumn values) {
-  if (!columns_.empty() && values.size() != rows_) {
+  if (!table_.columns.empty() && values.size() != table_.rows) {
     throw Error("column '" + name + "' has " + std::to_string(values.size()) +
-                " rows, frame has " + std::to_string(rows_));
+                " rows, frame has " + std::to_string(table_.rows));
   }
-  rows_ = values.size();
-  columns_.emplace_back(std::move(name), std::move(values));
+  table_.rows = values.size();
+  columnar::DoubleColumn col;
+  col.values = std::move(values);
+  col.validity.appendRun(col.values.size(), true);
+  table_.columns.push_back({std::move(name), std::move(col)});
 }
 
 void DataFrame::addStrings(std::string name, StringColumn values) {
-  if (!columns_.empty() && values.size() != rows_) {
+  if (!table_.columns.empty() && values.size() != table_.rows) {
     throw Error("column '" + name + "' has " + std::to_string(values.size()) +
-                " rows, frame has " + std::to_string(rows_));
+                " rows, frame has " + std::to_string(table_.rows));
   }
-  rows_ = values.size();
-  columns_.emplace_back(std::move(name), std::move(values));
+  table_.rows = values.size();
+  columnar::StringColumn col;
+  col.codes.reserve(values.size());
+  for (const std::string& value : values) {
+    col.codes.push_back(col.dict->encode(value));
+  }
+  table_.columns.push_back({std::move(name), std::move(col)});
+}
+
+void DataFrame::addNumericWithNulls(std::string name, NumericColumn values,
+                                    const std::vector<bool>& valid) {
+  REBENCH_REQUIRE(values.size() == valid.size());
+  if (!table_.columns.empty() && values.size() != table_.rows) {
+    throw Error("column '" + name + "' has " + std::to_string(values.size()) +
+                " rows, frame has " + std::to_string(table_.rows));
+  }
+  table_.rows = values.size();
+  columnar::DoubleColumn col;
+  col.values = std::move(values);
+  for (std::size_t i = 0; i < col.values.size(); ++i) {
+    if (!valid[i]) {
+      col.values[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+    col.validity.append(valid[i]);
+  }
+  table_.columns.push_back({std::move(name), std::move(col)});
 }
 
 bool DataFrame::hasColumn(std::string_view name) const {
-  for (const auto& [colName, col] : columns_) {
-    if (colName == name) return true;
-  }
-  return false;
+  return table_.find(name) != nullptr;
 }
 
-const DataFrame::Column& DataFrame::column(std::string_view name) const {
-  for (const auto& [colName, col] : columns_) {
-    if (colName == name) return col;
+const columnar::Column& DataFrame::columnRef(std::string_view name) const {
+  const columnar::Column* col = table_.find(name);
+  if (col == nullptr) {
+    throw NotFoundError("no column '" + std::string(name) + "'");
   }
-  throw NotFoundError("no column '" + std::string(name) + "'");
+  return *col;
+}
+
+const columnar::DoubleColumn& DataFrame::numericCol(
+    std::string_view name) const {
+  const columnar::Column& col = columnRef(name);
+  if (!col.isNumeric()) {
+    throw Error("column '" + std::string(name) + "' is not numeric");
+  }
+  return col.doubles();
+}
+
+const columnar::StringColumn& DataFrame::stringCol(
+    std::string_view name) const {
+  const columnar::Column& col = columnRef(name);
+  if (col.isNumeric()) {
+    throw Error("column '" + std::string(name) + "' is not a string column");
+  }
+  return col.strs();
 }
 
 bool DataFrame::isNumeric(std::string_view name) const {
-  return std::holds_alternative<NumericColumn>(column(name));
+  return columnRef(name).isNumeric();
 }
 
 std::vector<std::string> DataFrame::columnNames() const {
-  std::vector<std::string> out;
-  out.reserve(columns_.size());
-  for (const auto& [name, col] : columns_) out.push_back(name);
-  return out;
+  return table_.columnNames();
 }
 
 const DataFrame::NumericColumn& DataFrame::numeric(
     std::string_view name) const {
-  const Column& col = column(name);
-  const auto* values = std::get_if<NumericColumn>(&col);
-  if (values == nullptr) {
-    throw Error("column '" + std::string(name) + "' is not numeric");
-  }
-  return *values;
+  return numericCol(name).values;
 }
 
 const DataFrame::StringColumn& DataFrame::strings(
     std::string_view name) const {
-  const Column& col = column(name);
-  const auto* values = std::get_if<StringColumn>(&col);
-  if (values == nullptr) {
-    throw Error("column '" + std::string(name) + "' is not a string column");
-  }
-  return *values;
+  return stringCol(name).materialize();
 }
 
 std::string DataFrame::cellText(std::string_view name,
                                 std::size_t row) const {
-  REBENCH_REQUIRE(row < rows_);
-  const Column& col = column(name);
-  if (const auto* nums = std::get_if<NumericColumn>(&col)) {
-    return str::fixed((*nums)[row], 6);
+  REBENCH_REQUIRE(row < table_.rows);
+  const columnar::Column& col = columnRef(name);
+  if (col.isNumeric()) {
+    return str::fixed(col.doubles().values[row], 6);
   }
-  return std::get<StringColumn>(col)[row];
+  const std::uint32_t code = col.strs().codes[row];
+  return code == columnar::kNullCode ? std::string()
+                                     : col.strs().dict->at(code);
 }
 
-DataFrame DataFrame::takeRows(const std::vector<std::size_t>& indices) const {
+DataFrame DataFrame::wrap(columnar::Table table) const {
   DataFrame out;
-  for (const auto& [name, col] : columns_) {
-    if (const auto* nums = std::get_if<NumericColumn>(&col)) {
-      NumericColumn values;
-      values.reserve(indices.size());
-      for (std::size_t i : indices) values.push_back((*nums)[i]);
-      out.addNumeric(name, std::move(values));
-    } else {
-      const auto& strs = std::get<StringColumn>(col);
-      StringColumn values;
-      values.reserve(indices.size());
-      for (std::size_t i : indices) values.push_back(strs[i]);
-      out.addStrings(name, std::move(values));
-    }
-  }
-  out.rows_ = indices.size();
+  out.table_ = std::move(table);
+  out.tracer_ = tracer_;
   return out;
 }
 
 DataFrame DataFrame::filter(
     const std::function<bool(std::size_t)>& rowPredicate) const {
-  std::vector<std::size_t> keep;
-  for (std::size_t i = 0; i < rows_; ++i) {
-    if (rowPredicate(i)) keep.push_back(i);
-  }
-  return takeRows(keep);
+  columnar::Arena arena;
+  const auto selection =
+      columnar::selectPredicate(table_.rows, rowPredicate, arena);
+  return wrap(columnar::gather(table_, selection));
 }
 
-DataFrame DataFrame::filterEquals(std::string_view columnName,
+DataFrame DataFrame::filterEquals(std::string_view column,
                                   std::string_view value) const {
-  const StringColumn& col = strings(columnName);
-  return filter([&](std::size_t i) { return col[i] == value; });
-}
-
-DataFrame DataFrame::selectColumns(std::span<const std::string> names) const {
-  DataFrame out;
-  for (const std::string& name : names) {
-    const Column& col = column(name);
-    if (const auto* nums = std::get_if<NumericColumn>(&col)) {
-      out.addNumeric(name, *nums);
-    } else {
-      out.addStrings(name, std::get<StringColumn>(col));
-    }
-  }
-  out.rows_ = rows_;
+  const columnar::StringColumn& col = stringCol(column);
+  columnar::Arena arena;
+  columnar::KernelStats stats;
+  const auto selection = columnar::selectEquals(col, value, arena, &stats);
+  DataFrame out = wrap(columnar::gather(table_, selection));
+  emitKernelSpan(tracer_, "filter_equals", stats);
   return out;
 }
 
-DataFrame DataFrame::sortBy(std::string_view columnName,
-                            bool ascending) const {
-  std::vector<std::size_t> order(rows_);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  const Column& col = column(columnName);
-  auto cmp = [&](std::size_t a, std::size_t b) {
-    if (const auto* nums = std::get_if<NumericColumn>(&col)) {
-      return ascending ? (*nums)[a] < (*nums)[b] : (*nums)[b] < (*nums)[a];
-    }
-    const auto& strs = std::get<StringColumn>(col);
-    return ascending ? strs[a] < strs[b] : strs[b] < strs[a];
-  };
-  std::stable_sort(order.begin(), order.end(), cmp);
-  return takeRows(order);
+DataFrame DataFrame::filterRange(std::string_view column, double lo,
+                                 double hi) const {
+  const columnar::DoubleColumn& col = numericCol(column);
+  columnar::Arena arena;
+  columnar::KernelStats stats;
+  const auto selection = columnar::selectRange(col, lo, hi, arena, &stats);
+  DataFrame out = wrap(columnar::gather(table_, selection));
+  emitKernelSpan(tracer_, "filter_range", stats);
+  return out;
+}
+
+DataFrame DataFrame::selectColumns(std::span<const std::string> names) const {
+  columnar::Table out;
+  for (const std::string& name : names) {
+    out.columns.push_back(columnRef(name));
+  }
+  out.rows = table_.rows;
+  return wrap(std::move(out));
+}
+
+DataFrame DataFrame::sortBy(std::string_view column, bool ascending) const {
+  const columnar::Column& col = columnRef(column);
+  columnar::KernelStats stats;
+  stats.rows = table_.rows;
+  stats.chunks =
+      (table_.rows + columnar::kChunkRows - 1) / columnar::kChunkRows;
+  const std::vector<std::uint32_t> order =
+      columnar::sortOrder(col, table_.rows, ascending);
+  DataFrame out = wrap(columnar::gather(table_, order));
+  emitKernelSpan(tracer_, "sort", stats);
+  return out;
 }
 
 DataFrame DataFrame::concat(std::span<const DataFrame> frames) {
   if (frames.empty()) return {};
-  const DataFrame& first = frames.front();
-  for (const DataFrame& frame : frames.subspan(1)) {
-    if (frame.columnNames() != first.columnNames()) {
-      throw Error("cannot concat frames with different schemas");
-    }
+  std::vector<const columnar::Table*> tables;
+  tables.reserve(frames.size());
+  obs::Tracer* tracer = nullptr;
+  for (const DataFrame& frame : frames) {
+    tables.push_back(&frame.table_);
+    if (tracer == nullptr) tracer = frame.tracer_;
+  }
+  columnar::ConcatStats stats;
+  columnar::Table merged = columnar::concatTables(tables, &stats);
+  if (tracer != nullptr) {
+    obs::ScopedSpan span(tracer, "postproc.columnar.merge");
+    span.attr("inputs", std::to_string(stats.inputs));
+    span.attr("rows", std::to_string(stats.rows));
+    span.attr("chunks", std::to_string(stats.chunks));
+    span.attr("peak_buffered_rows", std::to_string(stats.peakBufferedRows));
   }
   DataFrame out;
-  for (std::size_t c = 0; c < first.columns_.size(); ++c) {
-    const std::string& name = first.columns_[c].first;
-    if (std::holds_alternative<NumericColumn>(first.columns_[c].second)) {
-      NumericColumn merged;
-      for (const DataFrame& frame : frames) {
-        if (!frame.isNumeric(name)) {
-          throw Error("column '" + name + "' changes type across frames");
-        }
-        const auto& values = frame.numeric(name);
-        merged.insert(merged.end(), values.begin(), values.end());
-      }
-      out.addNumeric(name, std::move(merged));
-    } else {
-      StringColumn merged;
-      for (const DataFrame& frame : frames) {
-        if (frame.isNumeric(name)) {
-          throw Error("column '" + name + "' changes type across frames");
-        }
-        const auto& values = frame.strings(name);
-        merged.insert(merged.end(), values.begin(), values.end());
-      }
-      out.addStrings(name, std::move(merged));
-    }
-  }
+  out.table_ = std::move(merged);
+  out.tracer_ = tracer;
   return out;
 }
 
 DataFrame DataFrame::groupBy(std::span<const std::string> keyColumns,
                              std::string_view valueColumn, Agg agg) const {
-  const NumericColumn& values = numeric(valueColumn);
-  std::vector<const StringColumn*> keys;
-  keys.reserve(keyColumns.size());
-  for (const std::string& key : keyColumns) keys.push_back(&strings(key));
+  // Validate in the row engine's order: value column first, then keys.
+  (void)numericCol(valueColumn);
+  for (const std::string& key : keyColumns) (void)stringCol(key);
+  columnar::KernelStats stats;
+  columnar::Table out =
+      columnar::groupAggregate(table_, keyColumns, valueColumn, agg, &stats);
+  DataFrame result = wrap(std::move(out));
+  emitKernelSpan(tracer_, "group_by", stats);
+  return result;
+}
 
-  // Group rows by composite key, preserving first-seen order.
-  std::map<std::vector<std::string>, std::vector<double>> groups;
-  std::vector<std::vector<std::string>> order;
-  for (std::size_t i = 0; i < rows_; ++i) {
-    std::vector<std::string> key;
-    key.reserve(keys.size());
-    for (const StringColumn* col : keys) key.push_back((*col)[i]);
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) order.push_back(key);
-    it->second.push_back(values[i]);
+DataFrame DataFrame::groupPercentiles(
+    std::span<const std::string> keyColumns, std::string_view valueColumn,
+    std::span<const double> percentiles) const {
+  (void)numericCol(valueColumn);
+  for (const std::string& key : keyColumns) (void)stringCol(key);
+  std::vector<std::string> labels;
+  labels.reserve(percentiles.size());
+  for (const double p : percentiles) {
+    labels.push_back("p" + service::formatExact(p));
   }
-
-  DataFrame out;
-  for (std::size_t k = 0; k < keyColumns.size(); ++k) {
-    StringColumn col;
-    col.reserve(order.size());
-    for (const auto& key : order) col.push_back(key[k]);
-    out.addStrings(keyColumns[k], std::move(col));
-  }
-  NumericColumn aggValues;
-  aggValues.reserve(order.size());
-  for (const auto& key : order) {
-    aggValues.push_back(aggregate(groups.at(key), agg));
-  }
-  out.addNumeric(std::string(valueColumn), std::move(aggValues));
-  return out;
+  columnar::KernelStats stats;
+  columnar::Table out = columnar::groupPercentilesKernel(
+      table_, keyColumns, valueColumn, percentiles, labels, &stats);
+  DataFrame result = wrap(std::move(out));
+  emitKernelSpan(tracer_, "group_percentiles", stats);
+  return result;
 }
 
 PivotTable DataFrame::pivot(std::string_view rowKey, std::string_view colKey,
                             std::string_view valueColumn, Agg agg) const {
-  const StringColumn& rowCol = strings(rowKey);
-  const StringColumn& colCol = strings(colKey);
-  const NumericColumn& values = numeric(valueColumn);
-
+  const columnar::StringColumn& rows = stringCol(rowKey);
+  const columnar::StringColumn& cols = stringCol(colKey);
+  const columnar::DoubleColumn& values = numericCol(valueColumn);
+  columnar::KernelStats stats;
+  columnar::PivotCells cells =
+      columnar::pivotAggregate(rows, cols, values, agg, &stats);
+  emitKernelSpan(tracer_, "pivot", stats);
   PivotTable table;
-  auto indexOf = [](std::vector<std::string>& labels,
-                    const std::string& label) {
-    auto it = std::find(labels.begin(), labels.end(), label);
-    if (it != labels.end()) {
-      return static_cast<std::size_t>(it - labels.begin());
-    }
-    labels.push_back(label);
-    return labels.size() - 1;
-  };
-
-  std::map<std::pair<std::size_t, std::size_t>, std::vector<double>> buckets;
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const std::size_t r = indexOf(table.rowLabels, rowCol[i]);
-    const std::size_t c = indexOf(table.colLabels, colCol[i]);
-    buckets[{r, c}].push_back(values[i]);
-  }
-  table.cells.assign(table.rowLabels.size(),
-                     std::vector<std::optional<double>>(
-                         table.colLabels.size(), std::nullopt));
-  for (const auto& [key, bucket] : buckets) {
-    table.cells[key.first][key.second] = aggregate(bucket, agg);
-  }
+  table.rowLabels = std::move(cells.rowLabels);
+  table.colLabels = std::move(cells.colLabels);
+  table.cells = std::move(cells.cells);
   return table;
 }
 
 DataFrame DataFrame::describe() const {
-  StringColumn names;
-  NumericColumn count, mean, std, minimum, median, maximum;
-  for (const auto& [name, col] : columns_) {
-    const auto* nums = std::get_if<NumericColumn>(&col);
-    if (nums == nullptr || nums->empty()) continue;
-    const SummaryStats stats = summarize(*nums);
-    names.push_back(name);
-    count.push_back(static_cast<double>(stats.count));
-    mean.push_back(stats.mean);
-    std.push_back(stats.stddev);
-    minimum.push_back(stats.min);
-    median.push_back(stats.median);
-    maximum.push_back(stats.max);
-  }
-  DataFrame out;
-  out.addStrings("column", std::move(names));
-  out.addNumeric("count", std::move(count));
-  out.addNumeric("mean", std::move(mean));
-  out.addNumeric("std", std::move(std));
-  out.addNumeric("min", std::move(minimum));
-  out.addNumeric("median", std::move(median));
-  out.addNumeric("max", std::move(maximum));
-  return out;
+  columnar::KernelStats stats;
+  columnar::Table out = columnar::describeTable(table_, &stats);
+  DataFrame result = wrap(std::move(out));
+  emitKernelSpan(tracer_, "describe", stats);
+  return result;
 }
 
 std::string DataFrame::toCsv() const {
   std::string out = str::join(columnNames(), ",") + "\n";
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t c = 0; c < columns_.size(); ++c) {
+  // The row engine rendered cells via name lookup, so a duplicated column
+  // name rendered its first occurrence each time; precompute that mapping.
+  std::vector<const columnar::Column*> source;
+  source.reserve(table_.columns.size());
+  for (const columnar::Column& col : table_.columns) {
+    source.push_back(table_.find(col.name));
+  }
+  for (std::size_t i = 0; i < table_.rows; ++i) {
+    for (std::size_t c = 0; c < source.size(); ++c) {
       if (c != 0) out += ',';
-      std::string cell = cellText(columns_[c].first, i);
+      const columnar::Column& col = *source[c];
+      std::string cell;
+      if (col.isNumeric()) {
+        cell = str::fixed(col.doubles().values[i], 6);
+      } else {
+        const std::uint32_t code = col.strs().codes[i];
+        if (code != columnar::kNullCode) cell = col.strs().dict->at(code);
+      }
       if (cell.find(',') != std::string::npos ||
           cell.find('"') != std::string::npos) {
         cell = '"' + str::replaceAll(cell, "\"", "\"\"") + '"';
@@ -353,42 +337,37 @@ DataFrame DataFrame::fromCsv(const std::string& text) {
   };
 
   const std::vector<std::string> header = parseLine(lines[0]);
-  std::vector<StringColumn> raw(header.size());
+  std::vector<columnar::TaggedColumnBuilder> builders(header.size());
   for (std::size_t r = 1; r < lines.size(); ++r) {
-    const std::vector<std::string> cells = parseLine(lines[r]);
+    std::vector<std::string> cells = parseLine(lines[r]);
     if (cells.size() != header.size()) {
       throw ParseError("CSV row " + std::to_string(r) + " has " +
                        std::to_string(cells.size()) + " cells, expected " +
                        std::to_string(header.size()));
     }
-    for (std::size_t c = 0; c < cells.size(); ++c) raw[c].push_back(cells[c]);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      builders[c].add(std::move(cells[c]));
+    }
   }
 
   DataFrame out;
+  out.table_.rows = lines.size() - 1;
   for (std::size_t c = 0; c < header.size(); ++c) {
-    bool allNumeric = !raw[c].empty();
-    NumericColumn nums;
-    nums.reserve(raw[c].size());
-    for (const std::string& cell : raw[c]) {
-      try {
-        std::size_t used = 0;
-        const double v = std::stod(cell, &used);
-        if (used != cell.size()) {
-          allNumeric = false;
-          break;
-        }
-        nums.push_back(v);
-      } catch (const std::exception&) {
-        allNumeric = false;
-        break;
-      }
-    }
-    if (allNumeric) {
-      out.addNumeric(header[c], std::move(nums));
+    columnar::Column col;
+    col.name = header[c];
+    if (builders[c].numeric()) {
+      col.data = builders[c].takeNumeric();
     } else {
-      out.addStrings(header[c], std::move(raw[c]));
+      col.data = builders[c].takeStrings();
     }
+    out.table_.columns.push_back(std::move(col));
   }
+  return out;
+}
+
+DataFrame DataFrame::fromTable(columnar::Table table) {
+  DataFrame out;
+  out.table_ = std::move(table);
   return out;
 }
 

@@ -5,6 +5,14 @@
 // pipeline needs: concatenating perflogs from isolated systems, filtering,
 // group-by aggregation, sorting, pivoting to (row,col)->value matrices for
 // heatmaps, and CSV round-tripping.
+//
+// Since the columnar refactor this class is a façade: storage and kernels
+// live in rebench::columnar (contiguous doubles, dictionary-encoded
+// strings, selection vectors, zone maps — see columnar/kernels.hpp), and
+// every operation reproduces the original row engine bit-for-bit (the
+// `legacy::RowFrame` in legacy_rowframe.hpp, which the byte-identity
+// ctest gate diffs against).  `strings()` decodes the dictionary into a
+// cached `vector<string>` on first use, so the accessor API is unchanged.
 #pragma once
 
 #include <functional>
@@ -14,9 +22,16 @@
 #include <variant>
 #include <vector>
 
+#include "core/postproc/columnar/kernels.hpp"
+#include "core/postproc/columnar/table.hpp"
+
+namespace rebench::obs {
+class Tracer;
+}  // namespace rebench::obs
+
 namespace rebench {
 
-enum class Agg { kMean, kMin, kMax, kSum, kCount, kFirst };
+using Agg = columnar::Agg;
 
 /// Pivoted matrix, e.g. programming-model × platform for Figure 2.
 struct PivotTable {
@@ -36,10 +51,15 @@ class DataFrame {
 
   void addNumeric(std::string name, NumericColumn values);
   void addStrings(std::string name, StringColumn values);
+  /// Numeric column with explicit validity (false = null).  Nulls are
+  /// excluded from aggregates and describe(); `numeric()` exposes them as
+  /// NaN placeholders.
+  void addNumericWithNulls(std::string name, NumericColumn values,
+                           const std::vector<bool>& valid);
 
-  std::size_t rowCount() const { return rows_; }
-  std::size_t columnCount() const { return columns_.size(); }
-  bool empty() const { return rows_ == 0; }
+  std::size_t rowCount() const { return table_.rows; }
+  std::size_t columnCount() const { return table_.columns.size(); }
+  bool empty() const { return table_.rows == 0; }
 
   bool hasColumn(std::string_view name) const;
   bool isNumeric(std::string_view name) const;
@@ -56,11 +76,15 @@ class DataFrame {
   DataFrame filter(const std::function<bool(std::size_t)>& rowPredicate) const;
   DataFrame filterEquals(std::string_view column,
                          std::string_view value) const;
+  /// Rows with `lo <= column <= hi` (inclusive; nulls excluded) — the
+  /// zone-mapped range predicate.
+  DataFrame filterRange(std::string_view column, double lo, double hi) const;
   DataFrame selectColumns(std::span<const std::string> names) const;
   DataFrame sortBy(std::string_view column, bool ascending = true) const;
 
   /// Row-wise concatenation; requires identical schemas (names and types in
-  /// order) — the cross-platform assimilation step of Principle 6.
+  /// order) — the cross-platform assimilation step of Principle 6.  The
+  /// error names the first mismatching column.
   static DataFrame concat(std::span<const DataFrame> frames);
 
   /// Groups on string key columns and aggregates one numeric column.
@@ -68,24 +92,47 @@ class DataFrame {
   DataFrame groupBy(std::span<const std::string> keyColumns,
                     std::string_view valueColumn, Agg agg) const;
 
+  /// Per-group percentiles (O(n) selection, no full sort): keys..., then
+  /// one column per requested percentile named "p50", "p99.9", ...
+  DataFrame groupPercentiles(std::span<const std::string> keyColumns,
+                             std::string_view valueColumn,
+                             std::span<const double> percentiles) const;
+
   PivotTable pivot(std::string_view rowKey, std::string_view colKey,
                    std::string_view valueColumn, Agg agg = Agg::kMean) const;
 
   /// Pandas-style describe(): one row per numeric column with columns
-  /// column/count/mean/std/min/median/max.
+  /// column/count/mean/std/min/median/max.  Empty and all-null numeric
+  /// columns are skipped alike.
   DataFrame describe() const;
 
   // ---- serialization ------------------------------------------------------
   std::string toCsv() const;
   /// All-string parse except columns where every value parses as double.
+  /// Single-pass: each cell is parsed once into a tagged buffer and the
+  /// column type commits at end of input.
   static DataFrame fromCsv(const std::string& text);
 
- private:
-  const Column& column(std::string_view name) const;
-  DataFrame takeRows(const std::vector<std::size_t>& indices) const;
+  // ---- engine access ------------------------------------------------------
+  /// Wraps a columnar table directly (the perflog cache / merge paths).
+  static DataFrame fromTable(columnar::Table table);
+  const columnar::Table& table() const { return table_; }
 
-  std::vector<std::pair<std::string, Column>> columns_;
-  std::size_t rows_ = 0;
+  /// Optional observability: when set, kernels emit
+  /// `postproc.columnar.kernel` spans (rows / chunks / skipped_chunks)
+  /// and concat emits `postproc.columnar.merge`.  The tracer is borrowed,
+  /// not owned, and propagates to derived frames.
+  void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+ private:
+  const columnar::Column& columnRef(std::string_view name) const;
+  const columnar::DoubleColumn& numericCol(std::string_view name) const;
+  const columnar::StringColumn& stringCol(std::string_view name) const;
+  DataFrame wrap(columnar::Table table) const;  // keeps the tracer
+
+  columnar::Table table_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace rebench

@@ -1,0 +1,80 @@
+// The pre-columnar row-oriented DataFrame, frozen verbatim.
+//
+// This is the reference implementation the columnar engine must match
+// bit-for-bit: the byte-identity ctest gate renders the same corpus
+// through both engines and diffs CSV / table / pivot / JSON bytes, and
+// `bench/ablation_dataframe` uses it as the row-engine baseline.  It is
+// not part of the public API — production code uses DataFrame, which is
+// a façade over rebench::columnar.
+//
+// Do not "improve" this file; its value is that it never changes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/framework/perflog.hpp"
+#include "core/postproc/dataframe.hpp"  // Agg, PivotTable
+
+namespace rebench::legacy {
+
+class RowFrame {
+ public:
+  using NumericColumn = std::vector<double>;
+  using StringColumn = std::vector<std::string>;
+  using Column = std::variant<NumericColumn, StringColumn>;
+
+  RowFrame() = default;
+
+  void addNumeric(std::string name, NumericColumn values);
+  void addStrings(std::string name, StringColumn values);
+
+  std::size_t rowCount() const { return rows_; }
+  std::size_t columnCount() const { return columns_.size(); }
+  bool empty() const { return rows_ == 0; }
+
+  bool hasColumn(std::string_view name) const;
+  bool isNumeric(std::string_view name) const;
+  std::vector<std::string> columnNames() const;
+
+  const NumericColumn& numeric(std::string_view name) const;
+  const StringColumn& strings(std::string_view name) const;
+
+  std::string cellText(std::string_view name, std::size_t row) const;
+
+  RowFrame filter(const std::function<bool(std::size_t)>& rowPredicate) const;
+  RowFrame filterEquals(std::string_view column,
+                        std::string_view value) const;
+  RowFrame selectColumns(std::span<const std::string> names) const;
+  RowFrame sortBy(std::string_view column, bool ascending = true) const;
+
+  static RowFrame concat(std::span<const RowFrame> frames);
+
+  RowFrame groupBy(std::span<const std::string> keyColumns,
+                   std::string_view valueColumn, Agg agg) const;
+
+  PivotTable pivot(std::string_view rowKey, std::string_view colKey,
+                   std::string_view valueColumn, Agg agg = Agg::kMean) const;
+
+  RowFrame describe() const;
+
+  std::string toCsv() const;
+  static RowFrame fromCsv(const std::string& text);
+
+ private:
+  const Column& column(std::string_view name) const;
+  RowFrame takeRows(const std::vector<std::size_t>& indices) const;
+
+  std::vector<std::pair<std::string, Column>> columns_;
+  std::size_t rows_ = 0;
+};
+
+/// The row engine's perflog bridge (9 analysis columns), kept for the
+/// identity gate and the ablation baseline.
+RowFrame rowFrameFromPerflog(std::span<const PerfLogEntry> entries);
+
+}  // namespace rebench::legacy

@@ -199,5 +199,129 @@ TEST(DataFrame, CellText) {
   EXPECT_EQ(frame.cellText("value", 0).substr(0, 5), "95.36");
 }
 
+TEST(DataFrame, ConcatErrorNamesFirstMismatchingColumnName) {
+  DataFrame other;
+  other.addStrings("system", {"x"});
+  other.addStrings("different", {"y"});
+  other.addNumeric("value", {1.0});
+  const std::array<DataFrame, 2> frames{sampleFrame(), other};
+  try {
+    (void)DataFrame::concat(frames);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "cannot concat frames: column 2 is 'different' in frame 2 "
+              "but 'fom' in frame 1");
+  }
+}
+
+TEST(DataFrame, ConcatErrorNamesFirstMismatchingColumnType) {
+  DataFrame other;
+  other.addStrings("system", {"x"});
+  other.addStrings("fom", {"l0"});
+  other.addStrings("value", {"not-a-number"});
+  const std::array<DataFrame, 2> frames{sampleFrame(), other};
+  try {
+    (void)DataFrame::concat(frames);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "cannot concat frames: column 'value' is string in frame 2 "
+              "but numeric in frame 1");
+  }
+}
+
+TEST(DataFrame, ConcatErrorReportsColumnCountFirst) {
+  DataFrame narrow;
+  narrow.addStrings("system", {"x"});
+  const std::array<DataFrame, 2> frames{sampleFrame(), narrow};
+  try {
+    (void)DataFrame::concat(frames);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "cannot concat frames: frame 2 has 1 column(s), frame 1 has 3");
+  }
+}
+
+TEST(DataFrame, DescribeOnEmptyFrameHasHeaderAndNoRows) {
+  const DataFrame described = DataFrame().describe();
+  EXPECT_EQ(described.rowCount(), 0u);
+  EXPECT_EQ(described.columnNames(),
+            (std::vector<std::string>{"column", "count", "mean", "std",
+                                      "min", "median", "max"}));
+}
+
+TEST(DataFrame, DescribeSkipsAllNullNumericColumns) {
+  DataFrame frame;
+  frame.addNumericWithNulls("ghost", {1.0, 2.0}, {false, false});
+  frame.addNumeric("real", {3.0, 5.0});
+  const DataFrame described = frame.describe();
+  ASSERT_EQ(described.rowCount(), 1u);  // only "real" has a valid sample
+  EXPECT_EQ(described.strings("column")[0], "real");
+  EXPECT_DOUBLE_EQ(described.numeric("mean")[0], 4.0);
+}
+
+TEST(DataFrame, DescribeExcludesNullsFromAggregates) {
+  DataFrame frame;
+  frame.addNumericWithNulls("v", {10.0, 999.0, 20.0}, {true, false, true});
+  const DataFrame described = frame.describe();
+  ASSERT_EQ(described.rowCount(), 1u);
+  EXPECT_DOUBLE_EQ(described.numeric("count")[0], 2.0);
+  EXPECT_DOUBLE_EQ(described.numeric("mean")[0], 15.0);
+  EXPECT_DOUBLE_EQ(described.numeric("max")[0], 20.0);
+}
+
+TEST(DataFrame, PivotOnZeroRowFrameIsEmptyMatrix) {
+  DataFrame frame;
+  frame.addStrings("model", {});
+  frame.addStrings("platform", {});
+  frame.addNumeric("value", {});
+  const PivotTable table = frame.pivot("model", "platform", "value");
+  EXPECT_TRUE(table.rowLabels.empty());
+  EXPECT_TRUE(table.colLabels.empty());
+  EXPECT_TRUE(table.cells.empty());
+}
+
+TEST(DataFrame, GroupByHandlesSingleRowGroups) {
+  DataFrame frame;
+  frame.addStrings("system", {"a", "b", "c"});
+  frame.addNumeric("value", {1.0, 2.0, 3.0});
+  const std::array<std::string, 1> keys{"system"};
+  const DataFrame grouped = frame.groupBy(keys, "value", Agg::kMean);
+  ASSERT_EQ(grouped.rowCount(), 3u);
+  EXPECT_DOUBLE_EQ(grouped.numeric("value")[1], 2.0);
+}
+
+TEST(DataFrame, GroupPercentilesEmitsLabeledColumns) {
+  DataFrame frame;
+  frame.addStrings("system", {"a", "a", "a", "a", "b"});
+  frame.addNumeric("value", {4.0, 1.0, 3.0, 2.0, 7.0});
+  const std::array<std::string, 1> keys{"system"};
+  const std::array<double, 2> percentiles{50.0, 99.9};
+  const DataFrame result = frame.groupPercentiles(keys, "value", percentiles);
+  EXPECT_EQ(result.columnNames(),
+            (std::vector<std::string>{"system", "p50", "p99.9"}));
+  ASSERT_EQ(result.rowCount(), 2u);
+  EXPECT_DOUBLE_EQ(result.numeric("p50")[0], 2.5);  // median of 1..4
+  EXPECT_DOUBLE_EQ(result.numeric("p50")[1], 7.0);  // single-row group
+}
+
+TEST(DataFrame, FilterRangeIsInclusiveAndSkipsNulls) {
+  DataFrame frame;
+  frame.addNumericWithNulls("v", {1.0, 2.0, 3.0, 4.0},
+                            {true, true, false, true});
+  const DataFrame mid = frame.filterRange("v", 2.0, 4.0);
+  ASSERT_EQ(mid.rowCount(), 2u);  // 2 and 4; the null 3-slot is excluded
+  EXPECT_DOUBLE_EQ(mid.numeric("v")[0], 2.0);
+  EXPECT_DOUBLE_EQ(mid.numeric("v")[1], 4.0);
+  EXPECT_THROW(frame.filterRange("missing", 0.0, 1.0), NotFoundError);
+}
+
+TEST(DataFrame, AddNumericWithNullsValidatesLengths) {
+  DataFrame frame;
+  EXPECT_THROW(frame.addNumericWithNulls("v", {1.0, 2.0}, {true}), Error);
+}
+
 }  // namespace
 }  // namespace rebench
