@@ -11,6 +11,7 @@
 //   rebench history --perflog perf.log --detect
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include <optional>
 #include <span>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "babelstream/testcase.hpp"
@@ -47,6 +49,9 @@
 #include "core/store/build_cache.hpp"
 #include "core/store/manifest.hpp"
 #include "core/store/object_store.hpp"
+#include "core/telemetry/bus.hpp"
+#include "core/telemetry/http.hpp"
+#include "core/telemetry/probe.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 #include "core/util/table.hpp"
@@ -86,13 +91,20 @@ int usage() {
       "                                     corrected) is within +/-R\n"
       "                                     relative half-width, between\n"
       "                                     N_min and N_max repeats\n"
+      "      [--probe sim|real]             per-stage resource accounting:\n"
+      "                                     rusage deltas around build/run\n"
+      "                                     as x:rusage_* perflog extras,\n"
+      "                                     telemetry.probe spans and\n"
+      "                                     manifest facets ('sim' is the\n"
+      "                                     deterministic synthetic source;\n"
+      "                                     'real' reads getrusage)\n"
       "  suite --system S [--tag T]       run the builtin suite, ReFrame\n"
       "        [-n PAT] [-x PAT] [--perflog F]  style selection (-n/-x)\n"
       "        [--trace DIR] [--faults FILE|SPEC] [--retries N]\n"
       "        [--repeats N] [--resume DIR] [--quarantine-after N]\n"
       "        [--store DIR] [--no-cache] [--jobs N] [--lanes N]\n"
       "        [--metrics-out FILE] [--ci-halfwidth R]\n"
-      "        [--min-repeats N] [--max-repeats N]\n"
+      "        [--min-repeats N] [--max-repeats N] [--probe sim|real]\n"
       "                                     --faults injects deterministic\n"
       "                                     failures (seed=..,crash=..,\n"
       "                                     node=..,preempt=..,build=..,\n"
@@ -172,9 +184,26 @@ int usage() {
       "        [--metrics-out FILE]         journal for exactly-once crash\n"
       "        [--request-drain]            resume, watchdogs, crash-loop\n"
       "        [--clear-drain]              quarantine and graceful drain\n"
-      "                                     (SIGTERM or --request-drain);\n"
-      "                                     health snapshot in\n"
-      "                                     QUEUE/health.json\n";
+      "        [--listen HOST:PORT]         (SIGTERM or --request-drain);\n"
+      "                                     health snapshot refreshed in\n"
+      "                                     QUEUE/health.json after every\n"
+      "                                     verdict; --listen exposes the\n"
+      "                                     live HTTP status endpoint\n"
+      "                                     (GET /health | /metrics |\n"
+      "                                     /verdicts?since=N |\n"
+      "                                     /submissions/<id>; port 0 =\n"
+      "                                     ephemeral, bound address in\n"
+      "                                     QUEUE/endpoint.addr); crashes\n"
+      "                                     and failed:* verdicts dump the\n"
+      "                                     event-bus ring to\n"
+      "                                     QUEUE/flightrec-<seq>.jsonl\n"
+      "  status --queue DIR [--follow]    live view of a serve queue via\n"
+      "         [--fetch PATH]              the --listen endpoint (fallback:\n"
+      "                                     health.json), plus the newest\n"
+      "                                     flight record; --fetch prints\n"
+      "                                     one endpoint response verbatim,\n"
+      "                                     --follow streams verdicts as\n"
+      "                                     they are filed\n";
   return 2;
 }
 
@@ -389,6 +418,14 @@ struct TraceSession {
     for (const history::FomAggregate& fom : foms) {
       samples.push_back({"rebench_fom_ess", labelsFor(fom), fom.ess});
     }
+    // Family-sorted so the extras section obeys the same lexicographic
+    // order as the registry dump (metrics_lint checks this); the sort is
+    // stable, keeping the canonical per-family sample order.
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const obs::MetricSample& a,
+                        const obs::MetricSample& b) {
+                       return a.family < b.family;
+                     });
     std::ofstream out(*metricsOut, std::ios::binary);
     if (!out) throw Error("cannot write metrics file '" + *metricsOut + "'");
     out << obs::renderOpenMetrics(metrics, samples);
@@ -427,6 +464,20 @@ std::optional<std::string> runLengthFlagError(const Args& args) {
   const int maxRepeats = args.intOptionOr("max-repeats", -1);
   if (minRepeats > 0 && maxRepeats > 0 && maxRepeats < minRepeats) {
     return std::string("--max-repeats must be >= --min-repeats");
+  }
+  return std::nullopt;
+}
+
+/// Validates --probe (shared by run/suite/submit): it must name a real
+/// probe mode; a bare `--probe` parses as a valueless flag.
+std::optional<std::string> probeFlagError(const Args& args) {
+  if (args.hasFlag("probe")) {
+    return std::string("--probe expects a mode ('sim' or 'real')");
+  }
+  const std::string name = args.optionOr("probe", "");
+  telemetry::ProbeMode mode = telemetry::ProbeMode::kOff;
+  if (!telemetry::probeModeFromName(name, &mode)) {
+    return "--probe must be 'sim' or 'real' (got '" + name + "')";
   }
   return std::nullopt;
 }
@@ -483,6 +534,7 @@ store::CampaignInvocation invocationFromArgs(const Args& args,
   inv.maxRepeats = args.intOptionOr("max-repeats", -1);
   inv.withStore = args.option("store").has_value();
   inv.cache = !args.hasFlag("no-cache");
+  inv.probe = args.optionOr("probe", "");
   return inv;
 }
 
@@ -579,6 +631,10 @@ int runBenchmark(const Args& args) {
     std::cerr << "run: " << *error << "\n";
     return usage();
   }
+  if (const auto error = probeFlagError(args)) {
+    std::cerr << "run: " << *error << "\n";
+    return usage();
+  }
   const SystemRegistry systems = builtinSystems();
   const PackageRepository repo = builtinRepository();
   const store::CampaignInvocation invocation = invocationFromArgs(args, "run");
@@ -671,6 +727,10 @@ int runBenchmark(const Args& args) {
 
 int runSuite(const Args& args) {
   if (const auto error = runLengthFlagError(args)) {
+    std::cerr << "suite: " << *error << "\n";
+    return usage();
+  }
+  if (const auto error = probeFlagError(args)) {
     std::cerr << "suite: " << *error << "\n";
     return usage();
   }
@@ -1239,6 +1299,10 @@ int submitCommand(const Args& args) {
     std::cerr << "submit: " << *error << "\n";
     return usage();
   }
+  if (const auto error = probeFlagError(args)) {
+    std::cerr << "submit: " << *error << "\n";
+    return usage();
+  }
   const auto queueDir = args.option("queue");
   if (!queueDir) {
     std::cerr << "submit: --queue DIR required\n";
@@ -1290,6 +1354,11 @@ int serveCommand(const Args& args) {
   options.submissionTimeout =
       args.doubleOptionOr("submission-timeout", -1.0);
   options.crashAfter = args.optionOr("crash-after", "");
+  if (args.hasFlag("listen")) {
+    std::cerr << "serve: --listen expects HOST:PORT (port 0 = ephemeral)\n";
+    return 2;
+  }
+  options.listen = args.optionOr("listen", "");
   if (trace.active()) options.tracer = &trace.tracer;
   if (trace.active() || trace.metricsOut.has_value()) {
     options.metrics = &trace.metrics;
@@ -1315,6 +1384,10 @@ int serveCommand(const Args& args) {
   const std::string traceBytes = trace.active() ? trace.serialize() : "";
   trace.write(traceBytes);
   trace.writeMetrics({});
+  if (!report.endpointAddress.empty()) {
+    std::cout << "serve: endpoint " << report.endpointAddress << " answered "
+              << report.endpointRequests << " request(s)\n";
+  }
   std::cout << "serve: " << report.processed
             << " submission(s) processed - " << report.cached << " cached, "
             << report.executed << " executed (" << report.clean << " clean, "
@@ -1326,6 +1399,200 @@ int serveCommand(const Args& args) {
               << " submission(s) remaining in queue\n";
   }
   return 0;
+}
+
+/// QUEUE/endpoint.addr, written by a daemon with --listen ("" when no
+/// live endpoint is advertised).
+std::string readEndpointAddress(const std::string& queueDir) {
+  std::ifstream in(std::filesystem::path(queueDir) / "endpoint.addr");
+  if (!in) return "";
+  std::string addr;
+  std::getline(in, addr);
+  return std::string(str::trim(addr));
+}
+
+/// Prints the scalar fields of a health object (live /health or the
+/// health.json snapshot) in a fixed order, skipping absent keys.
+void printHealthFields(const obs::json::Value& health) {
+  static constexpr std::array<std::string_view, 17> kKeys = {
+      "seq",         "uptime_seconds", "processed",
+      "cached",      "executed",       "clean",
+      "regressed",   "failed",         "quarantined",
+      "degraded",    "malformed",      "watchdog_fires",
+      "queue_depth", "runcache_hits",  "runcache_misses",
+      "watchdog_arms", "verdicts"};
+  for (const std::string_view key : kKeys) {
+    const std::string name(key);
+    if (!health.contains(name)) continue;
+    const double value = health.numberOr(name, 0.0);
+    std::cout << "  " << str::padRight(name, 16) << " ";
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::cout << static_cast<long long>(value) << "\n";
+    } else {
+      std::cout << str::fixed(value, 3) << "\n";
+    }
+  }
+  for (const std::string_view key :
+       {std::string_view("inflight_submission"),
+        std::string_view("inflight_stage")}) {
+    const std::string name(key);
+    const std::string value = health.stringOr(name, "");
+    if (!value.empty()) {
+      std::cout << "  " << str::padRight(name, 16) << " " << value << "\n";
+    }
+  }
+}
+
+/// Summarizes the newest QUEUE/flightrec-<seq>.jsonl: event/drop counts
+/// from the meta line plus the last recorded event, which a post-mortem
+/// reads next to the journal's claimed state.
+void printFlightRecordSummary(const std::string& queueDir) {
+  namespace fs = std::filesystem;
+  std::string newest;
+  long long newestSeq = -1;
+  for (const auto& entry : fs::directory_iterator(queueDir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("flightrec-", 0) != 0 ||
+        name.find(".jsonl") == std::string::npos) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(10, name.size() - 10 - std::string(".jsonl").size());
+    long long seq = -1;
+    try {
+      seq = std::stoll(digits);
+    } catch (...) {
+      continue;
+    }
+    if (seq > newestSeq) {
+      newestSeq = seq;
+      newest = entry.path().string();
+    }
+  }
+  if (newest.empty()) return;
+  std::ifstream in(newest);
+  std::string line;
+  std::string meta;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (str::trim(line).empty()) continue;
+    if (meta.empty()) {
+      meta = line;
+    } else {
+      last = line;
+    }
+  }
+  if (meta.empty()) return;
+  try {
+    const obs::json::Value header = obs::json::parse(meta);
+    std::cout << "flight record: "
+              << fs::path(newest).filename().string() << " ("
+              << static_cast<long long>(header.numberOr("events", 0))
+              << " event(s), "
+              << static_cast<long long>(header.numberOr("dropped", 0))
+              << " dropped)\n";
+    if (!last.empty()) {
+      const obs::json::Value event = obs::json::parse(last);
+      std::cout << "  last event: seq "
+                << static_cast<long long>(event.numberOr("seq", 0)) << " "
+                << event.stringOr("kind", "?") << "/"
+                << event.stringOr("stage", "?");
+      const std::string submission = event.stringOr("submission", "");
+      if (!submission.empty()) std::cout << " (" << submission << ")";
+      std::cout << "\n";
+    }
+  } catch (const Error& e) {
+    std::cout << "flight record: " << newest << " unparseable: " << e.what()
+              << "\n";
+  }
+}
+
+/// `rebench status` — live TTY view of a serve queue: health via the
+/// --listen endpoint when one is advertised (QUEUE/endpoint.addr),
+/// falling back to the health.json snapshot; plus the newest flight
+/// record.  --fetch PATH prints one endpoint response verbatim (the
+/// in-test HTTP client); --follow streams /verdicts as they are filed.
+int statusCommand(const Args& args) {
+  const auto queueDir = args.option("queue");
+  if (!queueDir) {
+    std::cerr << "status: --queue DIR required\n";
+    return 2;
+  }
+  const std::string addr = readEndpointAddress(*queueDir);
+
+  if (const auto fetch = args.option("fetch")) {
+    if (addr.empty()) {
+      std::cerr << "status: no live endpoint (" << *queueDir
+                << "/endpoint.addr missing)\n";
+      return 2;
+    }
+    std::cout << telemetry::httpGet(addr, *fetch);
+    return 0;
+  }
+
+  if (args.hasFlag("follow")) {
+    if (addr.empty()) {
+      std::cerr << "status: --follow needs a live endpoint (" << *queueDir
+                << "/endpoint.addr missing)\n";
+      return 2;
+    }
+    std::uint64_t since = 0;
+    while (true) {
+      std::string body;
+      try {
+        body = telemetry::httpGet(
+            addr, "/verdicts?since=" + std::to_string(since));
+      } catch (const Error&) {
+        std::cout << "status: endpoint gone (daemon exited)\n";
+        return 0;
+      }
+      std::istringstream lines(body);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (str::trim(line).empty()) continue;
+        std::cout << line << "\n" << std::flush;
+        try {
+          const obs::json::Value verdict = obs::json::parse(line);
+          since = std::max(
+              since, static_cast<std::uint64_t>(verdict.numberOr("seq", 0)));
+        } catch (const Error&) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+
+  bool printed = false;
+  if (!addr.empty()) {
+    try {
+      const std::string body = telemetry::httpGet(addr, "/health");
+      std::cout << "status: live endpoint at " << addr << "\n";
+      printHealthFields(obs::json::parse(str::trim(body)));
+      printed = true;
+    } catch (const Error& e) {
+      std::cout << "status: stale endpoint.addr (" << addr
+                << " unreachable: " << e.what() << ")\n";
+    }
+  }
+  if (!printed) {
+    const std::string healthPath =
+        (std::filesystem::path(*queueDir) / "health.json").string();
+    std::ifstream in(healthPath);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      std::cout << "status: snapshot from " << healthPath
+                << " (no live endpoint)\n";
+      printHealthFields(obs::json::parse(str::trim(text.str())));
+      printed = true;
+    }
+  }
+  if (!printed) {
+    std::cout << "status: no health information in " << *queueDir
+              << " (daemon never ran?)\n";
+  }
+  printFlightRecordSummary(*queueDir);
+  return printed ? 0 : 1;
 }
 
 int dispatch(const Args& args) {
@@ -1344,6 +1611,7 @@ int dispatch(const Args& args) {
   if (args.subcommand() == "compare") return compare(args);
   if (args.subcommand() == "submit") return submitCommand(args);
   if (args.subcommand() == "serve") return serveCommand(args);
+  if (args.subcommand() == "status") return statusCommand(args);
   return usage();
 }
 

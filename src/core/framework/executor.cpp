@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/obs/trace.hpp"
+#include "core/telemetry/bus.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 #include "parallel/thread_pool.hpp"
@@ -239,8 +240,24 @@ void CampaignExecutor::runUnit(Unit& unit, bool forceLeader) {
   worker.attr("test", unit.test->name);
   worker.attr("target", unit.target);
   worker.attr("repeat", std::to_string(unit.repeat));
+  // Live telemetry only: bus events never land in campaign artifacts,
+  // so publishing from any worker at any interleaving is safe.
+  telemetry::EventBus* bus = pipeline_.options_.bus;
+  if (bus != nullptr) {
+    bus->publish("exec", "", "campaign-start",
+                 {{"test", unit.test->name},
+                  {"target", unit.target},
+                  {"repeat", std::to_string(unit.repeat)}});
+  }
   unit.result = pipeline_.runCampaign(*unit.test, unit.target, unit.repeat,
                                       ctx);
+  if (bus != nullptr) {
+    bus->publish("exec", "", "campaign-finish",
+                 {{"test", unit.test->name},
+                  {"target", unit.target},
+                  {"repeat", std::to_string(unit.repeat)},
+                  {"outcome", unit.result.passed ? "pass" : "fail"}});
+  }
   worker.end();
   if (ctx.metrics != nullptr) {
     ctx.metrics->counter("exec.campaigns").inc();

@@ -6,6 +6,7 @@
 #include <regex>
 
 #include "core/obs/trace.hpp"
+#include "core/telemetry/bus.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 #include "sim/machine.hpp"
@@ -233,6 +234,44 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
     }
   };
 
+  // Per-stage resource accounting (--probe): a sample around build/run,
+  // surfaced as a telemetry.probe span, rebench_stage_* gauges and (via
+  // result.stageResources) x:rusage_* perflog extras + manifest facets.
+  // Sim-mode samples are a pure function of faultKey + simulated
+  // seconds, so probed campaigns stay byte-identical at any --jobs.
+  const telemetry::ResourceProbe probe(options_.probe);
+  auto noteProbe = [&](std::string_view stage,
+                       const telemetry::ResourceProbe::Mark& mark,
+                       double simSeconds) {
+    if (!probe.active()) return;
+    const std::string stageName(stage);
+    const telemetry::ResourceSample sample =
+        probe.delta(mark, faultKey + "|" + stageName, simSeconds);
+    result.stageResources[stageName] = sample;
+    if (tracer != nullptr) {
+      obs::ScopedSpan span(tracer, "telemetry.probe");
+      span.attr("stage", stageName);
+      span.attr("rusage_user_ms", str::fixed(sample.userMs, 3));
+      span.attr("rusage_sys_ms", str::fixed(sample.sysMs, 3));
+      span.attr("rusage_maxrss_kb", std::to_string(sample.maxRssKb));
+      span.attr("rusage_minflt", std::to_string(sample.minorFaults));
+      span.attr("rusage_io_blocks", std::to_string(sample.ioBlocks));
+    }
+    if (metrics != nullptr) {
+      metrics->gauge("stage.rusage_user_ms/" + stageName).set(sample.userMs);
+      metrics->gauge("stage.rusage_sys_ms/" + stageName).set(sample.sysMs);
+      metrics->gauge("stage.rusage_maxrss_kb/" + stageName)
+          .set(static_cast<double>(sample.maxRssKb));
+    }
+    if (options_.bus != nullptr) {
+      options_.bus->publish(
+          "exec", "", "probe:" + stageName,
+          {{"campaign", faultKey},
+           {"rusage_user_ms", str::fixed(sample.userMs, 3)},
+           {"rusage_maxrss_kb", std::to_string(sample.maxRssKb)}});
+    }
+  };
+
   // --- Stage 1: concretize (Principle 4) -------------------------------
   std::shared_ptr<const ConcreteSpec> concrete;
   {
@@ -259,6 +298,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
 
   // --- Stage 2: build (Principles 2 & 3) --------------------------------
   const BuildPlan plan = makeBuildPlan(*concrete);
+  const telemetry::ResourceProbe::Mark buildMark = probe.mark();
   {
     obs::ScopedSpan span(tracer, "build", stageHistogram("build"));
     if (buildCache_) {
@@ -290,6 +330,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
                   FailureClass::kInfrastructure);
     }
   }
+  noteProbe("build", buildMark, result.build.buildSeconds);
 
   // --- Stage 3: run through the scheduler (Principle 5) ------------------
   ClusterOptions cluster;
@@ -368,6 +409,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
   }
 
   const JobInfo* job = nullptr;
+  const telemetry::ResourceProbe::Mark runMark = probe.mark();
   {
     obs::ScopedSpan span(tracer, "run", stageHistogram("run"));
     scheduler.drain();
@@ -394,6 +436,7 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
       noteInjected("stdout_corruption");
     }
   }
+  noteProbe("run", runMark, job->endTime - job->submitTime);
   result.launchCommand = renderLaunchCommand(
       partition->launcher, job->allocation, test.name, test.executableOpts);
   {
@@ -588,6 +631,24 @@ TestRunResult Pipeline::runOnce(const RegressionTest& test,
             str::fixed(result.telemetry.meanPowerWatts(), 1);
         entry.extras["contended_samples"] =
             std::to_string(result.contentionFlags.size());
+      }
+      if (!result.stageResources.empty()) {
+        // Aggregated across probed stages: CPU times and faults add,
+        // peak RSS is the max.  Serialized as x:rusage_* columns.
+        double userMs = 0.0;
+        double sysMs = 0.0;
+        long maxRssKb = 0;
+        long minorFaults = 0;
+        for (const auto& [stage, sample] : result.stageResources) {
+          userMs += sample.userMs;
+          sysMs += sample.sysMs;
+          maxRssKb = std::max(maxRssKb, sample.maxRssKb);
+          minorFaults += sample.minorFaults;
+        }
+        entry.extras["rusage_user_ms"] = str::fixed(userMs, 3);
+        entry.extras["rusage_sys_ms"] = str::fixed(sysMs, 3);
+        entry.extras["rusage_maxrss_kb"] = std::to_string(maxRssKb);
+        entry.extras["rusage_minflt"] = std::to_string(minorFaults);
       }
       appendPerflog(entry);
     }

@@ -31,8 +31,13 @@
 #include "core/sched/launcher.hpp"
 #include "core/store/build_cache.hpp"
 #include "core/sysconfig/system_config.hpp"
+#include "core/telemetry/probe.hpp"
 
 namespace rebench {
+
+namespace telemetry {
+class EventBus;
+}  // namespace telemetry
 
 namespace obs {
 class Tracer;
@@ -99,6 +104,14 @@ struct PipelineOptions {
   /// of the worker count it happened to execute with, so trace bytes
   /// stay identical across --jobs values.  (--lanes)
   int profileLanes = 8;
+  /// Per-stage resource accounting around build/run (--probe): off by
+  /// default; sim mode is a deterministic synthetic source (byte-stable
+  /// at any --jobs), real mode reads getrusage//proc/self/statm.
+  telemetry::ProbeMode probe = telemetry::ProbeMode::kOff;
+  /// Live telemetry event bus (not owned, nullable).  Publishing never
+  /// changes byte-deterministic artifacts — events only feed the serve
+  /// daemon's status endpoint and crash flight recorder.
+  telemetry::EventBus* bus = nullptr;
 };
 
 /// Execution context threaded through one campaign: where observability
@@ -168,6 +181,10 @@ struct TestRunResult {
   TelemetrySeries telemetry;
   /// Sample indices where background traffic may have perturbed the run.
   std::vector<std::size_t> contentionFlags;
+
+  /// Per-stage resource deltas ("build", "run") when a ResourceProbe is
+  /// active; empty otherwise.
+  std::map<std::string, telemetry::ResourceSample> stageResources;
 
   double simulatedPipelineSeconds = 0.0;  // build + queue + run
 };

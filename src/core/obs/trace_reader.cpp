@@ -1,5 +1,7 @@
 #include "core/obs/trace_reader.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -288,6 +290,66 @@ std::vector<std::string> lintTrace(const TraceFile& trace) {
         if (span.attrs.find(required) == span.attrs.end()) {
           issues.push_back("serve.watchdog span '" + span.id +
                            "' without a '" + required + "' attribute");
+        }
+      }
+    } else if (span.name == "telemetry.probe") {
+      // A resource-probe span names the stage it measured and carries
+      // the rusage delta: decimal CPU milliseconds plus integer
+      // counters.
+      for (const char* required :
+           {"stage", "rusage_user_ms", "rusage_sys_ms",
+            "rusage_maxrss_kb"}) {
+        if (span.attrs.find(required) == span.attrs.end()) {
+          issues.push_back("telemetry.probe span '" + span.id +
+                           "' without a '" + required + "' attribute");
+        }
+      }
+      for (const char* decimalKey : {"rusage_user_ms", "rusage_sys_ms"}) {
+        const auto it = span.attrs.find(decimalKey);
+        if (it == span.attrs.end()) continue;
+        const std::string& text = it->second;
+        const bool numeric =
+            !text.empty() &&
+            text.find_first_not_of("0123456789.") == std::string::npos &&
+            std::count(text.begin(), text.end(), '.') <= 1;
+        if (!numeric) {
+          issues.push_back("telemetry.probe span '" + span.id +
+                           "' has non-numeric " + decimalKey + " '" + text +
+                           "'");
+        }
+      }
+      if (const auto rss = span.attrs.find("rusage_maxrss_kb");
+          rss != span.attrs.end()) {
+        const std::string& text = rss->second;
+        const bool numeric =
+            !text.empty() &&
+            text.find_first_not_of("0123456789") == std::string::npos;
+        if (!numeric) {
+          issues.push_back("telemetry.probe span '" + span.id +
+                           "' has non-numeric rusage_maxrss_kb '" + text +
+                           "'");
+        }
+      }
+    } else if (span.name == "serve.endpoint") {
+      // A status-endpoint request span records the route it answered and
+      // the HTTP status it returned.
+      for (const char* required : {"route", "status"}) {
+        if (span.attrs.find(required) == span.attrs.end()) {
+          issues.push_back("serve.endpoint span '" + span.id +
+                           "' without a '" + required + "' attribute");
+        }
+      }
+      if (const auto status = span.attrs.find("status");
+          status != span.attrs.end()) {
+        const std::string& text = status->second;
+        const bool numeric =
+            !text.empty() &&
+            text.find_first_not_of("0123456789") == std::string::npos;
+        int code = 0;
+        if (numeric) code = std::atoi(text.c_str());
+        if (!numeric || code < 100 || code > 599) {
+          issues.push_back("serve.endpoint span '" + span.id +
+                           "' has invalid status '" + text + "'");
         }
       }
     } else if (span.name == "store.runcache") {

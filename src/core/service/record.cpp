@@ -9,6 +9,7 @@
 #include "core/obs/trace.hpp"
 #include "core/store/build_cache.hpp"
 #include "core/store/object_store.hpp"
+#include "core/telemetry/probe.hpp"
 #include "core/util/hash.hpp"
 #include "core/util/strings.hpp"
 
@@ -36,6 +37,9 @@ PipelineOptions pipelineOptionsFor(const store::CampaignInvocation& inv) {
     options.watchdog.stageTimeoutSeconds = inv.stageTimeout;
   }
   if (inv.lanes > 0) options.profileLanes = inv.lanes;
+  // Unknown probe names were rejected at the CLI/submission boundary;
+  // anything else unparseable degrades to off rather than failing here.
+  telemetry::probeModeFromName(inv.probe, &options.probe);
   return options;
 }
 
@@ -100,6 +104,18 @@ store::RunManifest runManifestFor(const TestRunResult& result, int repeat) {
                                   : "fail";
   run.failureStage = result.failure.stage;
   run.attempts = result.attempts;
+  // Resource-accounting facets from an active --probe; absent keys keep
+  // unprobed manifest bytes unchanged.
+  for (const auto& [stage, sample] : result.stageResources) {
+    run.facets["rusage_" + stage + "_user_ms"] = str::fixed(sample.userMs, 3);
+    run.facets["rusage_" + stage + "_sys_ms"] = str::fixed(sample.sysMs, 3);
+    run.facets["rusage_" + stage + "_maxrss_kb"] =
+        std::to_string(sample.maxRssKb);
+    run.facets["rusage_" + stage + "_minflt"] =
+        std::to_string(sample.minorFaults);
+    run.facets["rusage_" + stage + "_io_blocks"] =
+        std::to_string(sample.ioBlocks);
+  }
   return run;
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -19,6 +20,9 @@
 #include "core/service/record.hpp"
 #include "core/store/object_store.hpp"
 #include "core/store/run_cache.hpp"
+#include "core/telemetry/bus.hpp"
+#include "core/telemetry/http.hpp"
+#include "core/telemetry/plane.hpp"
 #include "core/util/error.hpp"
 #include "core/util/strings.hpp"
 
@@ -38,7 +42,51 @@ struct RunContextState {
   ServiceJournal& journal;
   CircuitBreaker& breaker;
   ServeReport& report;
+  telemetry::TelemetryPlane& plane;
 };
+
+void writeHealthSnapshot(const ServeOptions& options,
+                         const ServeReport& report,
+                         const CircuitBreaker& breaker);
+
+/// Unanswered submissions right now (scanned live, unlike the report's
+/// exit-time queueDepth).
+int liveQueueDepth(const std::string& queueDir) {
+  int depth = 0;
+  for (const Submission& sub : scanQueue(queueDir)) {
+    if (!fs::exists(verdictPath(queueDir, sub.id))) ++depth;
+  }
+  return depth;
+}
+
+/// Mirrors the report counters into the telemetry plane and atomically
+/// refreshes QUEUE/health.json.  Runs at startup and after every filed
+/// verdict, so health.json is live, not just a drain-time artifact.
+void refreshHealth(const RunContextState& ctx) {
+  ServeReport snapshot = ctx.report;
+  snapshot.queueDepth = liveQueueDepth(ctx.options.queueDir);
+  writeHealthSnapshot(ctx.options, snapshot, ctx.breaker);
+  telemetry::TelemetryPlane& plane = ctx.plane;
+  plane.setStat("processed", snapshot.processed);
+  plane.setStat("cached", snapshot.cached);
+  plane.setStat("executed", snapshot.executed);
+  plane.setStat("clean", snapshot.clean);
+  plane.setStat("regressed", snapshot.regressed);
+  plane.setStat("failed", snapshot.failed);
+  plane.setStat("quarantined", snapshot.quarantined);
+  plane.setStat("degraded", snapshot.degraded);
+  plane.setStat("malformed", snapshot.malformed);
+  plane.setStat("watchdog_fires", snapshot.watchdogFires);
+  plane.setQueueDepth(snapshot.queueDepth);
+  plane.setQuarantinedKeys(ctx.breaker.openKeys());
+}
+
+/// The crash-after test hook: mark the report crashed and dump the bus
+/// ring, exactly as the real crash path would before the process dies.
+void simulateCrash(const RunContextState& ctx) {
+  ctx.report.crashed = true;
+  telemetry::dumpFlightRecord(ctx.options.queueDir, ctx.plane.bus());
+}
 
 VerdictRecord toRecord(const Verdict& verdict) {
   VerdictRecord record;
@@ -68,6 +116,13 @@ void countVerdict(ServeReport& report, const Verdict& verdict) {
 /// work so campaign execution never nests under an open serve span
 /// (Tracer::absorb requires none).
 void noteVerdict(const RunContextState& ctx, const Verdict& verdict) {
+  ctx.plane.noteVerdict(verdict.submission, verdict.verdict,
+                        verdict.degraded, verdict.detail);
+  ctx.plane.clearInflight();
+  if (verdict.verdict.rfind("failed:", 0) == 0) {
+    // Failure post-mortems get the same flight record a crash would.
+    telemetry::dumpFlightRecord(ctx.options.queueDir, ctx.plane.bus());
+  }
   if (ctx.options.tracer != nullptr) {
     obs::ScopedSpan span(ctx.options.tracer, "serve.submission");
     span.attr("submission", verdict.submission);
@@ -86,6 +141,7 @@ void noteVerdict(const RunContextState& ctx, const Verdict& verdict) {
     }
     *ctx.options.log << "\n";
   }
+  refreshHealth(ctx);
 }
 
 /// Files a verdict that bypasses the journal (malformed submissions,
@@ -107,6 +163,8 @@ void processSubmission(const RunContextState& ctx,
 
   if (!sub.valid) {
     ++ctx.report.malformed;
+    ctx.plane.noteStage(sub.id, "service", "malformed",
+                        {{"error", sub.error}});
     verdict.verdict = "failed:permanent";
     verdict.detail = sub.error;
     fileDirectVerdict(ctx, std::move(verdict));
@@ -123,6 +181,8 @@ void processSubmission(const RunContextState& ctx,
     tests = resolver(inv);
     if (tests.empty()) throw Error("no tests match the submission");
     verdict.key = runKeyFor(inv, systems, repo, tests);
+    ctx.plane.noteStage(sub.id, "service", "accepted",
+                        {{"key", verdict.key}});
   } catch (const Error& e) {
     verdict.verdict = "failed:permanent";
     verdict.detail = e.what();
@@ -136,6 +196,8 @@ void processSubmission(const RunContextState& ctx,
   for (int i = 0; i < crashes; ++i) ctx.breaker.recordFailure(sub.id);
   if (!ctx.breaker.allows(sub.id)) {
     ++ctx.report.quarantined;
+    ctx.plane.noteStage(sub.id, "service", "quarantine",
+                        {{"crashes", std::to_string(crashes)}});
     if (ctx.options.tracer != nullptr) {
       ctx.options.tracer->event("fault.quarantine", {{"key", sub.id}});
     }
@@ -152,6 +214,7 @@ void processSubmission(const RunContextState& ctx,
   // Mid-flight resume: the verdict was already decided — re-file its
   // exact bytes without touching anything else.
   if (ctx.journal.state(sub.id) == ServiceJournal::State::kVerdict) {
+    ctx.plane.noteStage(sub.id, "journal", "resume-verdict");
     const VerdictRecord* record = ctx.journal.verdictOf(sub.id);
     verdict.verdict = record->verdict;
     verdict.key = record->key;
@@ -174,15 +237,21 @@ void processSubmission(const RunContextState& ctx,
     // verdict needs was journaled, so nothing re-executes.
     outcome = *ctx.journal.executed(sub.id);
     if (!outcome.key.empty()) verdict.key = outcome.key;
+    ctx.plane.noteStage(sub.id, "journal", "resume-executed");
   } else {
     store::RunCache::Lookup lookup = ctx.runCache.lookup(verdict.key);
+    ctx.plane.noteRunCache(lookup.hit());
     if (lookup.hit()) {
+      ctx.plane.noteStage(sub.id, "runcache", "hit",
+                          {{"key", verdict.key}});
       verdict.verdict = "cached";
       verdict.manifestHash = lookup.record->manifestHash;
       verdict.detail = "first ran " + lookup.record->verdict;
       ctx.journal.recordVerdict(sub.id, toRecord(verdict));
+      ctx.plane.noteStage(sub.id, "journal", "verdict",
+                          {{"verdict", verdict.verdict}});
       if (ctx.options.crashAfter == "verdict") {
-        ctx.report.crashed = true;
+        simulateCrash(ctx);
         return;
       }
       writeVerdict(ctx.options.queueDir, verdict);
@@ -206,8 +275,9 @@ void processSubmission(const RunContextState& ctx,
     }
 
     ctx.journal.recordClaim(sub.id, verdict.key);
+    ctx.plane.noteStage(sub.id, "journal", "claim", {{"key", verdict.key}});
     if (ctx.options.crashAfter == "claim") {
-      ctx.report.crashed = true;
+      simulateCrash(ctx);
       return;
     }
 
@@ -217,10 +287,13 @@ void processSubmission(const RunContextState& ctx,
     pipelineOptions.metrics = ctx.options.metrics;
     pipelineOptions.store = &ctx.store;
     pipelineOptions.cacheBuilds = inv.cache;
+    pipelineOptions.bus = &ctx.plane.bus();
     Pipeline pipeline(systems, repo, pipelineOptions);
     PerfLog perflog;
     const std::vector<std::string> targets{inv.system};
     CampaignReport campaignReport;
+    ctx.plane.noteStage(sub.id, "exec", "campaign",
+                        {{"tests", std::to_string(tests.size())}});
     const CampaignExecution execution = executeCampaign(
         pipeline, tests, targets, inv, &perflog, nullptr, &campaignReport);
     const std::vector<TestRunResult>& results = execution.results;
@@ -228,6 +301,7 @@ void processSubmission(const RunContextState& ctx,
     for (const TestRunResult& result : results) {
       if (result.failure.detail.rfind("watchdog:", 0) == 0) {
         ++ctx.report.watchdogFires;
+        ctx.plane.noteWatchdogFire();
       }
     }
 
@@ -241,8 +315,10 @@ void processSubmission(const RunContextState& ctx,
         store::ObjectStore::hashBytes(perflog_bytes));
     outcome.key = verdict.key;
     ctx.journal.recordExecuted(sub.id, outcome);
+    ctx.plane.noteStage(sub.id, "journal", "executed",
+                        {{"runs", std::to_string(outcome.runs)}});
     if (ctx.options.crashAfter == "executed") {
-      ctx.report.crashed = true;
+      simulateCrash(ctx);
       return;
     }
   }
@@ -270,6 +346,10 @@ void processSubmission(const RunContextState& ctx,
       ctx.options.metrics->counter("serve.watchdog_fired").inc();
     }
     ++ctx.report.watchdogFires;
+    ctx.plane.noteWatchdogFire();
+    ctx.plane.noteStage(
+        sub.id, "watchdog", "submission",
+        {{"elapsed_seconds", str::fixed(outcome.simSeconds, 6)}});
     verdict.verdict = "failed:infrastructure";
     verdict.detail =
         "watchdog: submission exceeded its " +
@@ -323,8 +403,10 @@ void processSubmission(const RunContextState& ctx,
   }
 
   ctx.journal.recordVerdict(sub.id, toRecord(verdict));
+  ctx.plane.noteStage(sub.id, "journal", "verdict",
+                      {{"verdict", verdict.verdict}});
   if (ctx.options.crashAfter == "verdict") {
-    ctx.report.crashed = true;
+    simulateCrash(ctx);
     return;
   }
   writeVerdict(ctx.options.queueDir, verdict);
@@ -392,7 +474,29 @@ ServeReport Service::run() {
   ServiceJournal journal(options_.queueDir);
   CircuitBreaker breaker(options_.quarantineAfter);
   ServeReport report;
-  RunContextState ctx{options_, store, runCache, journal, breaker, report};
+  telemetry::TelemetryPlane plane;
+  RunContextState ctx{options_,       store, runCache, journal,
+                      breaker, report, plane};
+  plane.setWatchdogArms((options_.stageTimeout > 0.0 ? 1 : 0) +
+                        (options_.submissionTimeout > 0.0 ? 1 : 0));
+
+  // The status endpoint serves plane snapshots from its own thread; the
+  // bound address is discoverable via QUEUE/endpoint.addr.
+  std::unique_ptr<telemetry::StatusServer> server;
+  if (!options_.listen.empty()) {
+    server = std::make_unique<telemetry::StatusServer>(
+        [&plane](const telemetry::HttpRequest& request) {
+          return plane.handle(request);
+        });
+    server->start(options_.listen);
+    report.endpointAddress = server->boundAddress();
+    durableWriteFile(
+        (fs::path(options_.queueDir) / "endpoint.addr").string(),
+        server->boundAddress() + "\n");
+    plane.bus().publish("service", "", "listen",
+                        {{"address", server->boundAddress()}});
+  }
+  refreshHealth(ctx);
 
   std::set<std::string> processedThisRun;
   bool stop = false;
@@ -409,8 +513,12 @@ ServeReport Service::run() {
       processedThisRun.insert(sub.id);
       progressed = true;
       if (report.crashed) {
-        // Simulated kill -9: no verdict file, no health snapshot —
-        // exactly the state a real crash leaves behind.
+        // Simulated kill -9: no verdict file, no health snapshot, the
+        // endpoint.addr file left behind — exactly the state a real
+        // crash leaves, except the flight record the crash path dumped.
+        if (server != nullptr) {
+          report.endpointRequests = server->requestCount();
+        }
         return report;
       }
     }
@@ -433,6 +541,16 @@ ServeReport Service::run() {
   if (options_.metrics != nullptr) {
     options_.metrics->gauge("serve.queue_depth")
         .set(static_cast<double>(report.queueDepth));
+  }
+  if (server != nullptr) {
+    report.endpointRequests = server->requestCount();
+    server->stop();
+    // Endpoint traffic is wall-clock, so its trace lives next to the
+    // queue, never inside byte-deterministic campaign artifacts.
+    server->tracer().writeFile(
+        (fs::path(options_.queueDir) / "endpoint-trace.jsonl").string());
+    std::error_code ec;
+    fs::remove(fs::path(options_.queueDir) / "endpoint.addr", ec);
   }
   writeHealthSnapshot(options_, report, breaker);
   return report;

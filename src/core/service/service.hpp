@@ -28,6 +28,7 @@
 // crash-resumed daemon converges on the same bytes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -70,6 +71,11 @@ struct ServeOptions {
   /// Test hook: simulate a kill -9 immediately after the named journal
   /// checkpoint ("claim" | "executed" | "verdict"); "" = never.
   std::string crashAfter;
+  /// "HOST:PORT" to expose the live status endpoint (rebench serve
+  /// --listen); port 0 binds an ephemeral port.  The bound address is
+  /// published to QUEUE/endpoint.addr for discovery.  "" = no endpoint.
+  /// The endpoint is read-only and never changes campaign output bytes.
+  std::string listen;
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   /// Per-submission progress lines ("<id> <verdict>"); null = silent.
@@ -90,6 +96,10 @@ struct ServeReport {
   bool drained = false;  // stopped by drain sentinel or shutdown request
   bool crashed = false;  // the crash-after test hook fired
   int queueDepth = 0;    // unanswered submissions at exit
+  /// HTTP requests answered by the status endpoint ("" listen = 0).
+  std::uint64_t endpointRequests = 0;
+  /// Address the status endpoint bound ("" when --listen was not given).
+  std::string endpointAddress;
 };
 
 class Service {

@@ -42,7 +42,8 @@ std::string renderInvocation(const CampaignInvocation& inv) {
       << ",\"minRepeats\":" << inv.minRepeats
       << ",\"maxRepeats\":" << inv.maxRepeats
       << ",\"withStore\":" << (inv.withStore ? "true" : "false")
-      << ",\"cache\":" << (inv.cache ? "true" : "false") << "}";
+      << ",\"cache\":" << (inv.cache ? "true" : "false")
+      << ",\"probe\":" << quote(inv.probe) << "}";
   return out.str();
 }
 
@@ -79,6 +80,7 @@ CampaignInvocation parseInvocation(const obs::json::Value& value) {
   inv.withStore =
       value.contains("withStore") && value.at("withStore").boolean;
   inv.cache = !value.contains("cache") || value.at("cache").boolean;
+  inv.probe = value.stringOr("probe", "");
   return inv;
 }
 
@@ -102,7 +104,19 @@ std::string renderRun(const RunManifest& run) {
       << ",\"jobId\":" << quote(run.jobId)
       << ",\"outcome\":" << quote(run.outcome)
       << ",\"failureStage\":" << quote(run.failureStage)
-      << ",\"attempts\":" << run.attempts << "}";
+      << ",\"attempts\":" << run.attempts;
+  // Rendered only when present so unprobed manifests keep their bytes.
+  if (!run.facets.empty()) {
+    out << ",\"facets\":{";
+    bool first = true;
+    for (const auto& [key, value] : run.facets) {
+      if (!first) out << ",";
+      first = false;
+      out << quote(key) << ":" << quote(value);
+    }
+    out << "}";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -126,6 +140,11 @@ RunManifest parseRun(const obs::json::Value& value) {
   run.outcome = value.stringOr("outcome", "");
   run.failureStage = value.stringOr("failureStage", "");
   run.attempts = static_cast<int>(value.numberOr("attempts", 1));
+  if (value.contains("facets")) {
+    for (const auto& [key, facet] : value.at("facets").object) {
+      run.facets[key] = facet.text;
+    }
+  }
   return run;
 }
 

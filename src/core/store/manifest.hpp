@@ -75,6 +75,13 @@ struct CampaignInvocation {
   // to reproduce the same store.* observability with a fresh store.
   bool withStore = false;
   bool cache = true;
+
+  /// Per-stage resource accounting (--probe): "" = off, "sim" =
+  /// deterministic synthetic samples, "real" = getrusage deltas.
+  /// Recorded because probing adds perflog extras, telemetry.probe
+  /// spans and manifest facets — bytes the run-memoization key (which
+  /// hashes this rendering) must separate from unprobed campaigns.
+  std::string probe;
 };
 
 /// Deterministic JSON rendering of an invocation (stable key order).
@@ -101,6 +108,10 @@ struct RunManifest {
   std::string outcome;  // "pass" | "fail" | "quarantined"
   std::string failureStage;
   int attempts = 1;
+  /// Resource-accounting facets (probed campaigns only; empty maps are
+  /// not rendered, so unprobed manifest bytes are untouched).  Keys like
+  /// "rusage_build_user_ms"; values pre-formatted decimal strings.
+  std::map<std::string, std::string> facets;
 };
 
 /// A campaign artifact pinned by content hash (perflog, trace, ...).

@@ -1,0 +1,71 @@
+// Per-stage resource accounting (rebench::telemetry).
+//
+// A ResourceProbe samples process resource usage around pipeline stages
+// (build, run) and reports the delta: user/sys CPU time, max RSS, minor
+// faults and block I/O.  Two sources:
+//
+//   sim   a deterministic synthetic source — every sample is a pure
+//         function of (stage key, simulated seconds), so perflog/trace/
+//         manifest bytes stay identical at any --jobs width.  This is
+//         what the determinism gates run.
+//   real  getrusage(RUSAGE_SELF) + /proc/self/statm deltas — genuinely
+//         observed numbers for native deployments, at the documented
+//         cost of jobs-dependent bytes (concurrent campaigns share one
+//         process, so deltas interleave).
+//
+// Probe mode rides on the campaign invocation ("" = off, the default),
+// so submissions, manifests and run-memoization keys all agree on
+// whether resource facets exist: a probed campaign can never collide
+// with an unprobed one in the RunCache.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rebench::telemetry {
+
+enum class ProbeMode { kOff, kSim, kReal };
+
+/// Parses "" | "sim" | "real"; returns false on anything else.
+bool probeModeFromName(std::string_view name, ProbeMode* mode);
+std::string_view probeModeName(ProbeMode mode);
+
+/// One stage's resource delta.
+struct ResourceSample {
+  double userMs = 0.0;    // user CPU time
+  double sysMs = 0.0;     // system CPU time
+  long maxRssKb = 0;      // peak resident set size
+  long minorFaults = 0;   // soft page faults
+  long ioBlocks = 0;      // block input + output operations
+};
+
+class ResourceProbe {
+ public:
+  explicit ResourceProbe(ProbeMode mode) : mode_(mode) {}
+
+  ProbeMode mode() const { return mode_; }
+  bool active() const { return mode_ != ProbeMode::kOff; }
+
+  /// A point-in-time snapshot (real mode) to diff against later.
+  struct Mark {
+    double userMs = 0.0;
+    double sysMs = 0.0;
+    long maxRssKb = 0;
+    long minorFaults = 0;
+    long ioBlocks = 0;
+  };
+
+  /// Samples the current process usage (real mode; zeros in sim/off).
+  Mark mark() const;
+
+  /// The stage's resource delta.  Sim mode ignores the mark and derives
+  /// the sample from hash(key) and `simSeconds` — deterministic at any
+  /// scheduling; real mode diffs current usage against `mark`.
+  ResourceSample delta(const Mark& mark, std::string_view key,
+                       double simSeconds) const;
+
+ private:
+  ProbeMode mode_;
+};
+
+}  // namespace rebench::telemetry

@@ -235,6 +235,84 @@ TEST(Json, ParseRejectsGarbage) {
   EXPECT_THROW(json::parse(""), ParseError);
 }
 
+TEST(Json, EscapePassesUtf8ThroughUntouched) {
+  // Multi-byte UTF-8 (é, 日本語, ✓) is not control or structural: the
+  // writer must leave the bytes alone rather than \u-escaping them.
+  const std::string utf8 = "r\xc3\xa9sum\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac "
+                           "\xe2\x9c\x93";
+  EXPECT_EQ(json::escape(utf8), utf8);
+  const json::Value parsed = json::parse(json::quote(utf8));
+  ASSERT_TRUE(parsed.isString());
+  EXPECT_EQ(parsed.text, utf8);
+}
+
+TEST(Json, EscapeEmitsU00XXForBareControlCharacters) {
+  // \n, \r, \t get their shorthands; every other C0 control character
+  // (including \b and \f, which the writer does not shorthand) becomes a
+  // four-digit \u00XX escape the parser maps straight back.
+  EXPECT_EQ(json::escape("\x01"), "\\u0001");
+  EXPECT_EQ(json::escape("\x1f"), "\\u001f");
+  EXPECT_EQ(json::escape("\b\f"), "\\u0008\\u000c");
+  EXPECT_EQ(json::escape("\n\r\t"), "\\n\\r\\t");
+  const std::string controls = "a\x01b\x02\x03\x1f";
+  const json::Value parsed = json::parse(json::quote(controls));
+  ASSERT_TRUE(parsed.isString());
+  EXPECT_EQ(parsed.text, controls);
+  // The parser also accepts the \b and \f shorthands it never writes.
+  EXPECT_EQ(json::parse("\"\\b\\f\"").text, "\b\f");
+}
+
+TEST(Json, EmbeddedNulSurvivesTheRoundTrip) {
+  std::string withNul = "ab";
+  withNul.push_back('\0');
+  withNul += "cd";
+  ASSERT_EQ(withNul.size(), 5u);
+  EXPECT_EQ(json::escape(withNul), "ab\\u0000cd");
+  const json::Value parsed = json::parse(json::quote(withNul));
+  ASSERT_TRUE(parsed.isString());
+  EXPECT_EQ(parsed.text.size(), 5u);
+  EXPECT_EQ(parsed.text, withNul);
+}
+
+TEST(Json, LoneSurrogateBytesPassThroughAsRawBytes) {
+  // WTF-8 encoding of the unpaired surrogate U+D800 (ED A0 80): invalid
+  // UTF-8, but the writer treats strings as byte sequences — every byte
+  // is >= 0x20, so the three bytes pass through and round-trip intact.
+  const std::string lone = "x\xed\xa0\x80y";
+  EXPECT_EQ(json::escape(lone), lone);
+  const json::Value parsed = json::parse(json::quote(lone));
+  ASSERT_TRUE(parsed.isString());
+  EXPECT_EQ(parsed.text, lone);
+}
+
+TEST(Json, ParserRejectsEscapesTheWriterCannotProduce) {
+  // The writer only emits \u00XX, so the parser declines multilingual
+  // \uXXXX escapes instead of silently guessing at UTF-16 surrogates.
+  EXPECT_EQ(json::parse("\"\\u00ff\"").text, "\xff");
+  EXPECT_THROW(json::parse("\"\\u0100\""), ParseError);
+  EXPECT_THROW(json::parse("\"\\ud800\""), ParseError);
+  EXPECT_THROW(json::parse("\"\\uZZZZ\""), ParseError);
+}
+
+TEST(TraceJsonl, NastyAttrValuesSurviveTheTraceRoundTrip) {
+  // The same edge cases, end to end through the tracer's JSONL writer
+  // and trace_reader's parser — what perflog/trace consumers actually do.
+  std::string nasty = "caf\xc3\xa9\n\x01";
+  nasty.push_back('\0');
+  nasty += "\xed\xa0\x80 end";
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "escape_probe");
+    span.attr("payload", nasty);
+    tracer.event("note", {{"payload", nasty}});
+  }
+  const TraceFile trace = parseTraceJsonl(tracer.toJsonl());
+  ASSERT_EQ(trace.spans.size(), 1u);
+  ASSERT_EQ(trace.events.size(), 1u);
+  EXPECT_EQ(trace.spans[0].attrs.at("payload"), nasty);
+  EXPECT_EQ(trace.events[0].attrs.at("payload"), nasty);
+}
+
 // ---- JSONL round-trip ----------------------------------------------------
 
 Tracer makeSampleTrace(MetricsRegistry* metrics) {

@@ -1,0 +1,269 @@
+// metrics_lint — validates an OpenMetrics text exposition file.
+//
+//   $ metrics_lint metrics.om
+//   metrics OK: 12 families, 48 samples
+//
+// Exit 0 when the file satisfies the invariants rebench's exporter
+// guarantees (and the OpenMetrics format requires); exit 1 with one
+// message per violation otherwise:
+//
+//   * every non-comment line parses as `name{labels} value` with a
+//     finite decimal value,
+//   * every sample belongs to the most recent `# TYPE` family: counters
+//     expose exactly `<family>_total`, gauges expose `<family>` (plus
+//     the derived `<family>_max` sibling the exporter emits), histograms
+//     expose `<family>_bucket` / `<family>_sum` / `<family>_count`,
+//   * labels inside a sample are sorted by name and properly quoted,
+//   * a family is declared by at most one `# TYPE` line,
+//   * within a run of equal-type declarations, family names are sorted
+//     lexicographically (derived gauge siblings `<base>_max` and
+//     `<base>_quantile` are anchored to their base family and skipped),
+//   * `_total` appears on counter samples and nowhere else,
+//   * the final line is the single `# EOF` marker.
+//
+// ctest runs this over the --metrics-out exports of run, suite and
+// serve, and over the live /metrics endpoint body.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Lint {
+  std::vector<std::string> issues;
+  int families = 0;
+  int samples = 0;
+
+  void problem(std::size_t lineNo, const std::string& message) {
+    issues.push_back("line " + std::to_string(lineNo) + ": " + message);
+  }
+};
+
+bool validMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return !std::isdigit(static_cast<unsigned char>(name[0]));
+}
+
+/// Derived gauge siblings the exporter anchors to a base family (`foo`'s
+/// running maximum `foo_max`, a histogram's `foo_quantile` estimates).
+/// They interleave with their base's section, so the family-order check
+/// ignores them entirely.
+bool isDerivedSibling(const std::string& family) {
+  for (const std::string suffix : {"_max", "_quantile"}) {
+    if (family.size() > suffix.size() &&
+        family.compare(family.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses `{name="value",...}`; returns false on malformed syntax.
+bool parseLabels(const std::string& text, std::vector<std::string>* names) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const std::size_t eq = text.find('=', i);
+    if (eq == std::string::npos) return false;
+    const std::string name = text.substr(i, eq - i);
+    if (!validMetricName(name)) return false;
+    names->push_back(name);
+    if (eq + 1 >= text.size() || text[eq + 1] != '"') return false;
+    std::size_t j = eq + 2;
+    while (j < text.size() && text[j] != '"') {
+      if (text[j] == '\\') ++j;  // escaped char inside the value
+      ++j;
+    }
+    if (j >= text.size()) return false;  // unterminated value
+    i = j + 1;
+    if (i < text.size()) {
+      if (text[i] != ',') return false;
+      ++i;
+      if (i >= text.size()) return false;  // trailing comma
+    }
+  }
+  return true;
+}
+
+void lintFile(std::istream& in, Lint* lint) {
+  std::string line;
+  std::size_t lineNo = 0;
+  std::string currentFamily;
+  std::string currentType;
+  std::string previousSection;   // base family of the previous TYPE line
+  std::string previousTypeKind;  // its type, for per-type-run ordering
+  std::set<std::string> declared;
+  bool sawEof = false;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (sawEof) {
+      lint->problem(lineNo, "content after '# EOF'");
+      sawEof = false;  // report once, keep linting
+    }
+    if (line.empty()) {
+      lint->problem(lineNo, "empty line");
+      continue;
+    }
+    if (line == "# EOF") {
+      sawEof = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        lint->problem(lineNo, "malformed TYPE line");
+        continue;
+      }
+      const std::string family = rest.substr(0, space);
+      const std::string type = rest.substr(space + 1);
+      if (!validMetricName(family)) {
+        lint->problem(lineNo, "invalid family name '" + family + "'");
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        lint->problem(lineNo, "unknown metric type '" + type + "'");
+      }
+      if (!declared.insert(family).second) {
+        lint->problem(lineNo,
+                      "family '" + family + "' declared more than once");
+      }
+      // Families are emitted in lexicographic order inside each run of
+      // equal-type declarations.  Derived gauge siblings don't take part:
+      // they interleave with their base's section by design.  A type
+      // change resets the run — the exporter emits counters, gauges,
+      // histograms, then the caller-supplied extras section, and the two
+      // gauge sections each sort independently.
+      if (!isDerivedSibling(family)) {
+        if (type == previousTypeKind && family < previousSection) {
+          lint->problem(lineNo, "family '" + family +
+                                    "' out of order (after '" +
+                                    previousSection + "')");
+        }
+        previousSection = family;
+        previousTypeKind = type;
+      }
+      currentFamily = family;
+      currentType = type;
+      ++lint->families;
+      continue;
+    }
+    if (line[0] == '#') {
+      lint->problem(lineNo, "unexpected comment '" + line + "'");
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      lint->problem(lineNo, "sample without a value");
+      continue;
+    }
+    std::string name;
+    std::vector<std::string> labelNames;
+    if (brace != std::string::npos && brace < space) {
+      const std::size_t close = line.rfind('}', space);
+      if (close == std::string::npos || close < brace) {
+        lint->problem(lineNo, "unbalanced label braces");
+        continue;
+      }
+      name = line.substr(0, brace);
+      const std::string labels = line.substr(brace + 1, close - brace - 1);
+      if (!parseLabels(labels, &labelNames)) {
+        lint->problem(lineNo, "malformed labels '{" + labels + "}'");
+      }
+    } else {
+      name = line.substr(0, space);
+    }
+    if (!validMetricName(name)) {
+      lint->problem(lineNo, "invalid sample name '" + name + "'");
+      continue;
+    }
+    if (!std::is_sorted(labelNames.begin(), labelNames.end())) {
+      lint->problem(lineNo, "labels of '" + name + "' not sorted by name");
+    }
+    const std::string valueText = line.substr(space + 1);
+    char* end = nullptr;
+    const double value = std::strtod(valueText.c_str(), &end);
+    if (valueText.empty() || end == nullptr || *end != '\0' ||
+        !std::isfinite(value)) {
+      lint->problem(lineNo, "non-finite or unparseable value '" + valueText +
+                                "' for '" + name + "'");
+    }
+    ++lint->samples;
+
+    if (currentFamily.empty()) {
+      lint->problem(lineNo, "sample '" + name + "' before any TYPE line");
+      continue;
+    }
+    // The sample must expose the declared family under the suffix rules
+    // of its type.
+    bool belongs = false;
+    if (currentType == "counter") {
+      belongs = name == currentFamily + "_total";
+      if (!belongs && name == currentFamily) {
+        lint->problem(lineNo, "counter sample '" + name +
+                                  "' missing the '_total' suffix");
+        continue;
+      }
+    } else if (currentType == "gauge") {
+      belongs = name == currentFamily;
+    } else if (currentType == "histogram") {
+      belongs = name == currentFamily + "_bucket" ||
+                name == currentFamily + "_sum" ||
+                name == currentFamily + "_count";
+    }
+    if (!belongs) {
+      lint->problem(lineNo, "sample '" + name +
+                                "' does not belong to '# TYPE " +
+                                currentFamily + " " + currentType + "'");
+      continue;
+    }
+    if (currentType != "counter" &&
+        name.size() > 6 &&
+        name.compare(name.size() - 6, 6, "_total") == 0) {
+      lint->problem(lineNo,
+                    "non-counter sample '" + name + "' uses '_total'");
+    }
+  }
+
+  if (!sawEof) {
+    lint->issues.push_back("missing '# EOF' terminator on the last line");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: metrics_lint <metrics.om>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::cerr << "metrics_lint: cannot read '" << argv[1] << "'\n";
+    return 1;
+  }
+  Lint lint;
+  lintFile(in, &lint);
+  for (const std::string& issue : lint.issues) {
+    std::cerr << "metrics_lint: " << issue << "\n";
+  }
+  if (!lint.issues.empty()) return 1;
+  std::cout << "metrics OK: " << lint.families << " families, "
+            << lint.samples << " samples\n";
+  return 0;
+}
